@@ -1,0 +1,591 @@
+package vectorwise
+
+// Benchmark harness: one benchmark family per experiment in DESIGN.md's
+// index (T1–T6, C1, C2, F1, F2). cmd/vwbench runs the same experiments
+// as a standalone binary and prints paper-style tables; these benches
+// integrate with `go test -bench` for regression tracking.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"vectorwise/internal/bufmgr"
+	"vectorwise/internal/catalog"
+	"vectorwise/internal/compress"
+	"vectorwise/internal/core"
+	"vectorwise/internal/matengine"
+	"vectorwise/internal/pdt"
+	"vectorwise/internal/storage"
+	"vectorwise/internal/tpch"
+	"vectorwise/internal/vtypes"
+	"vectorwise/internal/xcompile"
+)
+
+// benchSF is the benchmark scale factor (≈15K orders, ≈60K lineitems).
+const benchSF = 0.01
+
+var (
+	benchOnce sync.Once
+	benchCat  *catalog.Catalog
+	benchErr  error
+)
+
+func benchCatalog(b *testing.B) *catalog.Catalog {
+	benchOnce.Do(func() {
+		benchCat, benchErr = tpch.Generate(benchSF, 8192)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCat
+}
+
+func runSuiteQuery(b *testing.B, name string, engine tpch.Engine, parallel int) {
+	cat := benchCatalog(b)
+	var q tpch.Query
+	for _, cand := range tpch.Suite() {
+		if cand.Name == name {
+			q = cand
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tpch.RunQuery(cat, q, tpch.RunOptions{Engine: engine, Parallel: parallel}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T1: TPC-H power run per engine (paper §I-C audited results) ---
+
+func BenchmarkT1TPCHPowerVectorized(b *testing.B) {
+	cat := benchCatalog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := tpch.PowerRun(cat, benchSF, tpch.RunOptions{Engine: tpch.EngineVectorized, Parallel: runtime.GOMAXPROCS(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(p.QphPower, "QphPower")
+	}
+}
+
+func BenchmarkT1TPCHPowerTuple(b *testing.B) {
+	cat := benchCatalog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := tpch.PowerRun(cat, benchSF, tpch.RunOptions{Engine: tpch.EngineTuple})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(p.QphPower, "QphPower")
+	}
+}
+
+func BenchmarkT1TPCHPowerMaterialized(b *testing.B) {
+	cat := benchCatalog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := tpch.PowerRun(cat, benchSF, tpch.RunOptions{Engine: tpch.EngineMaterialized})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(p.QphPower, "QphPower")
+	}
+}
+
+// --- C1: vectorized vs tuple-at-a-time per query (">10×" claim) ---
+
+func BenchmarkC1VectorizedQ1(b *testing.B) { runSuiteQuery(b, "Q1", tpch.EngineVectorized, 0) }
+func BenchmarkC1TupleQ1(b *testing.B)      { runSuiteQuery(b, "Q1", tpch.EngineTuple, 0) }
+func BenchmarkC1VectorizedQ6(b *testing.B) { runSuiteQuery(b, "Q6", tpch.EngineVectorized, 0) }
+func BenchmarkC1TupleQ6(b *testing.B)      { runSuiteQuery(b, "Q6", tpch.EngineTuple, 0) }
+
+// --- C2: vectorized vs full materialization (MonetDB claim) ---
+
+func BenchmarkC2VectorizedQ1(b *testing.B) { runSuiteQuery(b, "Q1", tpch.EngineVectorized, 0) }
+func BenchmarkC2MaterializedQ1(b *testing.B) {
+	cat := benchCatalog(b)
+	var q tpch.Query
+	for _, cand := range tpch.Suite() {
+		if cand.Name == "Q1" {
+			q = cand
+		}
+	}
+	matengine.ResetMatBytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tpch.RunQuery(cat, q, tpch.RunOptions{Engine: tpch.EngineMaterialized}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(matengine.MatBytes())/float64(b.N), "interm-bytes/op")
+}
+
+// --- F1: vector-size sweep (tuple ↔ vector ↔ materialize U-curve) ---
+
+func BenchmarkF1VectorSizeSweep(b *testing.B) {
+	cat := benchCatalog(b)
+	var q tpch.Query
+	for _, cand := range tpch.Suite() {
+		if cand.Name == "Q1" {
+			q = cand
+		}
+	}
+	for _, size := range []int{4, 16, 64, 256, 1024, 4096, 16384, 65536} {
+		b.Run(fmt.Sprintf("vecsize=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tpch.RunQuery(cat, q, tpch.RunOptions{Engine: tpch.EngineVectorized, VecSize: size}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T2: compression codecs (PFOR paper ref [2]) ---
+
+func benchI64Data() []int64 {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]int64, 64*1024)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(4096)) // small domain, PFOR-friendly
+	}
+	return vals
+}
+
+func BenchmarkT2CompressPFOR(b *testing.B) {
+	vals := benchI64Data()
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.CompressI64(vals, compress.CodecPFOR); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT2DecompressPFOR(b *testing.B) {
+	vals := benchI64Data()
+	data, _ := compress.CompressI64(vals, compress.CodecPFOR)
+	buf := make([]int64, len(vals))
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.DecompressI64(buf, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(vals)*8)/float64(len(data)), "ratio")
+}
+
+func BenchmarkT2DecompressPFORDelta(b *testing.B) {
+	vals := make([]int64, 64*1024)
+	for i := range vals {
+		vals[i] = int64(i) * 3
+	}
+	data, _ := compress.CompressI64(vals, compress.CodecPFORDelta)
+	buf := make([]int64, len(vals))
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.DecompressI64(buf, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(vals)*8)/float64(len(data)), "ratio")
+}
+
+func BenchmarkT2DecompressRLE(b *testing.B) {
+	vals := make([]int64, 64*1024)
+	for i := range vals {
+		vals[i] = int64(i / 512)
+	}
+	data, _ := compress.CompressI64(vals, compress.CodecRLE)
+	buf := make([]int64, len(vals))
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.DecompressI64(buf, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(vals)*8)/float64(len(data)), "ratio")
+}
+
+func BenchmarkT2DecompressDict(b *testing.B) {
+	words := []string{"RAIL", "AIR", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}
+	vals := make([]string, 64*1024)
+	for i := range vals {
+		vals[i] = words[i%len(words)]
+	}
+	data, _ := compress.CompressStr(vals, compress.CodecDict)
+	buf := make([]string, len(vals))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.DecompressStr(buf, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT2DecompressPlainI64(b *testing.B) {
+	vals := benchI64Data()
+	data, _ := compress.CompressI64(vals, compress.CodecPlainI64)
+	buf := make([]int64, len(vals))
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.DecompressI64(buf, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T3: PDT updates and merge overhead (paper ref [5]) ---
+
+func pdtBenchTable(b *testing.B, rows int) *storage.Table {
+	schema := vtypes.NewSchema(
+		vtypes.Column{Name: "k", Kind: vtypes.KindI64},
+		vtypes.Column{Name: "v", Kind: vtypes.KindF64},
+	)
+	bl := storage.NewBuilder("t", schema, 8192)
+	for i := 0; i < rows; i++ {
+		if err := bl.AppendRow(vtypes.Row{vtypes.I64Value(int64(i)), vtypes.F64Value(float64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	t, err := bl.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+func BenchmarkT3PDTUpdates(b *testing.B) {
+	tbl := pdtBenchTable(b, 100_000)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pdt.New(tbl.Schema(), tbl.Rows())
+		for k := 0; k < 10_000; k++ {
+			rid := rng.Int63n(p.VisibleRows())
+			switch k % 3 {
+			case 0:
+				if err := p.Insert(rid, vtypes.Row{vtypes.I64Value(int64(k)), vtypes.F64Value(1)}); err != nil {
+					b.Fatal(err)
+				}
+			case 1:
+				if err := p.Delete(rid); err != nil {
+					b.Fatal(err)
+				}
+			default:
+				if err := p.Modify(rid, 1, vtypes.F64Value(2)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(10_000*b.N)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// scanThrough drains a value-column-only scan merged with p. The query
+// needs only column v; the positional merge never touches the key
+// column — the PDT advantage the paper describes.
+func scanThrough(b *testing.B, tbl *storage.Table, p *pdt.PDT) {
+	layers := []*pdt.PDT(nil)
+	if p != nil {
+		layers = append(layers, p)
+	}
+	sc := core.NewScan(tbl, []int{1}, core.ScanOpts{Layers: layers})
+	n, err := core.Drain(sc)
+	if err != nil || n == 0 {
+		b.Fatalf("scan drained %d rows, err %v", n, err)
+	}
+}
+
+func BenchmarkT3ScanClean(b *testing.B) {
+	tbl := pdtBenchTable(b, 200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanThrough(b, tbl, nil)
+	}
+}
+
+func BenchmarkT3ScanWithPDTMerge(b *testing.B) {
+	tbl := pdtBenchTable(b, 200_000)
+	p := pdt.New(tbl.Schema(), tbl.Rows())
+	rng := rand.New(rand.NewSource(4))
+	for k := 0; k < 2000; k++ { // 1% of rows touched
+		if err := p.Modify(rng.Int63n(p.VisibleRows()), 1, vtypes.F64Value(9)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanThrough(b, tbl, p)
+	}
+}
+
+// BenchmarkT3ValueBasedMerge is the comparator the paper argues against:
+// a value-based delta store must scan the *key* column as well (even
+// though the query needs only v) and probe the delta map per tuple,
+// instead of positionally aligning runs.
+func BenchmarkT3ValueBasedMerge(b *testing.B) {
+	tbl := pdtBenchTable(b, 200_000)
+	rng := rand.New(rand.NewSource(4))
+	updates := make(map[int64]float64, 2000)
+	for k := 0; k < 2000; k++ {
+		updates[rng.Int63n(tbl.Rows())] = 9
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := storage.NewScanner(tbl, []int{0, 1}, nil, nil, 1024)
+		out := make([]float64, 1024)
+		var total int64
+		for {
+			vecs, _, n, err := sc.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			keys := vecs[0].I64
+			vals := vecs[1].F64
+			for r := 0; r < n; r++ {
+				v := vals[r]
+				if nv, ok := updates[keys[r]]; ok {
+					v = nv
+				}
+				out[r] = v
+				total++
+			}
+		}
+		if total == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// --- T4: cooperative scans vs normal scans (paper ref [4]) ---
+
+func coopBenchRun(b *testing.B, policy bufmgr.ScanPolicy) {
+	tbl := pdtBenchTable(b, 400_000)
+	b.ResetTimer()
+	var totalIO int64
+	for i := 0; i < b.N; i++ {
+		m := bufmgr.New(1<<20, nil) // cache ≈ 8 of ~49 groups (≪ table)
+		h1 := m.StartScan(tbl, []int{0, 1}, policy)
+		h2 := m.StartScan(tbl, []int{0, 1}, policy)
+		// Stagger: h1 leads by a third of the table.
+		for k := 0; k < tbl.Groups()/3; k++ {
+			if _, _, err := h1.NextGroup(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		d1, d2 := false, false
+		for !d1 || !d2 {
+			if !d1 {
+				_, ok, err := h1.NextGroup()
+				if err != nil {
+					b.Fatal(err)
+				}
+				d1 = !ok
+			}
+			if !d2 {
+				_, ok, err := h2.NextGroup()
+				if err != nil {
+					b.Fatal(err)
+				}
+				d2 = !ok
+			}
+		}
+		h1.Close()
+		h2.Close()
+		totalIO += m.Stats().IOChunks
+	}
+	b.ReportMetric(float64(totalIO)/float64(b.N), "chunk-loads/op")
+}
+
+func BenchmarkT4NormalScans(b *testing.B)      { coopBenchRun(b, bufmgr.PolicyNormal) }
+func BenchmarkT4CooperativeScans(b *testing.B) { coopBenchRun(b, bufmgr.PolicyCooperative) }
+
+// --- T5: NULL decomposition vs per-row null checking (§I-B) ---
+
+func nullBenchTable(b *testing.B) *storage.Table {
+	schema := vtypes.NewSchema(
+		vtypes.Column{Name: "k", Kind: vtypes.KindI64},
+		vtypes.Column{Name: "v", Kind: vtypes.KindI64, Nullable: true},
+	)
+	bl := storage.NewBuilder("nulls", schema, 8192)
+	for i := 0; i < 200_000; i++ {
+		v := vtypes.I64Value(int64(i % 1000))
+		if i%10 == 0 {
+			v = vtypes.NullValue(vtypes.KindI64)
+		}
+		if err := bl.AppendRow(vtypes.Row{vtypes.I64Value(int64(i)), v}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	t, err := bl.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// BenchmarkT5RewrittenNulls: the rewriter's decomposition — indicator
+// kernel then value kernel, both branch-free vector loops.
+func BenchmarkT5RewrittenNulls(b *testing.B) {
+	tbl := nullBenchTable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := storage.NewScanner(tbl, []int{1}, nil, nil, 1024)
+		var count int64
+		sel := make([]int32, 1024)
+		sel2 := make([]int32, 1024)
+		for {
+			vecs, _, n, err := sc.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			v := vecs[0]
+			// sel_isnotnull then sel_gt, chained.
+			k := 0
+			if v.Nulls != nil {
+				for r := 0; r < n; r++ {
+					if !v.Nulls[r] {
+						sel[k] = int32(r)
+						k++
+					}
+				}
+			} else {
+				for r := 0; r < n; r++ {
+					sel[r] = int32(r)
+				}
+				k = n
+			}
+			k2 := 0
+			for _, r := range sel[:k] {
+				if v.I64[r] > 500 {
+					sel2[k2] = r
+					k2++
+				}
+			}
+			count += int64(k2)
+		}
+		if count == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkT5NullAwareKernel: the design the rewrite avoids — one kernel
+// that checks the indicator per row inside the comparison loop.
+func BenchmarkT5NullAwareKernel(b *testing.B) {
+	tbl := nullBenchTable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := storage.NewScanner(tbl, []int{1}, nil, nil, 1024)
+		var count int64
+		for {
+			vecs, _, n, err := sc.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			v := vecs[0]
+			for r := 0; r < n; r++ {
+				var isNull bool
+				if v.Nulls != nil {
+					isNull = v.Nulls[r]
+				}
+				if !isNull && v.I64[r] > 500 {
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// --- T6: hot (cached) vs cold (throttled I/O) scans (§I-C RAM note) ---
+
+func BenchmarkT6HotScan(b *testing.B) {
+	tbl := pdtBenchTable(b, 200_000)
+	m := bufmgr.New(0, nil) // everything stays cached
+	// Warm the cache.
+	sc := core.NewScan(tbl, []int{0, 1}, core.ScanOpts{Fetch: m})
+	if _, err := core.Drain(sc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := core.NewScan(tbl, []int{0, 1}, core.ScanOpts{Fetch: m})
+		if _, err := core.Drain(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT6ColdScan(b *testing.B) {
+	tbl := pdtBenchTable(b, 200_000)
+	disk := &bufmgr.SimDisk{BytesPerSec: 64 << 20} // 64 MB/s disk
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := bufmgr.New(1, disk) // nothing stays cached
+		sc := core.NewScan(tbl, []int{0, 1}, core.ScanOpts{Fetch: m})
+		if _, err := core.Drain(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F2: multi-core scaling through the parallel rewriter ---
+
+func BenchmarkF2ParallelScaling(b *testing.B) {
+	maxw := runtime.GOMAXPROCS(0)
+	for w := 1; w <= maxw; w *= 2 {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runSuiteQuery(b, "Q1", tpch.EngineVectorized, w)
+		})
+	}
+}
+
+// --- end-to-end SQL sanity bench over the facade ---
+
+func BenchmarkSQLEndToEnd(b *testing.B) {
+	db := OpenMemory()
+	if _, err := db.Exec(`CREATE TABLE s (k BIGINT, v DOUBLE)`); err != nil {
+		b.Fatal(err)
+	}
+	for chunk := 0; chunk < 10; chunk++ {
+		stmt := "INSERT INTO s VALUES "
+		for i := 0; i < 500; i++ {
+			if i > 0 {
+				stmt += ","
+			}
+			stmt += fmt.Sprintf("(%d, %d.5)", chunk*500+i, i%100)
+		}
+		if _, err := db.Exec(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT k / 100 AS bucket, SUM(v) s, COUNT(*) n FROM s GROUP BY k / 100`); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = xcompile.Options{}
+}

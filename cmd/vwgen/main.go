@@ -1,0 +1,48 @@
+// Command vwgen generates a TPC-H database directory at a scale factor.
+//
+//	vwgen -sf 0.01 -out ./tpchdb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vectorwise/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor (1.0 = 6M lineitems)")
+	out := flag.String("out", "tpchdb", "output directory")
+	flag.Parse()
+
+	start := time.Now()
+	cat, err := tpch.Generate(*sf, 0)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	var total int64
+	for _, name := range cat.Names() {
+		t, _, err := cat.Resolve(name)
+		if err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*out, name+".vwt")
+		if err := t.Save(path); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-10s %10d rows  %10d bytes compressed\n", name, t.Rows(), t.DataSize())
+		total += t.DataSize()
+	}
+	fmt.Printf("done: SF %g in %v, %d bytes on disk\n", *sf, time.Since(start).Round(time.Millisecond), total)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vwgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command vwsql is an interactive shell (or one-shot executor) for a
+// vectorwise database directory.
+//
+//	vwsql -db ./mydb                       # REPL
+//	vwsql -db ./mydb -c "SELECT ..."       # one statement
+//	vwsql -db ./mydb -explain "SELECT .."  # show the optimized plan
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	vectorwise "vectorwise"
+)
+
+func main() {
+	dir := flag.String("db", "", "database directory (empty = in-memory)")
+	oneShot := flag.String("c", "", "execute one statement and exit")
+	explain := flag.String("explain", "", "explain a SELECT and exit")
+	flag.Parse()
+
+	var db *vectorwise.DB
+	var err error
+	if *dir == "" {
+		db = vectorwise.OpenMemory()
+	} else {
+		db, err = vectorwise.Open(*dir)
+		if err != nil {
+			fail(err)
+		}
+	}
+	defer db.Close()
+
+	if *explain != "" {
+		plan, err := db.Explain(*explain)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(plan)
+		return
+	}
+	if *oneShot != "" {
+		run(db, *oneShot)
+		return
+	}
+
+	fmt.Println("vectorwise shell — end statements with ; — \\q to quit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("vw> ")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "\\q" {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			run(db, buf.String())
+			buf.Reset()
+		}
+		fmt.Print("vw> ")
+	}
+}
+
+func run(db *vectorwise.DB, stmt string) {
+	up := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(up, "SELECT") {
+		res, err := db.Query(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, "\t"))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	n, err := db.Exec(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("OK (%d rows affected)\n", n)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vwsql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,487 @@
+// Package vectorwise is an embeddable analytical database engine that
+// reproduces the system described in "Vectorwise: a Vectorized
+// Analytical DBMS" (Zukowski, van de Wiel, Boncz — ICDE 2012): an
+// X100-style vectorized execution core over compressed PAX/DSM column
+// storage, with Positional-Delta-Tree transactions, a write-ahead log,
+// cooperative scans, a rule-based rewriter with Volcano-style multi-core
+// parallelism, and a SQL frontend with a histogram-fed planner and a
+// cross-compiler into the vectorized algebra.
+//
+// Quickstart:
+//
+//	db := vectorwise.OpenMemory()
+//	db.Exec(`CREATE TABLE t (k BIGINT, v DOUBLE)`)
+//	db.Exec(`INSERT INTO t VALUES (1, 2.5), (2, 4.0)`)
+//	res, _ := db.Query(`SELECT k, SUM(v) s FROM t GROUP BY k ORDER BY k`)
+//	for _, row := range res.Rows { fmt.Println(row) }
+package vectorwise
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"vectorwise/internal/algebra"
+	"vectorwise/internal/bufmgr"
+	"vectorwise/internal/catalog"
+	"vectorwise/internal/core"
+	"vectorwise/internal/pdt"
+	"vectorwise/internal/rewriter"
+	"vectorwise/internal/sql"
+	"vectorwise/internal/storage"
+	"vectorwise/internal/tupleengine"
+	"vectorwise/internal/txn"
+	"vectorwise/internal/vtypes"
+	"vectorwise/internal/wal"
+	"vectorwise/internal/xcompile"
+)
+
+// DB is a database instance. All methods are safe for use from a single
+// goroutine; concurrent queries should Begin explicit transactions or
+// use separate read-only calls (scans pin immutable snapshots).
+type DB struct {
+	cat *catalog.Catalog
+	txm *txn.Manager
+	buf *bufmgr.Manager
+	log *wal.Log
+	dir string
+	// Parallelism is the worker count the parallel rewriter targets for
+	// Query; defaults to GOMAXPROCS. Set to 1 to force serial plans.
+	Parallelism int
+}
+
+// Result is a query result set.
+type Result struct {
+	// Columns are the output column names.
+	Columns []string
+	// Rows are the boxed result rows.
+	Rows []vtypes.Row
+}
+
+// OpenMemory creates an in-memory database (no WAL durability).
+func OpenMemory() *DB {
+	return &DB{
+		cat:         catalog.New(),
+		txm:         txn.NewManager(nil),
+		buf:         bufmgr.New(0, nil),
+		Parallelism: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Open loads (or initializes) a database directory: one .vwt file per
+// table plus a write-ahead log replayed on open.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	log, recs, err := wal.Open(filepath.Join(dir, "vectorwise.wal"))
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		cat:         catalog.New(),
+		txm:         txn.NewManager(log),
+		buf:         bufmgr.New(0, nil),
+		log:         log,
+		dir:         dir,
+		Parallelism: runtime.GOMAXPROCS(0),
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.vwt"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		t, err := storage.Open(f)
+		if err != nil {
+			return nil, fmt.Errorf("vectorwise: load %s: %w", f, err)
+		}
+		db.cat.Put(t)
+		db.txm.Register(t)
+	}
+	if err := db.txm.Recover(recs); err != nil {
+		return nil, err
+	}
+	for _, name := range db.cat.Names() {
+		if err := db.refreshLayers(name); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Close releases the WAL handle.
+func (db *DB) Close() error {
+	if db.log != nil {
+		return db.log.Close()
+	}
+	return nil
+}
+
+// Catalog exposes the catalog (experiment harness hook).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// BufferManager exposes the buffer pool (experiment harness hook).
+func (db *DB) BufferManager() *bufmgr.Manager { return db.buf }
+
+// refreshLayers publishes the committed master PDT into the catalog so
+// scans merge it.
+func (db *DB) refreshLayers(table string) error {
+	master, stable, err := db.txm.MasterPDT(table)
+	if err != nil {
+		return err
+	}
+	_ = stable
+	if master.Empty() {
+		return db.cat.SetLayers(table, nil)
+	}
+	return db.cat.SetLayers(table, []*pdt.PDT{master})
+}
+
+// RegisterTable adds a pre-built table (bulk loads, TPC-H generator).
+func (db *DB) RegisterTable(t *storage.Table) {
+	db.cat.Put(t)
+	db.txm.Register(t)
+}
+
+// Exec runs a DDL/DML statement and returns the affected row count.
+func (db *DB) Exec(sqlText string) (int64, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return 0, err
+	}
+	switch s := stmt.(type) {
+	case *sql.CreateStmt:
+		return 0, db.execCreate(s)
+	case *sql.InsertStmt:
+		return db.execInsert(s)
+	case *sql.UpdateStmt:
+		return db.execUpdate(s)
+	case *sql.DeleteStmt:
+		return db.execDelete(s)
+	case *sql.SelectStmt:
+		return 0, fmt.Errorf("vectorwise: use Query for SELECT")
+	case *sql.TxStmt:
+		return 0, fmt.Errorf("vectorwise: explicit transactions use Begin()")
+	default:
+		return 0, fmt.Errorf("vectorwise: unsupported statement %T", stmt)
+	}
+}
+
+// Query runs a SELECT through the full stack: parse → plan → simplify →
+// parallelize → cross-compile → vectorized execution.
+func (db *DB) Query(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("vectorwise: Query requires SELECT")
+	}
+	planner := &sql.Planner{Cat: db.cat}
+	plan, err := planner.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	plan = rewriter.SimplifyPlan(plan)
+	ordered := len(sel.OrderBy) > 0
+	if db.Parallelism > 1 && !ordered {
+		plan = rewriter.Parallelize(plan, db.cat, db.Parallelism)
+	} else if db.Parallelism > 1 {
+		// Sorted plans parallelize beneath the sort.
+		plan = rewriter.Parallelize(plan, db.cat, db.Parallelism)
+	}
+	return db.runPlan(plan)
+}
+
+// Explain returns the optimized plan tree of a SELECT.
+func (db *DB) Explain(sqlText string) (string, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("vectorwise: Explain requires SELECT")
+	}
+	planner := &sql.Planner{Cat: db.cat}
+	plan, err := planner.PlanSelect(sel)
+	if err != nil {
+		return "", err
+	}
+	plan = rewriter.SimplifyPlan(plan)
+	if db.Parallelism > 1 {
+		plan = rewriter.Parallelize(plan, db.cat, db.Parallelism)
+	}
+	return algebra.Explain(plan), nil
+}
+
+// runPlan executes an algebra plan on the vectorized engine.
+func (db *DB) runPlan(plan algebra.Node) (*Result, error) {
+	op, err := xcompile.Compile(plan, db.cat, xcompile.Options{Fetch: db.buf})
+	if err != nil {
+		return nil, err
+	}
+	rows, err := core.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	schema := plan.Schema()
+	cols := make([]string, schema.Len())
+	for i := range cols {
+		cols[i] = schema.Col(i).Name
+	}
+	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+func (db *DB) execCreate(s *sql.CreateStmt) error {
+	if _, err := db.cat.Get(s.Table); err == nil {
+		return fmt.Errorf("vectorwise: table %q already exists", s.Table)
+	}
+	var cols []vtypes.Column
+	for _, c := range s.Cols {
+		var k vtypes.Kind
+		switch c.Type {
+		case "BIGINT":
+			k = vtypes.KindI64
+		case "DOUBLE":
+			k = vtypes.KindF64
+		case "VARCHAR":
+			k = vtypes.KindStr
+		case "BOOLEAN":
+			k = vtypes.KindBool
+		case "DATE":
+			k = vtypes.KindDate
+		default:
+			return fmt.Errorf("vectorwise: unsupported type %q", c.Type)
+		}
+		cols = append(cols, vtypes.Column{Name: strings.ToLower(c.Name), Kind: k, Nullable: c.Nullable})
+	}
+	b := storage.NewBuilder(s.Table, &vtypes.Schema{Cols: cols}, 0)
+	t, err := b.Finish()
+	if err != nil {
+		return err
+	}
+	db.RegisterTable(t)
+	return db.persistTable(s.Table)
+}
+
+func (db *DB) execInsert(s *sql.InsertStmt) (int64, error) {
+	ent, err := db.cat.Get(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	schema := ent.Table.Schema()
+	tx := db.txm.Begin()
+	planner := &sql.Planner{Cat: db.cat}
+	_ = planner
+	for _, rowExprs := range s.Rows {
+		if len(rowExprs) != schema.Len() {
+			tx.Abort()
+			return 0, fmt.Errorf("vectorwise: INSERT arity %d != %d", len(rowExprs), schema.Len())
+		}
+		row := make(vtypes.Row, schema.Len())
+		for c, e := range rowExprs {
+			v, err := literalValue(e, schema.Col(c).Kind)
+			if err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			row[c] = v
+		}
+		if err := tx.Insert(s.Table, row); err != nil {
+			tx.Abort()
+			return 0, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	if err := db.refreshLayers(s.Table); err != nil {
+		return 0, err
+	}
+	return int64(len(s.Rows)), nil
+}
+
+// literalValue evaluates a literal-only AST expression to a value of the
+// wanted kind.
+func literalValue(e sql.Expr, want vtypes.Kind) (vtypes.Value, error) {
+	planner := &sql.Planner{}
+	lo, err := planner.LowerLiteral(e, want)
+	if err != nil {
+		return vtypes.Value{}, err
+	}
+	return lo, nil
+}
+
+// matchingRIDs scans a table in a transaction and returns the RIDs whose
+// rows satisfy pred (nil = all).
+func (db *DB) matchingRIDs(tx *txn.Txn, table string, pred algebra.Scalar) ([]int64, error) {
+	src, schema, err := tx.Scan(table, 0)
+	if err != nil {
+		return nil, err
+	}
+	_ = schema
+	var rids []int64
+	var rid int64
+	for {
+		cols, n, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return rids, nil
+		}
+		for i := 0; i < n; i++ {
+			if pred == nil {
+				rids = append(rids, rid)
+				rid++
+				continue
+			}
+			row := make(vtypes.Row, len(cols))
+			for c, v := range cols {
+				row[c] = v.Get(i)
+			}
+			v, err := tupleengine.EvalRow(pred, row)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Null && v.B {
+				rids = append(rids, rid)
+			}
+			rid++
+		}
+	}
+}
+
+func (db *DB) execUpdate(s *sql.UpdateStmt) (int64, error) {
+	ent, err := db.cat.Get(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	schema := ent.Table.Schema()
+	planner := &sql.Planner{Cat: db.cat}
+	var pred algebra.Scalar
+	if s.Where != nil {
+		pred, err = planner.LowerOnTable(s.Where, schema)
+		if err != nil {
+			return 0, err
+		}
+	}
+	tx := db.txm.Begin()
+	rids, err := db.matchingRIDs(tx, s.Table, pred)
+	if err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	for _, rid := range rids {
+		for _, colName := range s.SetOrder {
+			ci := schema.ColIndex(colName)
+			if ci < 0 {
+				tx.Abort()
+				return 0, fmt.Errorf("vectorwise: unknown column %q", colName)
+			}
+			// SET expressions may reference the current row.
+			valExpr, err := planner.LowerOnTable(s.Set[colName], schema)
+			if err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			row, err := tx.RowAt(s.Table, rid)
+			if err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			v, err := tupleengine.EvalRow(valExpr, row)
+			if err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			v.Kind = schema.Col(ci).Kind
+			if err := tx.Update(s.Table, rid, ci, v); err != nil {
+				tx.Abort()
+				return 0, err
+			}
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	if err := db.refreshLayers(s.Table); err != nil {
+		return 0, err
+	}
+	return int64(len(rids)), nil
+}
+
+func (db *DB) execDelete(s *sql.DeleteStmt) (int64, error) {
+	ent, err := db.cat.Get(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	schema := ent.Table.Schema()
+	planner := &sql.Planner{Cat: db.cat}
+	var pred algebra.Scalar
+	if s.Where != nil {
+		pred, err = planner.LowerOnTable(s.Where, schema)
+		if err != nil {
+			return 0, err
+		}
+	}
+	tx := db.txm.Begin()
+	rids, err := db.matchingRIDs(tx, s.Table, pred)
+	if err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	// Delete back to front so earlier RIDs stay valid.
+	for i := len(rids) - 1; i >= 0; i-- {
+		if err := tx.Delete(s.Table, rids[i]); err != nil {
+			tx.Abort()
+			return 0, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	if err := db.refreshLayers(s.Table); err != nil {
+		return 0, err
+	}
+	return int64(len(rids)), nil
+}
+
+// Checkpoint folds a table's committed deltas into a fresh stable image,
+// persists it (when the DB is disk-backed) and resets the WAL.
+func (db *DB) Checkpoint(table string) error {
+	if err := db.txm.Checkpoint(table); err != nil {
+		return err
+	}
+	_, stable, err := db.txm.MasterPDT(table)
+	if err != nil {
+		return err
+	}
+	db.cat.Put(stable)
+	db.txm.Register(stable)
+	if err := db.refreshLayers(table); err != nil {
+		return err
+	}
+	return db.persistTable(table)
+}
+
+// persistTable writes a table file when disk-backed.
+func (db *DB) persistTable(table string) error {
+	if db.dir == "" {
+		return nil
+	}
+	ent, err := db.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	return ent.Table.Save(filepath.Join(db.dir, table+".vwt"))
+}
+
+// Analyze refreshes optimizer statistics for all tables.
+func (db *DB) Analyze() error { return db.cat.AnalyzeAll() }

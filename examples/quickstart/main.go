@@ -1,0 +1,50 @@
+// Quickstart: create a table, load rows, run an analytical query through
+// the full stack (SQL → planner → rewriter → cross-compiler → vectorized
+// engine).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vectorwise "vectorwise"
+)
+
+func main() {
+	db := vectorwise.OpenMemory()
+
+	if _, err := db.Exec(`CREATE TABLE trips (
+		city VARCHAR, distance_km DOUBLE, fare DOUBLE, day DATE)`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO trips VALUES
+		('amsterdam', 3.2, 12.50, DATE '2011-03-01'),
+		('amsterdam', 8.9, 31.00, DATE '2011-03-01'),
+		('rotterdam', 2.1,  9.75, DATE '2011-03-02'),
+		('amsterdam', 1.2,  6.25, DATE '2011-03-02'),
+		('rotterdam', 7.7, 28.40, DATE '2011-03-03')`); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Query(`
+		SELECT city, COUNT(*) trips, SUM(fare) revenue, AVG(distance_km) avg_km
+		FROM trips
+		WHERE day BETWEEN DATE '2011-03-01' AND DATE '2011-03-02'
+		GROUP BY city
+		ORDER BY revenue DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("city        trips  revenue  avg_km")
+	for _, row := range res.Rows {
+		fmt.Printf("%-10s %6s %8s %7.2f\n", row[0], row[1], row[2], row[3].F64)
+	}
+
+	plan, err := db.Explain(`SELECT city, SUM(fare) FROM trips GROUP BY city`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimized plan (note the parallel exchange):")
+	fmt.Print(plan)
+}

@@ -1,0 +1,116 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"vectorwise/internal/vtypes"
+)
+
+func c(i int, k vtypes.Kind) Scalar { return &ColRef{Idx: i, K: k} }
+
+func TestArithKindInference(t *testing.T) {
+	// int + int = int
+	a, err := NewArith(OpAdd, c(0, vtypes.KindI64), c(1, vtypes.KindI64))
+	if err != nil || a.Kind() != vtypes.KindI64 {
+		t.Fatalf("int+int: %v %v", a, err)
+	}
+	// int * float widens
+	a, err = NewArith(OpMul, c(0, vtypes.KindI64), c(1, vtypes.KindF64))
+	if err != nil || a.Kind() != vtypes.KindF64 {
+		t.Fatalf("int*float: %v %v", a, err)
+	}
+	// date - date = int (day difference)
+	a, err = NewArith(OpSub, c(0, vtypes.KindDate), c(1, vtypes.KindDate))
+	if err != nil || a.Kind() != vtypes.KindI64 {
+		t.Fatalf("date-date: %v %v", a, err)
+	}
+	// date + int = date
+	a, err = NewArith(OpAdd, c(0, vtypes.KindDate), c(1, vtypes.KindI64))
+	if err != nil || a.Kind() != vtypes.KindDate {
+		t.Fatalf("date+int: %v %v", a, err)
+	}
+	// string arithmetic is ill-typed
+	if _, err := NewArith(OpAdd, c(0, vtypes.KindStr), c(1, vtypes.KindI64)); err == nil {
+		t.Fatal("string arithmetic must fail")
+	}
+}
+
+func TestCaseKindInference(t *testing.T) {
+	cond := &Cmp{Op: CmpEq, L: c(0, vtypes.KindI64), R: &Lit{Val: vtypes.I64Value(1)}}
+	cs, err := NewCase(cond, c(1, vtypes.KindI64), c(2, vtypes.KindF64))
+	if err != nil || cs.Kind() != vtypes.KindF64 {
+		t.Fatalf("mixed case: %v %v", cs, err)
+	}
+	if _, err := NewCase(c(0, vtypes.KindI64), c(1, vtypes.KindI64), c(2, vtypes.KindI64)); err == nil {
+		t.Fatal("non-bool condition must fail")
+	}
+	if _, err := NewCase(cond, c(1, vtypes.KindStr), c(2, vtypes.KindI64)); err == nil {
+		t.Fatal("incompatible arms must fail")
+	}
+}
+
+func TestNodeSchemas(t *testing.T) {
+	scan := &ScanNode{Table: "t", Cols: []int{0, 1},
+		Out: vtypes.NewSchema(
+			vtypes.Column{Name: "a", Kind: vtypes.KindI64},
+			vtypes.Column{Name: "b", Kind: vtypes.KindStr})}
+	sel := &SelectNode{Input: scan, Pred: &Cmp{Op: CmpEq, L: c(0, vtypes.KindI64), R: &Lit{Val: vtypes.I64Value(1)}}}
+	if sel.Schema().Len() != 2 {
+		t.Fatal("select schema passes through")
+	}
+	proj := &ProjectNode{Input: sel, Exprs: []Scalar{c(1, vtypes.KindStr)}, Names: []string{"x"}}
+	if proj.Schema().Col(0).Name != "x" || proj.Schema().Col(0).Kind != vtypes.KindStr {
+		t.Fatal("project schema wrong")
+	}
+	agg := &AggNode{Input: scan, GroupBy: []Scalar{c(1, vtypes.KindStr)},
+		Aggs: []AggExpr{{Fn: AggSum, Arg: c(0, vtypes.KindI64)}, {Fn: AggAvg, Arg: c(0, vtypes.KindI64)}, {Fn: AggCountStar}},
+		Names: []string{"g", "s", "a", "n"}}
+	sch := agg.Schema()
+	if sch.Col(1).Kind != vtypes.KindI64 || sch.Col(2).Kind != vtypes.KindF64 || sch.Col(3).Kind != vtypes.KindI64 {
+		t.Fatalf("agg schema kinds: %v", sch)
+	}
+	join := &JoinNode{Left: scan, Right: scan,
+		LeftKeys: []Scalar{c(0, vtypes.KindI64)}, RightKeys: []Scalar{c(0, vtypes.KindI64)},
+		Type: JoinLeftOuter}
+	js := join.Schema()
+	if js.Len() != 4 || !js.Col(2).Nullable {
+		t.Fatalf("outer join schema: %v", js)
+	}
+	semi := &JoinNode{Left: scan, Right: scan,
+		LeftKeys: []Scalar{c(0, vtypes.KindI64)}, RightKeys: []Scalar{c(0, vtypes.KindI64)},
+		Type: JoinLeftSemi}
+	if semi.Schema().Len() != 2 {
+		t.Fatal("semi join must project probe side only")
+	}
+}
+
+func TestExplainRendersTree(t *testing.T) {
+	scan := &ScanNode{Table: "t", Cols: []int{0},
+		Out: vtypes.NewSchema(vtypes.Column{Name: "a", Kind: vtypes.KindI64})}
+	scan2 := &ScanNode{Table: "t", Cols: []int{0}, PartLo: 1, PartHi: 3,
+		Out: scan.Out}
+	plan := &LimitNode{N: 5, Input: &SortNode{
+		Keys:  []SortKey{{Expr: c(0, vtypes.KindI64)}},
+		Input: &UnionAllNode{Inputs: []Node{scan, scan2}},
+	}}
+	out := Explain(plan)
+	for _, want := range []string{"Limit 5", "Sort keys=1", "XchgUnion width=2", "Scan t", "part=[1,3)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Scalars render readably.
+	s := (&And{Preds: []Scalar{
+		&Cmp{Op: CmpLe, L: c(0, vtypes.KindI64), R: &Lit{Val: vtypes.I64Value(9)}},
+		&Like{In: c(1, vtypes.KindStr), Pattern: "a%"},
+		&Between{In: c(0, vtypes.KindI64), Lo: vtypes.I64Value(1), Hi: vtypes.I64Value(2)},
+		&In{In: c(0, vtypes.KindI64), List: []vtypes.Value{vtypes.I64Value(3)}},
+		&Not{In: &IsNull{In: c(0, vtypes.KindI64)}},
+	}}).String()
+	for _, want := range []string{"#0 <= 9", "like", "between", "in [3]", "is null"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("scalar render missing %q: %s", want, s)
+		}
+	}
+}

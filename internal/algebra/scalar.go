@@ -1,0 +1,244 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"vectorwise/internal/vtypes"
+)
+
+// Scalar is an engine-neutral scalar expression with a resolved kind.
+type Scalar interface {
+	Kind() vtypes.Kind
+	String() string
+}
+
+// ColRef references an input column by position.
+type ColRef struct {
+	Idx int
+	K   vtypes.Kind
+}
+
+// Kind implements Scalar.
+func (c *ColRef) Kind() vtypes.Kind { return c.K }
+func (c *ColRef) String() string    { return fmt.Sprintf("#%d", c.Idx) }
+
+// Lit is a literal.
+type Lit struct{ Val vtypes.Value }
+
+// Kind implements Scalar.
+func (l *Lit) Kind() vtypes.Kind { return l.Val.Kind }
+func (l *Lit) String() string    { return l.Val.String() }
+
+// ArithOp mirrors expr.ArithOp.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (o ArithOp) String() string { return [...]string{"+", "-", "*", "/"}[o] }
+
+// Arith is binary arithmetic; K is resolved at construction.
+type Arith struct {
+	Op   ArithOp
+	L, R Scalar
+	K    vtypes.Kind
+}
+
+// NewArith infers the result kind with the same widening rules as the
+// vectorized expression compiler.
+func NewArith(op ArithOp, l, r Scalar) (*Arith, error) {
+	lk, rk := l.Kind(), r.Kind()
+	var k vtypes.Kind
+	switch {
+	case lk == vtypes.KindDate && rk == vtypes.KindDate && op == OpSub:
+		k = vtypes.KindI64
+	case lk == vtypes.KindDate && rk.StorageClass() == vtypes.ClassI64:
+		k = vtypes.KindDate
+	case lk == vtypes.KindF64 || rk == vtypes.KindF64:
+		if !lk.Numeric() && lk != vtypes.KindDate || !rk.Numeric() && rk != vtypes.KindDate {
+			return nil, fmt.Errorf("algebra: %v %v %v ill-typed", lk, op, rk)
+		}
+		k = vtypes.KindF64
+	case lk.StorageClass() == vtypes.ClassI64 && rk.StorageClass() == vtypes.ClassI64:
+		k = vtypes.KindI64
+	default:
+		return nil, fmt.Errorf("algebra: %v %v %v ill-typed", lk, op, rk)
+	}
+	return &Arith{Op: op, L: l, R: r, K: k}, nil
+}
+
+// Kind implements Scalar.
+func (a *Arith) Kind() vtypes.Kind { return a.K }
+func (a *Arith) String() string    { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// CmpOp mirrors expr.CmpOp.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (o CmpOp) String() string { return [...]string{"=", "<>", "<", "<=", ">", ">="}[o] }
+
+// Cmp is a boolean comparison.
+type Cmp struct {
+	Op   CmpOp
+	L, R Scalar
+}
+
+// Kind implements Scalar.
+func (c *Cmp) Kind() vtypes.Kind { return vtypes.KindBool }
+func (c *Cmp) String() string    { return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R) }
+
+// Between is lo <= e <= hi over literals.
+type Between struct {
+	In     Scalar
+	Lo, Hi vtypes.Value
+}
+
+// Kind implements Scalar.
+func (b *Between) Kind() vtypes.Kind { return vtypes.KindBool }
+func (b *Between) String() string {
+	return fmt.Sprintf("(%s between %s and %s)", b.In, b.Lo, b.Hi)
+}
+
+// Like is a SQL LIKE match.
+type Like struct {
+	In      Scalar
+	Pattern string
+	Negate  bool
+}
+
+// Kind implements Scalar.
+func (l *Like) Kind() vtypes.Kind { return vtypes.KindBool }
+func (l *Like) String() string {
+	n := ""
+	if l.Negate {
+		n = " not"
+	}
+	return fmt.Sprintf("(%s%s like %q)", l.In, n, l.Pattern)
+}
+
+// In is membership in a literal list.
+type In struct {
+	In   Scalar
+	List []vtypes.Value
+}
+
+// Kind implements Scalar.
+func (i *In) Kind() vtypes.Kind { return vtypes.KindBool }
+func (i *In) String() string {
+	var parts []string
+	for _, v := range i.List {
+		parts = append(parts, v.String())
+	}
+	return fmt.Sprintf("(%s in [%s])", i.In, strings.Join(parts, ","))
+}
+
+// And is a conjunction.
+type And struct{ Preds []Scalar }
+
+// Kind implements Scalar.
+func (a *And) Kind() vtypes.Kind { return vtypes.KindBool }
+func (a *And) String() string {
+	var parts []string
+	for _, p := range a.Preds {
+		parts = append(parts, p.String())
+	}
+	return "(" + strings.Join(parts, " and ") + ")"
+}
+
+// Or is a disjunction.
+type Or struct{ Preds []Scalar }
+
+// Kind implements Scalar.
+func (o *Or) Kind() vtypes.Kind { return vtypes.KindBool }
+func (o *Or) String() string {
+	var parts []string
+	for _, p := range o.Preds {
+		parts = append(parts, p.String())
+	}
+	return "(" + strings.Join(parts, " or ") + ")"
+}
+
+// Not negates a boolean scalar.
+type Not struct{ In Scalar }
+
+// Kind implements Scalar.
+func (n *Not) Kind() vtypes.Kind { return vtypes.KindBool }
+func (n *Not) String() string    { return fmt.Sprintf("(not %s)", n.In) }
+
+// Case is CASE WHEN cond THEN a ELSE b END.
+type Case struct {
+	Cond, Then, Else Scalar
+	K                vtypes.Kind
+}
+
+// NewCase resolves the arm kind (mixed numerics widen to float).
+func NewCase(cond, then, el Scalar) (*Case, error) {
+	if cond.Kind() != vtypes.KindBool {
+		return nil, fmt.Errorf("algebra: CASE condition must be boolean")
+	}
+	k := then.Kind()
+	if then.Kind() != el.Kind() {
+		if then.Kind().Numeric() && el.Kind().Numeric() {
+			k = vtypes.KindF64
+		} else {
+			return nil, fmt.Errorf("algebra: CASE arms disagree: %v vs %v", then.Kind(), el.Kind())
+		}
+	}
+	return &Case{Cond: cond, Then: then, Else: el, K: k}, nil
+}
+
+// Kind implements Scalar.
+func (c *Case) Kind() vtypes.Kind { return c.K }
+func (c *Case) String() string {
+	return fmt.Sprintf("(case when %s then %s else %s end)", c.Cond, c.Then, c.Else)
+}
+
+// YearOf extracts the year of a date.
+type YearOf struct{ In Scalar }
+
+// Kind implements Scalar.
+func (y *YearOf) Kind() vtypes.Kind { return vtypes.KindI64 }
+func (y *YearOf) String() string    { return fmt.Sprintf("year(%s)", y.In) }
+
+// IsNull tests the NULL indicator of a nullable column. The rewriter's
+// NULL decomposition replaces it with a reference to the indicator
+// column before execution; engines that see it un-rewritten evaluate it
+// via boxed values (the slow path experiment T5 measures).
+type IsNull struct {
+	In     Scalar
+	Negate bool
+}
+
+// Kind implements Scalar.
+func (i *IsNull) Kind() vtypes.Kind { return vtypes.KindBool }
+func (i *IsNull) String() string {
+	if i.Negate {
+		return fmt.Sprintf("(%s is not null)", i.In)
+	}
+	return fmt.Sprintf("(%s is null)", i.In)
+}
+
+// Cast converts numeric storage classes.
+type Cast struct {
+	In Scalar
+	To vtypes.Kind
+}
+
+// Kind implements Scalar.
+func (c *Cast) Kind() vtypes.Kind { return c.To }
+func (c *Cast) String() string    { return fmt.Sprintf("cast(%s as %s)", c.In, c.To) }

@@ -1,0 +1,230 @@
+// Package bufmgr implements the buffer management layer, including the
+// Cooperative Scans design of paper ref [4]: instead of every concurrent
+// scan independently dragging the table through an LRU buffer pool, an
+// Active Buffer Manager (ABM) tracks which row groups each registered
+// scan still needs, serves cached groups to every scan that wants them,
+// and chooses the next group to load by *relevance* — how many waiting
+// scans it satisfies. Under bandwidth pressure this turns N concurrent
+// table scans from N full table reads into roughly one.
+//
+// The unit of caching and I/O accounting is a decompressed column chunk
+// (row group × column). A synthetic disk with an optional bandwidth
+// throttle stands in for the paper's RAID subsystem (see DESIGN.md
+// substitution table) so the bandwidth-bound regime is reproducible.
+package bufmgr
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"vectorwise/internal/storage"
+	"vectorwise/internal/vector"
+)
+
+// Disk models the I/O path that materializes a decompressed column chunk.
+type Disk interface {
+	// ReadColumn decodes (group, col) of t and reports the compressed
+	// bytes transferred.
+	ReadColumn(t *storage.Table, group, col int) (*vector.Vector, int64, error)
+}
+
+// SimDisk decodes chunks from the in-memory table image, optionally
+// throttled to BytesPerSec to emulate a bandwidth-bound disk subsystem.
+type SimDisk struct {
+	// BytesPerSec caps simulated transfer rate; 0 means unthrottled.
+	BytesPerSec int64
+
+	mu   sync.Mutex
+	next time.Time
+}
+
+// ReadColumn implements Disk.
+func (d *SimDisk) ReadColumn(t *storage.Table, group, col int) (*vector.Vector, int64, error) {
+	raw := int64(len(t.RawChunk(group, col)))
+	if n := t.RawNullChunk(group, col); n != nil {
+		raw += int64(len(n))
+	}
+	if d.BytesPerSec > 0 {
+		dur := time.Duration(float64(raw) / float64(d.BytesPerSec) * float64(time.Second))
+		d.mu.Lock()
+		now := time.Now()
+		if d.next.Before(now) {
+			d.next = now
+		}
+		wait := d.next.Sub(now)
+		d.next = d.next.Add(dur)
+		d.mu.Unlock()
+		if wait+dur > 0 {
+			time.Sleep(wait + dur)
+		}
+	}
+	v, err := t.DecodeChunk(group, col)
+	return v, raw, err
+}
+
+// Stats counts buffer manager activity; all fields are cumulative.
+type Stats struct {
+	// IOBytes is the total compressed bytes read from the disk layer.
+	IOBytes int64
+	// IOChunks is the number of chunk loads that went to disk.
+	IOChunks int64
+	// Hits is the number of chunk requests served from cache.
+	Hits int64
+	// Evictions counts cache evictions.
+	Evictions int64
+}
+
+type chunkKey struct {
+	t     *storage.Table
+	group int
+	col   int
+}
+
+type cacheEntry struct {
+	key  chunkKey
+	vec  *vector.Vector
+	size int64
+	elem *list.Element
+}
+
+// Manager is a byte-capacity LRU buffer pool over decompressed column
+// chunks, shared by all scans of a process. It implements
+// storage.ChunkFetcher so the core engine's scans go through it.
+type Manager struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	cache    map[chunkKey]*cacheEntry
+	lru      *list.List // front = most recent
+	disk     Disk
+	stats    Stats
+
+	scans map[*storage.Table]*abmTable
+}
+
+// New creates a Manager with the given cache capacity in bytes of
+// decompressed chunk payload (capacity <= 0 means effectively unbounded).
+func New(capacity int64, disk Disk) *Manager {
+	if disk == nil {
+		disk = &SimDisk{}
+	}
+	if capacity <= 0 {
+		capacity = 1 << 62
+	}
+	return &Manager{
+		capacity: capacity,
+		cache:    make(map[chunkKey]*cacheEntry),
+		lru:      list.New(),
+		disk:     disk,
+		scans:    make(map[*storage.Table]*abmTable),
+	}
+}
+
+// Stats returns a snapshot of cumulative counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}
+
+// vectorBytes estimates the decompressed in-memory size of a chunk.
+func vectorBytes(v *vector.Vector) int64 {
+	n := int64(v.Len())
+	var per int64 = 8
+	if v.Str != nil {
+		per = 24 // string header; payload shared with decode buffer
+		for _, s := range v.Str {
+			per += 0
+			n += int64(len(s)) / max64(1, int64(len(v.Str)))
+		}
+	}
+	if v.B != nil {
+		per = 1
+	}
+	size := n * per
+	if v.Nulls != nil {
+		size += int64(len(v.Nulls))
+	}
+	return size
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FetchColumn implements storage.ChunkFetcher with LRU caching.
+func (m *Manager) FetchColumn(t *storage.Table, group, col int) (*vector.Vector, error) {
+	key := chunkKey{t, group, col}
+	m.mu.Lock()
+	if e, ok := m.cache[key]; ok {
+		m.lru.MoveToFront(e.elem)
+		m.stats.Hits++
+		v := e.vec
+		m.mu.Unlock()
+		return v, nil
+	}
+	m.mu.Unlock()
+
+	// Load outside the lock; a racing duplicate load is harmless.
+	v, raw, err := m.disk.ReadColumn(t, group, col)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.stats.IOBytes += raw
+	m.stats.IOChunks++
+	if _, ok := m.cache[key]; !ok {
+		m.insertLocked(key, v)
+	}
+	m.mu.Unlock()
+	return v, nil
+}
+
+// insertLocked adds an entry and evicts LRU entries over capacity.
+func (m *Manager) insertLocked(key chunkKey, v *vector.Vector) {
+	size := vectorBytes(v)
+	e := &cacheEntry{key: key, vec: v, size: size}
+	e.elem = m.lru.PushFront(e)
+	m.cache[key] = e
+	m.used += size
+	for m.used > m.capacity && m.lru.Len() > 1 {
+		back := m.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cacheEntry)
+		m.lru.Remove(back)
+		delete(m.cache, ev.key)
+		m.used -= ev.size
+		m.stats.Evictions++
+	}
+}
+
+// Contains reports whether a chunk is currently cached (test hook).
+func (m *Manager) Contains(t *storage.Table, group, col int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.cache[chunkKey{t, group, col}]
+	return ok
+}
+
+// CachedBytes returns the current cache occupancy.
+func (m *Manager) CachedBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+var errClosed = fmt.Errorf("bufmgr: scan already closed")

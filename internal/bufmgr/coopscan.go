@@ -1,0 +1,183 @@
+package bufmgr
+
+import (
+	"sync"
+
+	"vectorwise/internal/storage"
+	"vectorwise/internal/vector"
+)
+
+// ScanPolicy selects how concurrent table scans share the buffer pool.
+type ScanPolicy uint8
+
+// Scan policies.
+const (
+	// PolicyNormal is the classic approach: each scan walks the table in
+	// storage order through the shared LRU pool. Concurrent scans at
+	// different offsets thrash both cache and bandwidth.
+	PolicyNormal ScanPolicy = iota
+	// PolicyCooperative registers the scan with the ABM: scans may
+	// receive row groups out of order, cached groups are served to every
+	// scan that still needs them, and loads are ordered by relevance
+	// (number of waiting scans).
+	PolicyCooperative
+)
+
+// abmTable is the ABM bookkeeping for one table: which registered scan
+// still needs which row group.
+type abmTable struct {
+	mu    sync.Mutex
+	scans map[*ScanHandle]struct{}
+}
+
+// ScanHandle is an active registered scan.
+type ScanHandle struct {
+	m      *Manager
+	t      *storage.Table
+	cols   []int
+	policy ScanPolicy
+
+	needs  []bool // per row group
+	remain int
+	nextG  int // cursor for PolicyNormal
+	closed bool
+}
+
+// GroupResult is one row group delivered to a scan.
+type GroupResult struct {
+	// Group is the row-group index within the table.
+	Group int
+	// Pos is the global row position of the group's first row.
+	Pos int64
+	// Rows is the group's row count.
+	Rows int
+	// Vecs holds the requested columns, full-group length.
+	Vecs []*vector.Vector
+}
+
+// StartScan registers a scan over the given columns of t.
+func (m *Manager) StartScan(t *storage.Table, cols []int, policy ScanPolicy) *ScanHandle {
+	h := &ScanHandle{
+		m: m, t: t, cols: append([]int(nil), cols...), policy: policy,
+		needs: make([]bool, t.Groups()), remain: t.Groups(),
+	}
+	for i := range h.needs {
+		h.needs[i] = true
+	}
+	if policy == PolicyCooperative {
+		m.mu.Lock()
+		at := m.scans[t]
+		if at == nil {
+			at = &abmTable{scans: make(map[*ScanHandle]struct{})}
+			m.scans[t] = at
+		}
+		m.mu.Unlock()
+		at.mu.Lock()
+		at.scans[h] = struct{}{}
+		at.mu.Unlock()
+	}
+	return h
+}
+
+// Close deregisters the scan.
+func (h *ScanHandle) Close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	if h.policy == PolicyCooperative {
+		h.m.mu.Lock()
+		at := h.m.scans[h.t]
+		h.m.mu.Unlock()
+		if at != nil {
+			at.mu.Lock()
+			delete(at.scans, h)
+			at.mu.Unlock()
+		}
+	}
+}
+
+// NextGroup delivers the next row group under the scan's policy. The
+// second result is false when the scan has consumed every group.
+func (h *ScanHandle) NextGroup() (GroupResult, bool, error) {
+	if h.closed {
+		return GroupResult{}, false, errClosed
+	}
+	if h.remain == 0 {
+		return GroupResult{}, false, nil
+	}
+	var g int
+	switch h.policy {
+	case PolicyNormal:
+		g = h.nextG
+		h.nextG++
+	case PolicyCooperative:
+		g = h.chooseCooperative()
+	}
+	h.needs[g] = false
+	h.remain--
+	vecs := make([]*vector.Vector, len(h.cols))
+	for i, c := range h.cols {
+		v, err := h.m.FetchColumn(h.t, g, c)
+		if err != nil {
+			return GroupResult{}, false, err
+		}
+		vecs[i] = v
+	}
+	pos := int64(0)
+	for i := 0; i < g; i++ {
+		pos += int64(h.t.GroupRows(i))
+	}
+	return GroupResult{Group: g, Pos: pos, Rows: h.t.GroupRows(g), Vecs: vecs}, true, nil
+}
+
+// chooseCooperative picks the row group to deliver next:
+//
+//  1. any group this scan still needs that is fully cached (cheapest —
+//     pure sharing, no I/O);
+//  2. otherwise the needed group wanted by the most other active scans
+//     (maximum relevance: one load feeds many);
+//  3. ties break toward the lowest group index.
+func (h *ScanHandle) chooseCooperative() int {
+	h.m.mu.Lock()
+	at := h.m.scans[h.t]
+	cached := make([]bool, h.t.Groups())
+	for g := 0; g < h.t.Groups(); g++ {
+		all := true
+		for _, c := range h.cols {
+			if _, ok := h.m.cache[chunkKey{h.t, g, c}]; !ok {
+				all = false
+				break
+			}
+		}
+		cached[g] = all
+	}
+	h.m.mu.Unlock()
+
+	for g, need := range h.needs {
+		if need && cached[g] {
+			return g
+		}
+	}
+
+	// No cached group available: pick by relevance.
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	bestG, bestScore := -1, -1
+	for g, need := range h.needs {
+		if !need {
+			continue
+		}
+		score := 0
+		for other := range at.scans {
+			if other != h && g < len(other.needs) && other.needs[g] {
+				score++
+			}
+		}
+		if score > bestScore {
+			bestScore = score
+			bestG = g
+		}
+	}
+	return bestG
+}

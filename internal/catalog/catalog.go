@@ -1,0 +1,270 @@
+// Package catalog tracks the tables of a database instance: their
+// storage, their PDT layers (committed master deltas), and the
+// statistics the optimizer uses for cardinality estimation — standing in
+// for the Ingres catalog and its histogram machinery that Vectorwise
+// reuses (paper §I-B).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vectorwise/internal/pdt"
+	"vectorwise/internal/storage"
+	"vectorwise/internal/vtypes"
+)
+
+// Entry is one cataloged table.
+type Entry struct {
+	Table *storage.Table
+	// Layers are committed PDT layers, bottom first (nil when clean).
+	Layers []*pdt.PDT
+	// Stats are optimizer statistics (nil until analyzed).
+	Stats *TableStats
+}
+
+// Catalog is a concurrency-safe name → table map.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Entry
+}
+
+// New creates an empty catalog.
+func New() *Catalog { return &Catalog{tables: make(map[string]*Entry)} }
+
+// Put registers or replaces a table.
+func (c *Catalog) Put(t *storage.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[t.Meta.Name] = &Entry{Table: t}
+}
+
+// Get returns the entry for name.
+func (c *Catalog) Get(name string) (*Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return e, nil
+}
+
+// SetLayers installs the committed PDT layers for a table.
+func (c *Catalog) SetLayers(name string, layers []*pdt.PDT) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("catalog: unknown table %q", name)
+	}
+	e.Layers = layers
+	return nil
+}
+
+// Names lists cataloged tables in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve returns the storage and PDT layers of a table (the engines'
+// entry point).
+func (c *Catalog) Resolve(name string) (*storage.Table, []*pdt.PDT, error) {
+	e, err := c.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Table, e.Layers, nil
+}
+
+// histBuckets is the equi-width histogram resolution.
+const histBuckets = 32
+
+// ColStats summarizes one column for the optimizer.
+type ColStats struct {
+	Kind      vtypes.Kind
+	MinI64    int64
+	MaxI64    int64
+	MinF64    float64
+	MaxF64    float64
+	NDistinct int64
+	// Hist is an equi-width histogram over [min,max] for numeric and
+	// date columns (row counts per bucket).
+	Hist []int64
+}
+
+// TableStats summarizes a table.
+type TableStats struct {
+	Rows int64
+	Cols []ColStats
+}
+
+// Analyze builds statistics by scanning the stable table image. PDT
+// deltas are ignored (statistics are approximate by nature; the product
+// refreshes them on checkpoint).
+func Analyze(t *storage.Table) (*TableStats, error) {
+	schema := t.Schema()
+	ts := &TableStats{Rows: t.Rows(), Cols: make([]ColStats, schema.Len())}
+	for c := 0; c < schema.Len(); c++ {
+		col := schema.Col(c)
+		cs := ColStats{Kind: col.Kind}
+		switch col.Kind.StorageClass() {
+		case vtypes.ClassI64:
+			v, err := t.ReadAllColumn(c)
+			if err != nil {
+				return nil, err
+			}
+			cs.analyzeI64(v.I64)
+		case vtypes.ClassF64:
+			v, err := t.ReadAllColumn(c)
+			if err != nil {
+				return nil, err
+			}
+			cs.analyzeF64(v.F64)
+		case vtypes.ClassStr:
+			v, err := t.ReadAllColumn(c)
+			if err != nil {
+				return nil, err
+			}
+			distinct := make(map[string]struct{})
+			for _, s := range v.Str {
+				distinct[s] = struct{}{}
+				if len(distinct) > 10000 {
+					break
+				}
+			}
+			cs.NDistinct = int64(len(distinct))
+		case vtypes.ClassBool:
+			cs.NDistinct = 2
+		}
+		ts.Cols[c] = cs
+	}
+	return ts, nil
+}
+
+func (cs *ColStats) analyzeI64(vals []int64) {
+	if len(vals) == 0 {
+		return
+	}
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	cs.MinI64, cs.MaxI64 = mn, mx
+	cs.Hist = make([]int64, histBuckets)
+	span := float64(mx-mn) + 1
+	for _, v := range vals {
+		b := int(float64(v-mn) / span * histBuckets)
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+		cs.Hist[b]++
+	}
+	distinct := make(map[int64]struct{})
+	for _, v := range vals {
+		distinct[v] = struct{}{}
+		if len(distinct) > 10000 {
+			cs.NDistinct = int64(len(distinct))
+			return
+		}
+	}
+	cs.NDistinct = int64(len(distinct))
+}
+
+func (cs *ColStats) analyzeF64(vals []float64) {
+	if len(vals) == 0 {
+		return
+	}
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	cs.MinF64, cs.MaxF64 = mn, mx
+	cs.Hist = make([]int64, histBuckets)
+	span := mx - mn
+	if span == 0 {
+		span = 1
+	}
+	for _, v := range vals {
+		b := int((v - mn) / span * histBuckets)
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+		cs.Hist[b]++
+	}
+	cs.NDistinct = int64(len(vals)) // floats: assume mostly distinct
+}
+
+// SelectivityLtI64 estimates P(col < x) from the histogram.
+func (cs *ColStats) SelectivityLtI64(x int64) float64 {
+	if cs.Hist == nil || cs.MaxI64 <= cs.MinI64 {
+		return 0.33
+	}
+	if x <= cs.MinI64 {
+		return 0
+	}
+	if x > cs.MaxI64 {
+		return 1
+	}
+	span := float64(cs.MaxI64-cs.MinI64) + 1
+	pos := float64(x-cs.MinI64) / span * histBuckets
+	full := int(pos)
+	var rows, total int64
+	for i, h := range cs.Hist {
+		total += h
+		if i < full {
+			rows += h
+		}
+	}
+	if full < len(cs.Hist) {
+		rows += int64(float64(cs.Hist[full]) * (pos - float64(full)))
+	}
+	if total == 0 {
+		return 0.33
+	}
+	return float64(rows) / float64(total)
+}
+
+// SelectivityEq estimates P(col = x) as 1/NDistinct.
+func (cs *ColStats) SelectivityEq() float64 {
+	if cs.NDistinct <= 0 {
+		return 0.1
+	}
+	return 1 / float64(cs.NDistinct)
+}
+
+// AnalyzeAll computes statistics for every cataloged table.
+func (c *Catalog) AnalyzeAll() error {
+	for _, name := range c.Names() {
+		e, err := c.Get(name)
+		if err != nil {
+			return err
+		}
+		st, err := Analyze(e.Table)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		e.Stats = st
+		c.mu.Unlock()
+	}
+	return nil
+}

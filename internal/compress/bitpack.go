@@ -1,0 +1,121 @@
+// Package compress implements the light-weight column compression schemes
+// Vectorwise inherited from the "Super-Scalar RAM-CPU Cache Compression"
+// work (paper ref [2]): PFOR (patched frame-of-reference), PFOR-DELTA,
+// PDICT (dictionary coding) and RLE, plus plain fallbacks. The design
+// goal is the one the paper states: decompression so cheap that scans
+// stay CPU-bound even when fed from compressed disk blocks, which is
+// what made the X100 engine I/O-balanced.
+//
+// Every compressed chunk is framed as:
+//
+//	byte 0:   codec tag
+//	bytes 1-4: row count (little-endian uint32)
+//	bytes 5+: codec payload
+//
+// so a chunk is self-describing and decoders can be picked per chunk.
+package compress
+
+import "encoding/binary"
+
+// packBits appends len(vals) values of the given bit width (1..64) to
+// dst, bit-addressed little-endian. Each value is written at bit offset
+// i*width; a value may straddle the 64-bit load window, in which case
+// its top bits land in a ninth byte. Values wider than `width` bits are
+// masked (the PFOR caller patches such exceptions separately).
+func packBits(dst []byte, vals []uint64, width uint) []byte {
+	if width == 0 {
+		return dst
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, packedLen(len(vals), width))...)
+	buf := dst[start:]
+	mask := widthMask(width)
+	for i, v := range vals {
+		v &= mask
+		bitpos := uint(i) * width
+		bytepos := int(bitpos >> 3)
+		shift := bitpos & 7
+		cur := v << shift
+		nb := int((shift + width + 7) / 8)
+		for k := 0; k < nb && k < 8; k++ {
+			buf[bytepos+k] |= byte(cur >> (8 * uint(k)))
+		}
+		if shift+width > 64 {
+			buf[bytepos+8] |= byte(v >> (64 - shift))
+		}
+	}
+	return dst
+}
+
+// unpackBits decodes n values of the given width from src into dst and
+// returns the number of source bytes consumed.
+func unpackBits(dst []uint64, src []byte, n int, width uint) int {
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			dst[i] = 0
+		}
+		return 0
+	}
+	mask := widthMask(width)
+	for i := 0; i < n; i++ {
+		bitpos := uint(i) * width
+		bytepos := int(bitpos >> 3)
+		shift := bitpos & 7
+		v := loadLE64(src, bytepos) >> shift
+		if shift+width > 64 {
+			v |= uint64(src[bytepos+8]) << (64 - shift)
+		}
+		dst[i] = v & mask
+	}
+	return packedLen(n, width)
+}
+
+// loadLE64 loads up to 8 bytes little-endian starting at pos, padding
+// with zeros past the end of src.
+func loadLE64(src []byte, pos int) uint64 {
+	if pos+8 <= len(src) {
+		return binary.LittleEndian.Uint64(src[pos:])
+	}
+	var v uint64
+	for k := 0; pos+k < len(src); k++ {
+		v |= uint64(src[pos+k]) << (8 * uint(k))
+	}
+	return v
+}
+
+// widthMask returns a mask of the low `width` bits (width in 1..64).
+func widthMask(width uint) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// bitsNeeded returns the minimal width that represents v (at least 0,
+// at most 64).
+func bitsNeeded(v uint64) uint {
+	var b uint
+	for v != 0 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// packedLen returns the byte length of n values at the given width.
+func packedLen(n int, width uint) int {
+	return (n*int(width) + 7) / 8
+}
+
+// zigzag maps signed integers to unsigned so small magnitudes stay small.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendUvarint appends a varint to dst.
+func appendUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}

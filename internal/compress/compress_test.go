@@ -1,0 +1,447 @@
+package compress
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitPackRoundtrip(t *testing.T) {
+	for _, width := range []uint{1, 3, 7, 8, 13, 31, 33, 63, 64} {
+		vals := make([]uint64, 100)
+		rng := rand.New(rand.NewSource(int64(width)))
+		for i := range vals {
+			vals[i] = rng.Uint64() & widthMask(width)
+		}
+		packed := packBits(nil, vals, width)
+		if len(packed) != packedLen(len(vals), width) {
+			t.Fatalf("width %d: packed length %d, want %d", width, len(packed), packedLen(len(vals), width))
+		}
+		out := make([]uint64, len(vals))
+		unpackBits(out, packed, len(vals), width)
+		if !reflect.DeepEqual(vals, out) {
+			t.Fatalf("width %d: roundtrip mismatch", width)
+		}
+	}
+}
+
+func TestBitPackWidthZero(t *testing.T) {
+	out := []uint64{7, 7}
+	if n := unpackBits(out, nil, 2, 0); n != 0 || out[0] != 0 || out[1] != 0 {
+		t.Fatal("width-0 unpack must zero dst")
+	}
+	if got := packBits(nil, []uint64{1, 2}, 0); len(got) != 0 {
+		t.Fatal("width-0 pack must emit nothing")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, math.MaxInt64, math.MinInt64} {
+		if unzigzag(zigzag(v)) != v {
+			t.Fatalf("zigzag roundtrip fails for %d", v)
+		}
+	}
+	if zigzag(0) != 0 || zigzag(-1) != 1 || zigzag(1) != 2 {
+		t.Fatal("zigzag mapping not canonical")
+	}
+}
+
+func TestBitsNeeded(t *testing.T) {
+	cases := map[uint64]uint{0: 0, 1: 1, 2: 2, 3: 2, 255: 8, 256: 9, math.MaxUint64: 64}
+	for v, want := range cases {
+		if got := bitsNeeded(v); got != want {
+			t.Errorf("bitsNeeded(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func roundtripI64(t *testing.T, vals []int64, codec Codec) []byte {
+	t.Helper()
+	data, err := CompressI64(vals, codec)
+	if err != nil {
+		t.Fatalf("%v compress: %v", codec, err)
+	}
+	out, err := DecompressI64(nil, data)
+	if err != nil {
+		t.Fatalf("%v decompress: %v", codec, err)
+	}
+	if len(out) != len(vals) {
+		t.Fatalf("%v: wrong length %d want %d", codec, len(out), len(vals))
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("%v: value %d mismatch: %d want %d", codec, i, out[i], vals[i])
+		}
+	}
+	return data
+}
+
+func TestI64CodecsRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	datasets := map[string][]int64{
+		"empty":     {},
+		"single":    {42},
+		"constant":  {9, 9, 9, 9, 9, 9, 9},
+		"small":     {1, 5, 3, 2, 4, 0, 7, 6},
+		"negatives": {-5, -1, -1000000, 3, 0},
+		"sorted":    sortedInts(1000),
+		"outliers":  withOutliers(rng, 1000),
+		"random":    randomInts(rng, 1000),
+		"extremes":  {math.MinInt64, math.MaxInt64, 0, -1, 1},
+	}
+	for name, vals := range datasets {
+		for _, codec := range []Codec{CodecPlainI64, CodecPFOR, CodecPFORDelta, CodecRLE} {
+			t.Run(name+"/"+codec.String(), func(t *testing.T) {
+				roundtripI64(t, vals, codec)
+			})
+		}
+	}
+}
+
+func sortedInts(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(1000 + i*3)
+	}
+	return v
+}
+
+func withOutliers(rng *rand.Rand, n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(rng.Intn(100))
+		if i%97 == 0 {
+			v[i] = int64(rng.Uint64() >> 1) // huge outlier
+		}
+	}
+	return v
+}
+
+func randomInts(rng *rand.Rand, n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(rng.Uint64())
+	}
+	return v
+}
+
+func TestPFORCompressesSmallDomains(t *testing.T) {
+	// 10k values in [0,16): PFOR should use ~4 bits/value vs 64 plain.
+	vals := make([]int64, 10000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = int64(rng.Intn(16))
+	}
+	data := roundtripI64(t, vals, CodecPFOR)
+	plain, _ := CompressI64(vals, CodecPlainI64)
+	ratio := float64(len(plain)) / float64(len(data))
+	if ratio < 8 {
+		t.Fatalf("PFOR ratio %.1f too low (plain %d, pfor %d)", ratio, len(plain), len(data))
+	}
+}
+
+func TestPFORDeltaCompressesSorted(t *testing.T) {
+	vals := sortedInts(10000)
+	data := roundtripI64(t, vals, CodecPFORDelta)
+	pforOnly, _ := CompressI64(vals, CodecPFOR)
+	if len(data) >= len(pforOnly) {
+		t.Fatalf("PFOR-DELTA (%d) should beat PFOR (%d) on sorted data", len(data), len(pforOnly))
+	}
+}
+
+func TestPFORExceptionsPatched(t *testing.T) {
+	// Mostly tiny values with a handful of huge ones: the exceptions
+	// path must restore the huge values exactly.
+	vals := make([]int64, 512)
+	for i := range vals {
+		vals[i] = int64(i % 7)
+	}
+	vals[100] = math.MaxInt64 / 2
+	vals[200] = math.MaxInt64 / 3
+	vals[511] = math.MaxInt64
+	roundtripI64(t, vals, CodecPFOR)
+}
+
+func TestRLECompressesRuns(t *testing.T) {
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = int64(i / 1000) // 10 runs of 1000
+	}
+	data := roundtripI64(t, vals, CodecRLE)
+	if len(data) > 200 {
+		t.Fatalf("RLE output %d bytes for 10 runs — too large", len(data))
+	}
+}
+
+func TestF64Roundtrip(t *testing.T) {
+	vals := []float64{0, -0.0, 1.5, math.Pi, math.Inf(1), math.Inf(-1), math.MaxFloat64}
+	data, err := CompressF64(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecompressF64(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Float64bits(out[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("f64 mismatch at %d", i)
+		}
+	}
+	// NaN preserves bit pattern.
+	nan := []float64{math.NaN()}
+	d2, _ := CompressF64(nan)
+	o2, _ := DecompressF64(nil, d2)
+	if !math.IsNaN(o2[0]) {
+		t.Fatal("NaN lost")
+	}
+}
+
+func TestStrRoundtrip(t *testing.T) {
+	datasets := map[string][]string{
+		"empty":    {},
+		"plainish": {"alpha", "beta", "", "delta with spaces", "unicode ✓"},
+		"lowcard":  manyRepeats(),
+	}
+	for name, vals := range datasets {
+		for _, codec := range []Codec{CodecPlainStr, CodecDict} {
+			t.Run(name+"/"+codec.String(), func(t *testing.T) {
+				data, err := CompressStr(vals, codec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := DecompressStr(nil, data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(append([]string{}, vals...), append([]string{}, out...)) {
+					t.Fatalf("mismatch: %v vs %v", vals, out)
+				}
+			})
+		}
+	}
+}
+
+func manyRepeats() []string {
+	out := make([]string, 1000)
+	words := []string{"RAIL", "AIR", "TRUCK", "SHIP", "MAIL"}
+	for i := range out {
+		out[i] = words[i%len(words)]
+	}
+	return out
+}
+
+func TestDictFallsBackOnHighCardinality(t *testing.T) {
+	vals := make([]string, 100)
+	for i := range vals {
+		vals[i] = string(rune('a'+i%26)) + string(rune('0'+i/26)) + "x" + string(rune('A'+i%26)) + string(rune('a'+(i*7)%26))
+	}
+	// All distinct → dict must fall back to plain.
+	data, err := CompressStr(vals, CodecDict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, _, _, _ := ReadHeader(data)
+	if codec != CodecPlainStr {
+		t.Fatalf("expected fallback to plain, got %v", codec)
+	}
+	out, err := DecompressStr(nil, data)
+	if err != nil || !reflect.DeepEqual(vals, out) {
+		t.Fatal("fallback roundtrip broken")
+	}
+}
+
+func TestDictCompressesLowCardinality(t *testing.T) {
+	vals := manyRepeats()
+	dict, _ := CompressStr(vals, CodecDict)
+	plain, _ := CompressStr(vals, CodecPlainStr)
+	if len(dict)*3 > len(plain) {
+		t.Fatalf("dict %d vs plain %d: expected ≥3× savings", len(dict), len(plain))
+	}
+}
+
+func TestBoolRoundtrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 1000} {
+		vals := make([]bool, n)
+		for i := range vals {
+			vals[i] = i%3 == 0
+		}
+		data, err := CompressBool(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecompressBool(nil, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != n {
+			t.Fatalf("n=%d: got %d", n, len(out))
+		}
+		for i := range vals {
+			if out[i] != vals[i] {
+				t.Fatalf("n=%d: bit %d wrong", n, i)
+			}
+		}
+	}
+}
+
+func TestChooseI64Codec(t *testing.T) {
+	if c := ChooseI64Codec(sortedInts(5000)); c != CodecPFORDelta {
+		t.Errorf("sorted data should pick pfor-delta, got %v", c)
+	}
+	constant := make([]int64, 5000)
+	if c := ChooseI64Codec(constant); c != CodecRLE && c != CodecPFORDelta && c != CodecPFOR {
+		t.Errorf("constant data picked %v", c)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if c := ChooseI64Codec(randomInts(rng, 5000)); c != CodecPlainI64 && c != CodecPFOR {
+		t.Errorf("random data picked %v", c)
+	}
+	small := make([]int64, 5000)
+	for i := range small {
+		small[i] = int64(rng.Intn(50))
+	}
+	if c := ChooseI64Codec(small); c != CodecPFOR {
+		t.Errorf("small-domain data should pick pfor, got %v", c)
+	}
+	if ChooseI64Codec(nil) != CodecPlainI64 {
+		t.Error("empty chunk must pick plain")
+	}
+}
+
+func TestChooseStrCodec(t *testing.T) {
+	if ChooseStrCodec(manyRepeats()) != CodecDict {
+		t.Error("low-cardinality strings should pick dict")
+	}
+	uniq := make([]string, 50)
+	for i := range uniq {
+		uniq[i] = string(rune('a'+i%26)) + string(rune('0'+i))
+	}
+	if ChooseStrCodec(uniq) != CodecPlainStr {
+		t.Error("unique strings should pick plain")
+	}
+	if ChooseStrCodec(nil) != CodecPlainStr {
+		t.Error("empty chunk must pick plain")
+	}
+}
+
+func TestCorruptChunks(t *testing.T) {
+	if _, _, _, err := ReadHeader([]byte{1, 2}); err == nil {
+		t.Fatal("short header must error")
+	}
+	if _, err := DecompressI64(nil, []byte{}); err == nil {
+		t.Fatal("empty chunk must error")
+	}
+	// Wrong codec routed to wrong decoder.
+	data, _ := CompressF64([]float64{1})
+	if _, err := DecompressI64(nil, data); err == nil {
+		t.Fatal("f64 chunk through i64 decoder must error")
+	}
+	data2, _ := CompressI64([]int64{1, 2, 3}, CodecPFOR)
+	if _, err := DecompressF64(nil, data2); err == nil {
+		t.Fatal("i64 chunk through f64 decoder must error")
+	}
+	if _, err := DecompressStr(nil, data2); err == nil {
+		t.Fatal("i64 chunk through str decoder must error")
+	}
+	if _, err := DecompressBool(nil, data2); err == nil {
+		t.Fatal("i64 chunk through bool decoder must error")
+	}
+	// Truncated payloads must error, not panic.
+	full, _ := CompressI64(sortedInts(100), CodecPFOR)
+	for cut := 5; cut < len(full); cut += 7 {
+		if _, err := DecompressI64(nil, full[:cut]); err == nil {
+			t.Fatalf("truncation at %d must error", cut)
+		}
+	}
+	fullStr, _ := CompressStr(manyRepeats()[:64], CodecDict)
+	for cut := 5; cut < len(fullStr)-1; cut += 5 {
+		if _, err := DecompressStr(nil, fullStr[:cut]); err == nil {
+			t.Fatalf("dict truncation at %d must error", cut)
+		}
+	}
+	// Unknown codec tags.
+	if _, err := CompressI64([]int64{1}, CodecDict); err == nil {
+		t.Fatal("string codec on ints must error")
+	}
+	if _, err := CompressStr([]string{"a"}, CodecPFOR); err == nil {
+		t.Fatal("int codec on strings must error")
+	}
+	bad := []byte{99, 1, 0, 0, 0, 0}
+	if _, err := DecompressI64(nil, bad); err == nil {
+		t.Fatal("unknown codec must error")
+	}
+}
+
+func TestI64RoundtripPropertyAllCodecs(t *testing.T) {
+	for _, codec := range []Codec{CodecPFOR, CodecPFORDelta, CodecRLE} {
+		codec := codec
+		f := func(vals []int64) bool {
+			data, err := CompressI64(vals, codec)
+			if err != nil {
+				return false
+			}
+			out, err := DecompressI64(nil, data)
+			if err != nil || len(out) != len(vals) {
+				return false
+			}
+			for i := range vals {
+				if out[i] != vals[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%v: %v", codec, err)
+		}
+	}
+}
+
+func TestStrRoundtripProperty(t *testing.T) {
+	f := func(vals []string) bool {
+		data, err := CompressStr(vals, CodecDict)
+		if err != nil {
+			return false
+		}
+		out, err := DecompressStr(nil, data)
+		if err != nil || len(out) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if out[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressReusesBuffer(t *testing.T) {
+	data, _ := CompressI64([]int64{1, 2, 3}, CodecPlainI64)
+	buf := make([]int64, 10)
+	out, err := DecompressI64(buf, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[0] {
+		t.Fatal("must reuse caller buffer when capacity suffices")
+	}
+}
+
+func TestFrameRowCount(t *testing.T) {
+	data, _ := CompressI64([]int64{5, 6, 7}, CodecPFOR)
+	_, n, _, err := ReadHeader(data)
+	if err != nil || n != 3 {
+		t.Fatalf("frame count = %d, err %v", n, err)
+	}
+	if !bytes.Equal(data[:1], []byte{byte(CodecPFOR)}) {
+		t.Fatal("frame codec byte wrong")
+	}
+}

@@ -1,0 +1,106 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PDICT — dictionary coding for strings. The distinct values (in first-
+// occurrence order) form the dictionary; the column becomes a vector of
+// integer codes, themselves PFOR-coded. Low-cardinality string columns
+// (flags, status words, nation names) shrink by an order of magnitude
+// and decompress with one gather per vector.
+//
+// Payload layout:
+//
+//	ndict  uvarint
+//	ndict × (len uvarint, bytes)
+//	PFOR payload of the n codes
+
+// encodeDict appends the PDICT payload for vals. Returns nil if the
+// column has too many distinct values to be worth dictionary coding
+// (caller falls back to plain).
+func encodeDict(dst []byte, vals []string) []byte {
+	dict, codes, ok := buildDict(vals)
+	if !ok {
+		return nil
+	}
+	dst = appendUvarint(dst, uint64(len(dict)))
+	for _, s := range dict {
+		dst = appendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return encodePFOR(dst, codes)
+}
+
+// maxDictFraction bounds dictionary size: coding pays off only when the
+// dictionary is much smaller than the column.
+const maxDictFraction = 2
+
+// buildDict returns the dictionary and code stream, or ok=false when
+// cardinality is too high (more than 1/maxDictFraction of the rows).
+func buildDict(vals []string) (dict []string, codes []int64, ok bool) {
+	limit := len(vals)/maxDictFraction + 1
+	idx := make(map[string]int64, 64)
+	codes = make([]int64, len(vals))
+	for i, s := range vals {
+		c, found := idx[s]
+		if !found {
+			if len(dict) >= limit {
+				return nil, nil, false
+			}
+			c = int64(len(dict))
+			dict = append(dict, s)
+			idx[s] = c
+		}
+		codes[i] = c
+	}
+	return dict, codes, true
+}
+
+// decodeDict decodes a PDICT payload of n values into dst.
+func decodeDict(dst []string, src []byte, n int) error {
+	nd, k := binary.Uvarint(src)
+	if k <= 0 {
+		return fmt.Errorf("compress: truncated dict size")
+	}
+	src = src[k:]
+	dict := make([]string, nd)
+	for i := range dict {
+		l, k1 := binary.Uvarint(src)
+		if k1 <= 0 {
+			return fmt.Errorf("compress: truncated dict entry")
+		}
+		src = src[k1:]
+		if uint64(len(src)) < l {
+			return fmt.Errorf("compress: truncated dict bytes")
+		}
+		dict[i] = string(src[:l])
+		src = src[l:]
+	}
+	codes := make([]int64, n)
+	if err := decodePFOR(codes, src, n); err != nil {
+		return err
+	}
+	for i, c := range codes {
+		if c < 0 || c >= int64(nd) {
+			return fmt.Errorf("compress: dict code %d out of range", c)
+		}
+		dst[i] = dict[c]
+	}
+	return nil
+}
+
+// estimateDictSize approximates the PDICT size, or -1 when dictionary
+// coding is not applicable.
+func estimateDictSize(vals []string) int {
+	dict, codes, ok := buildDict(vals)
+	if !ok {
+		return -1
+	}
+	size := 4
+	for _, s := range dict {
+		size += len(s) + 2
+	}
+	return size + estimatePFORSize(codes)
+}

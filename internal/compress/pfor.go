@@ -1,0 +1,222 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PFOR — patched frame-of-reference.
+//
+// All values are rebased against the chunk minimum, then bit-packed at a
+// width chosen so that "most" values fit; the few that do not (outliers,
+// e.g. one huge key in a column of small ones) are stored verbatim in an
+// exception list and patched over the packed output after unpacking.
+// This is the scheme of paper ref [2]; the exception list keeps the
+// packed width small without being hostage to outliers.
+//
+// Payload layout (after the common frame header):
+//
+//	base    int64  (little-endian)
+//	width   byte   (0..64)
+//	nexc    uvarint
+//	packed  packedLen(n,width) bytes
+//	exceptions: nexc × (position uvarint-delta, value uvarint)
+//
+// Exception positions are delta-coded since they are ascending.
+
+// encodePFOR appends the PFOR payload for vals to dst.
+func encodePFOR(dst []byte, vals []int64) []byte {
+	n := len(vals)
+	base := vals[0]
+	for _, v := range vals {
+		if v < base {
+			base = v
+		}
+	}
+	deltas := make([]uint64, n)
+	for i, v := range vals {
+		deltas[i] = uint64(v - base)
+	}
+	width := choosePFORWidth(deltas)
+	mask := widthMask(width)
+
+	var head [9]byte
+	binary.LittleEndian.PutUint64(head[0:8], uint64(base))
+	head[8] = byte(width)
+	dst = append(dst, head[:]...)
+
+	// Collect exceptions, then clear their high bits so packing is safe.
+	var excPos []int
+	for i, d := range deltas {
+		if d > mask {
+			excPos = append(excPos, i)
+		}
+	}
+	dst = appendUvarint(dst, uint64(len(excPos)))
+	packed := make([]uint64, n)
+	copy(packed, deltas)
+	for _, p := range excPos {
+		packed[p] &= mask
+	}
+	dst = packBits(dst, packed, width)
+	prev := 0
+	for _, p := range excPos {
+		dst = appendUvarint(dst, uint64(p-prev))
+		prev = p
+		dst = appendUvarint(dst, deltas[p])
+	}
+	return dst
+}
+
+// decodePFOR decodes a PFOR payload of n values into dst.
+func decodePFOR(dst []int64, src []byte, n int) error {
+	if len(src) < 9 {
+		return fmt.Errorf("compress: truncated PFOR header")
+	}
+	base := int64(binary.LittleEndian.Uint64(src[0:8]))
+	width := uint(src[8])
+	if width > 64 {
+		return fmt.Errorf("compress: invalid PFOR width %d", width)
+	}
+	src = src[9:]
+	nexc, k := binary.Uvarint(src)
+	if k <= 0 {
+		return fmt.Errorf("compress: truncated PFOR exception count")
+	}
+	src = src[k:]
+	plen := packedLen(n, width)
+	if len(src) < plen {
+		return fmt.Errorf("compress: truncated PFOR payload")
+	}
+	tmp := make([]uint64, n)
+	unpackBits(tmp, src, n, width)
+	src = src[plen:]
+	pos := 0
+	for e := uint64(0); e < nexc; e++ {
+		dp, k1 := binary.Uvarint(src)
+		if k1 <= 0 {
+			return fmt.Errorf("compress: truncated PFOR exception")
+		}
+		src = src[k1:]
+		v, k2 := binary.Uvarint(src)
+		if k2 <= 0 {
+			return fmt.Errorf("compress: truncated PFOR exception value")
+		}
+		src = src[k2:]
+		pos += int(dp)
+		if pos >= n {
+			return fmt.Errorf("compress: PFOR exception position %d out of range", pos)
+		}
+		tmp[pos] = v
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = base + int64(tmp[i])
+	}
+	return nil
+}
+
+// choosePFORWidth picks the packed width minimizing estimated size:
+// packed bits plus ~10 bytes per exception.
+func choosePFORWidth(deltas []uint64) uint {
+	n := len(deltas)
+	// Histogram of required widths.
+	var hist [65]int
+	maxw := uint(0)
+	for _, d := range deltas {
+		b := bitsNeeded(d)
+		hist[b]++
+		if b > maxw {
+			maxw = b
+		}
+	}
+	best := maxw
+	bestSize := packedLen(n, maxw)
+	exceptions := 0
+	for w := int(maxw) - 1; w >= 0; w-- {
+		exceptions += hist[w+1]
+		size := packedLen(n, uint(w)) + exceptions*10
+		if size < bestSize {
+			bestSize = size
+			best = uint(w)
+		}
+	}
+	return best
+}
+
+// estimatePFORSize returns the approximate encoded size without encoding,
+// used by codec selection.
+func estimatePFORSize(vals []int64) int {
+	if len(vals) == 0 {
+		return 16
+	}
+	base := vals[0]
+	for _, v := range vals {
+		if v < base {
+			base = v
+		}
+	}
+	var hist [65]int
+	maxw := uint(0)
+	for _, v := range vals {
+		b := bitsNeeded(uint64(v - base))
+		hist[b]++
+		if b > maxw {
+			maxw = b
+		}
+	}
+	n := len(vals)
+	best := packedLen(n, maxw)
+	exceptions := 0
+	for w := int(maxw) - 1; w >= 0; w-- {
+		exceptions += hist[w+1]
+		size := packedLen(n, uint(w)) + exceptions*10
+		if size < best {
+			best = size
+		}
+	}
+	return best + 16
+}
+
+// PFOR-DELTA: consecutive differences (zigzag for sign) are themselves
+// PFOR-coded. Ideal for sorted or clustered columns such as primary keys
+// and dates laid down in load order — exactly the columns the paper's
+// storage targets.
+
+// encodePFORDelta appends the PFOR-DELTA payload for vals.
+func encodePFORDelta(dst []byte, vals []int64) []byte {
+	n := len(vals)
+	deltas := make([]int64, n)
+	prev := int64(0)
+	for i, v := range vals {
+		deltas[i] = int64(zigzag(v - prev))
+		prev = v
+	}
+	return encodePFOR(dst, deltas)
+}
+
+// decodePFORDelta decodes a PFOR-DELTA payload of n values into dst.
+func decodePFORDelta(dst []int64, src []byte, n int) error {
+	if err := decodePFOR(dst, src, n); err != nil {
+		return err
+	}
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		prev += unzigzag(uint64(dst[i]))
+		dst[i] = prev
+	}
+	return nil
+}
+
+// estimatePFORDeltaSize mirrors estimatePFORSize on the delta stream.
+func estimatePFORDeltaSize(vals []int64) int {
+	if len(vals) == 0 {
+		return 16
+	}
+	deltas := make([]int64, len(vals))
+	prev := int64(0)
+	for i, v := range vals {
+		deltas[i] = int64(zigzag(v - prev))
+		prev = v
+	}
+	return estimatePFORSize(deltas)
+}

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"fmt"
+
+	"vectorwise/internal/primitives"
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+)
+
+// AggFn names an aggregate function.
+type AggFn uint8
+
+// Aggregate functions. Avg decomposes into Sum/Count at output time
+// (and the parallelizer rewrites it the same way across the exchange).
+const (
+	AggSum AggFn = iota
+	AggCount
+	AggCountStar
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// AggSpec is one aggregate column: a function over an input expression
+// (nil for COUNT(*)).
+type AggSpec struct {
+	Fn  AggFn
+	Arg Expr
+}
+
+// resultKind returns the output kind of the aggregate.
+func (a AggSpec) resultKind() vtypes.Kind {
+	switch a.Fn {
+	case AggCount, AggCountStar:
+		return vtypes.KindI64
+	case AggAvg:
+		return vtypes.KindF64
+	default:
+		return a.Arg.Kind()
+	}
+}
+
+// keyCol stores one grouping column densely, per storage class.
+type keyCol struct {
+	kind vtypes.Kind
+	i64  []int64
+	f64  []float64
+	str  []string
+	b    []bool
+}
+
+func (k *keyCol) appendFrom(v *vector.Vector, i int32) {
+	switch k.kind.StorageClass() {
+	case vtypes.ClassI64:
+		k.i64 = append(k.i64, v.I64[i])
+	case vtypes.ClassF64:
+		k.f64 = append(k.f64, v.F64[i])
+	case vtypes.ClassStr:
+		k.str = append(k.str, v.Str[i])
+	case vtypes.ClassBool:
+		k.b = append(k.b, v.B[i])
+	}
+}
+
+func (k *keyCol) equalAt(g uint32, v *vector.Vector, i int32) bool {
+	switch k.kind.StorageClass() {
+	case vtypes.ClassI64:
+		return k.i64[g] == v.I64[i]
+	case vtypes.ClassF64:
+		return k.f64[g] == v.F64[i]
+	case vtypes.ClassStr:
+		return k.str[g] == v.Str[i]
+	default:
+		return k.b[g] == v.B[i]
+	}
+}
+
+func (k *keyCol) get(g int) vtypes.Value {
+	switch k.kind.StorageClass() {
+	case vtypes.ClassI64:
+		return vtypes.Value{Kind: k.kind, I64: k.i64[g]}
+	case vtypes.ClassF64:
+		return vtypes.Value{Kind: k.kind, F64: k.f64[g]}
+	case vtypes.ClassStr:
+		return vtypes.Value{Kind: k.kind, Str: k.str[g]}
+	default:
+		return vtypes.Value{Kind: k.kind, B: k.b[g]}
+	}
+}
+
+// aggState holds one aggregate's accumulators across all groups.
+type aggState struct {
+	spec AggSpec
+	i64  []int64
+	f64  []float64
+	str  []string
+	cnt  []int64 // Avg's count side
+	seen []bool  // Min/Max initialization
+}
+
+func (a *aggState) grow() {
+	switch a.spec.Fn {
+	case AggCount, AggCountStar:
+		a.i64 = append(a.i64, 0)
+	case AggAvg:
+		a.f64 = append(a.f64, 0)
+		a.cnt = append(a.cnt, 0)
+	case AggSum:
+		if a.spec.Arg.Kind().StorageClass() == vtypes.ClassF64 {
+			a.f64 = append(a.f64, 0)
+		} else {
+			a.i64 = append(a.i64, 0)
+		}
+	case AggMin, AggMax:
+		a.seen = append(a.seen, false)
+		switch a.spec.Arg.Kind().StorageClass() {
+		case vtypes.ClassF64:
+			a.f64 = append(a.f64, 0)
+		case vtypes.ClassStr:
+			a.str = append(a.str, "")
+		default:
+			a.i64 = append(a.i64, 0)
+		}
+	}
+}
+
+// HashAggregate implements vectorized grouped aggregation: each input
+// batch is translated to a dense group-id vector via a hash table, then
+// one Agg* kernel per aggregate updates columnar accumulators. Grouping
+// and aggregation both run one kernel per vector.
+type HashAggregate struct {
+	child     Operator
+	groupBy   []Expr
+	aggs      []AggSpec
+	schema    *vtypes.Schema
+	vecSize   int
+	keys      []*keyCol
+	states    []*aggState
+	table     []int32 // open addressing: group idx + 1, 0 = empty
+	mask      uint64
+	numGroups int
+
+	hashes []uint64
+	groups []uint32
+	built  bool
+	outPos int
+}
+
+// NewHashAggregate builds the operator; names labels group columns then
+// aggregate columns.
+func NewHashAggregate(child Operator, groupBy []Expr, aggs []AggSpec, names []string) *HashAggregate {
+	cols := make([]vtypes.Column, 0, len(groupBy)+len(aggs))
+	for i, g := range groupBy {
+		cols = append(cols, vtypes.Column{Name: names[i], Kind: g.Kind()})
+	}
+	for i, a := range aggs {
+		cols = append(cols, vtypes.Column{Name: names[len(groupBy)+i], Kind: a.resultKind()})
+	}
+	h := &HashAggregate{
+		child: child, groupBy: groupBy, aggs: aggs,
+		schema:  &vtypes.Schema{Cols: cols},
+		vecSize: vector.DefaultSize,
+	}
+	return h
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() *vtypes.Schema { return h.schema }
+
+// Open implements Operator.
+func (h *HashAggregate) Open() error {
+	if err := h.child.Open(); err != nil {
+		return err
+	}
+	h.keys = make([]*keyCol, len(h.groupBy))
+	for i, g := range h.groupBy {
+		h.keys[i] = &keyCol{kind: g.Kind()}
+	}
+	h.states = make([]*aggState, len(h.aggs))
+	for i, a := range h.aggs {
+		h.states[i] = &aggState{spec: a}
+	}
+	h.table = make([]int32, 1024)
+	h.mask = 1023
+	h.numGroups = 0
+	h.built = false
+	h.outPos = 0
+	return nil
+}
+
+// consume drains the child, building groups and accumulators.
+func (h *HashAggregate) consume() error {
+	if len(h.groupBy) == 0 {
+		// Single implicit group.
+		h.numGroups = 1
+		for _, st := range h.states {
+			st.grow()
+		}
+	}
+	for {
+		b, err := h.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		if b.N == 0 {
+			continue
+		}
+		if err := h.consumeBatch(b); err != nil {
+			return err
+		}
+	}
+}
+
+func (h *HashAggregate) consumeBatch(b *vector.Batch) error {
+	capn := b.Capacity()
+	if cap(h.hashes) < capn {
+		h.hashes = make([]uint64, capn)
+		h.groups = make([]uint32, capn)
+	}
+	hashes := h.hashes[:capn]
+	groups := h.groups[:capn]
+
+	if len(h.groupBy) > 0 {
+		keyVecs := make([]*vector.Vector, len(h.groupBy))
+		for i, g := range h.groupBy {
+			v, err := g.Eval(b)
+			if err != nil {
+				return err
+			}
+			keyVecs[i] = v
+		}
+		// Vectorized hash of the key columns.
+		for i, v := range keyVecs {
+			if i == 0 {
+				hashVec(hashes, v, b.Sel, b.N)
+			} else {
+				rehashVec(hashes, v, b.Sel, b.N)
+			}
+		}
+		// Translate rows to group ids (scalar probe over hashed vector).
+		probe := func(i int32) {
+			slot := hashes[i] & h.mask
+			for {
+				g := h.table[slot]
+				if g == 0 {
+					gid := h.addGroup(keyVecs, i)
+					h.table[slot] = int32(gid + 1)
+					groups[i] = uint32(gid)
+					return
+				}
+				gid := uint32(g - 1)
+				match := true
+				for c, kc := range h.keys {
+					if !kc.equalAt(gid, keyVecs[c], i) {
+						match = false
+						break
+					}
+				}
+				if match {
+					groups[i] = gid
+					return
+				}
+				slot = (slot + 1) & h.mask
+			}
+		}
+		if b.Sel == nil {
+			for i := 0; i < b.N; i++ {
+				probe(int32(i))
+			}
+		} else {
+			for _, i := range b.Sel[:b.N] {
+				probe(i)
+			}
+		}
+	} else {
+		// Ungrouped: every row belongs to group 0; groups is zeroed.
+		if b.Sel == nil {
+			for i := 0; i < b.N; i++ {
+				groups[i] = 0
+			}
+		} else {
+			for _, i := range b.Sel[:b.N] {
+				groups[i] = 0
+			}
+		}
+	}
+
+	// Fire the aggregate kernels.
+	for _, st := range h.states {
+		var arg *vector.Vector
+		if st.spec.Arg != nil {
+			v, err := st.spec.Arg.Eval(b)
+			if err != nil {
+				return err
+			}
+			arg = v
+		}
+		switch st.spec.Fn {
+		case AggCount, AggCountStar:
+			primitives.AggCount(st.i64, groups, b.Sel, b.N)
+		case AggSum:
+			if arg.Kind.StorageClass() == vtypes.ClassF64 {
+				primitives.AggSum(st.f64, groups, arg.F64, b.Sel, b.N)
+			} else {
+				primitives.AggSum(st.i64, groups, arg.I64, b.Sel, b.N)
+			}
+		case AggAvg:
+			if arg.Kind.StorageClass() == vtypes.ClassF64 {
+				primitives.AggSum(st.f64, groups, arg.F64, b.Sel, b.N)
+			} else {
+				// Widen integers through a cast-free running float sum.
+				if b.Sel == nil {
+					for i := 0; i < b.N; i++ {
+						st.f64[groups[i]] += float64(arg.I64[i])
+					}
+				} else {
+					for _, i := range b.Sel[:b.N] {
+						st.f64[groups[i]] += float64(arg.I64[i])
+					}
+				}
+			}
+			primitives.AggCount(st.cnt, groups, b.Sel, b.N)
+		case AggMin:
+			switch arg.Kind.StorageClass() {
+			case vtypes.ClassF64:
+				primitives.AggMin(st.f64, st.seen, groups, arg.F64, b.Sel, b.N)
+			case vtypes.ClassStr:
+				primitives.AggMin(st.str, st.seen, groups, arg.Str, b.Sel, b.N)
+			default:
+				primitives.AggMin(st.i64, st.seen, groups, arg.I64, b.Sel, b.N)
+			}
+		case AggMax:
+			switch arg.Kind.StorageClass() {
+			case vtypes.ClassF64:
+				primitives.AggMax(st.f64, st.seen, groups, arg.F64, b.Sel, b.N)
+			case vtypes.ClassStr:
+				primitives.AggMax(st.str, st.seen, groups, arg.Str, b.Sel, b.N)
+			default:
+				primitives.AggMax(st.i64, st.seen, groups, arg.I64, b.Sel, b.N)
+			}
+		}
+	}
+	return nil
+}
+
+// addGroup appends a new group's keys and accumulator slots.
+func (h *HashAggregate) addGroup(keyVecs []*vector.Vector, i int32) int {
+	gid := h.numGroups
+	h.numGroups++
+	for c, kc := range h.keys {
+		kc.appendFrom(keyVecs[c], i)
+	}
+	for _, st := range h.states {
+		st.grow()
+	}
+	if uint64(h.numGroups)*10 > h.mask*7 {
+		h.rehashTable()
+	}
+	return gid
+}
+
+// rehashTable doubles the open-addressing directory.
+func (h *HashAggregate) rehashTable() {
+	newMask := h.mask*2 + 1
+	nt := make([]int32, newMask+1)
+	for g := 0; g < h.numGroups; g++ {
+		hsh := h.hashGroup(g)
+		slot := hsh & newMask
+		for nt[slot] != 0 {
+			slot = (slot + 1) & newMask
+		}
+		nt[slot] = int32(g + 1)
+	}
+	h.table = nt
+	h.mask = newMask
+}
+
+// hashGroup recomputes the hash of stored group g.
+func (h *HashAggregate) hashGroup(g int) uint64 {
+	var hs [1]uint64
+	for c, kc := range h.keys {
+		v := &vector.Vector{Kind: kc.kind}
+		switch kc.kind.StorageClass() {
+		case vtypes.ClassI64:
+			v.I64 = kc.i64[g : g+1]
+		case vtypes.ClassF64:
+			v.F64 = kc.f64[g : g+1]
+		case vtypes.ClassStr:
+			v.Str = kc.str[g : g+1]
+		case vtypes.ClassBool:
+			v.B = kc.b[g : g+1]
+		}
+		if c == 0 {
+			hashVec(hs[:], v, nil, 1)
+		} else {
+			rehashVec(hs[:], v, nil, 1)
+		}
+	}
+	return hs[0]
+}
+
+func hashVec(dst []uint64, v *vector.Vector, sel []int32, n int) {
+	switch v.Kind.StorageClass() {
+	case vtypes.ClassI64:
+		primitives.HashI64(dst, v.I64, sel, n)
+	case vtypes.ClassF64:
+		primitives.HashF64(dst, v.F64, sel, n)
+	case vtypes.ClassStr:
+		primitives.HashStr(dst, v.Str, sel, n)
+	case vtypes.ClassBool:
+		primitives.HashBool(dst, v.B, sel, n)
+	}
+}
+
+func rehashVec(dst []uint64, v *vector.Vector, sel []int32, n int) {
+	switch v.Kind.StorageClass() {
+	case vtypes.ClassI64:
+		primitives.RehashI64(dst, v.I64, sel, n)
+	case vtypes.ClassF64:
+		primitives.RehashF64(dst, v.F64, sel, n)
+	case vtypes.ClassStr:
+		primitives.RehashStr(dst, v.Str, sel, n)
+	case vtypes.ClassBool:
+		primitives.RehashBool(dst, v.B, sel, n)
+	}
+}
+
+// Next implements Operator: first call drains the child, then groups
+// stream out in insertion order.
+func (h *HashAggregate) Next() (*vector.Batch, error) {
+	if !h.built {
+		if err := h.consume(); err != nil {
+			return nil, err
+		}
+		h.built = true
+	}
+	if h.outPos >= h.numGroups {
+		return nil, nil
+	}
+	n := h.numGroups - h.outPos
+	if n > h.vecSize {
+		n = h.vecSize
+	}
+	out := vector.NewBatch(h.schema, n)
+	for i := 0; i < n; i++ {
+		g := h.outPos + i
+		for c, kc := range h.keys {
+			out.Vecs[c].Set(i, kc.get(g))
+		}
+		for a, st := range h.states {
+			out.Vecs[len(h.keys)+a].Set(i, h.aggValue(st, g))
+		}
+	}
+	h.outPos += n
+	out.SetDense(n)
+	return out, nil
+}
+
+// aggValue materializes one accumulator as a value.
+func (h *HashAggregate) aggValue(st *aggState, g int) vtypes.Value {
+	switch st.spec.Fn {
+	case AggCount, AggCountStar:
+		return vtypes.I64Value(st.i64[g])
+	case AggAvg:
+		if st.cnt[g] == 0 {
+			return vtypes.F64Value(0)
+		}
+		return vtypes.F64Value(st.f64[g] / float64(st.cnt[g]))
+	case AggSum:
+		if st.spec.Arg.Kind().StorageClass() == vtypes.ClassF64 {
+			return vtypes.F64Value(st.f64[g])
+		}
+		return vtypes.I64Value(st.i64[g])
+	case AggMin, AggMax:
+		switch st.spec.Arg.Kind().StorageClass() {
+		case vtypes.ClassF64:
+			return vtypes.F64Value(st.f64[g])
+		case vtypes.ClassStr:
+			return vtypes.StrValue(st.str[g])
+		default:
+			return vtypes.Value{Kind: st.spec.Arg.Kind(), I64: st.i64[g]}
+		}
+	}
+	panic(fmt.Sprintf("core: unknown aggregate %d", st.spec.Fn))
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.keys, h.states, h.table = nil, nil, nil
+	return h.child.Close()
+}

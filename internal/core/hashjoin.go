@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+)
+
+// JoinType selects join semantics.
+type JoinType uint8
+
+// Join types.
+const (
+	// JoinInner emits probe⋈build matches.
+	JoinInner JoinType = iota
+	// JoinLeftSemi emits each probe row with ≥1 match, once.
+	JoinLeftSemi
+	// JoinLeftAnti emits each probe row with no match.
+	JoinLeftAnti
+	// JoinLeftOuter emits matches plus unmatched probe rows with
+	// NULL-indicated build columns.
+	JoinLeftOuter
+)
+
+// HashJoin joins a streaming probe side (left child) against a
+// materialized build side (right child). The build side is consumed
+// fully on first Next — keys are hashed once into a bucket-chained
+// table; probing then runs one hash kernel per probe vector plus a
+// scalar chain walk per live row, emitting gathered output batches.
+type HashJoin struct {
+	probe, build         Operator
+	probeKeys, buildKeys []Expr
+	typ                  JoinType
+	schema               *vtypes.Schema
+	vecSize              int
+
+	// Build-side storage: full columns plus evaluated key columns.
+	buildCols []*keyCol
+	buildKeyC []*keyCol
+	buckets   []int32 // head of chain per bucket (row idx + 1)
+	next      []int32 // chain links
+	mask      uint64
+	buildN    int
+	built     bool
+
+	hashes []uint64
+	pend   *vector.Batch // overflow output
+	done   bool
+}
+
+// NewHashJoin constructs the join. probeKeys and buildKeys must align in
+// count and storage class.
+func NewHashJoin(probe, build Operator, probeKeys, buildKeys []Expr, typ JoinType) (*HashJoin, error) {
+	if len(probeKeys) != len(buildKeys) || len(probeKeys) == 0 {
+		return nil, fmt.Errorf("core: join needs matching key lists")
+	}
+	for i := range probeKeys {
+		if probeKeys[i].Kind().StorageClass() != buildKeys[i].Kind().StorageClass() {
+			return nil, fmt.Errorf("core: join key %d: %v vs %v", i, probeKeys[i].Kind(), buildKeys[i].Kind())
+		}
+	}
+	var cols []vtypes.Column
+	cols = append(cols, probe.Schema().Cols...)
+	if typ == JoinInner || typ == JoinLeftOuter {
+		for _, c := range build.Schema().Cols {
+			oc := c
+			if typ == JoinLeftOuter {
+				oc.Nullable = true
+			}
+			cols = append(cols, oc)
+		}
+	}
+	return &HashJoin{
+		probe: probe, build: build,
+		probeKeys: probeKeys, buildKeys: buildKeys, typ: typ,
+		schema:  &vtypes.Schema{Cols: cols},
+		vecSize: vector.DefaultSize,
+	}, nil
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *vtypes.Schema { return j.schema }
+
+// Open implements Operator.
+func (j *HashJoin) Open() error {
+	if err := j.probe.Open(); err != nil {
+		return err
+	}
+	return j.build.Open()
+}
+
+// buildTable materializes the build side.
+func (j *HashJoin) buildTable() error {
+	bs := j.build.Schema()
+	j.buildCols = make([]*keyCol, bs.Len())
+	for i, c := range bs.Cols {
+		j.buildCols[i] = &keyCol{kind: c.Kind}
+	}
+	j.buildKeyC = make([]*keyCol, len(j.buildKeys))
+	for i, e := range j.buildKeys {
+		j.buildKeyC[i] = &keyCol{kind: e.Kind()}
+	}
+	var hashAll []uint64
+	for {
+		b, err := j.build.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if b.N == 0 {
+			continue
+		}
+		keyVecs := make([]*vector.Vector, len(j.buildKeys))
+		for i, e := range j.buildKeys {
+			v, err := e.Eval(b)
+			if err != nil {
+				return err
+			}
+			keyVecs[i] = v
+		}
+		capn := b.Capacity()
+		hs := make([]uint64, capn)
+		for i, v := range keyVecs {
+			if i == 0 {
+				hashVec(hs, v, b.Sel, b.N)
+			} else {
+				rehashVec(hs, v, b.Sel, b.N)
+			}
+		}
+		store := func(i int32) {
+			for c := range j.buildCols {
+				j.buildCols[c].appendFrom(b.Vecs[c], i)
+			}
+			for c := range j.buildKeyC {
+				j.buildKeyC[c].appendFrom(keyVecs[c], i)
+			}
+			hashAll = append(hashAll, hs[i])
+			j.buildN++
+		}
+		if b.Sel == nil {
+			for i := 0; i < b.N; i++ {
+				store(int32(i))
+			}
+		} else {
+			for _, i := range b.Sel[:b.N] {
+				store(i)
+			}
+		}
+	}
+	// Size the directory to ~2× rows, power of two.
+	size := uint64(1024)
+	for size < uint64(j.buildN)*2 {
+		size *= 2
+	}
+	j.mask = size - 1
+	j.buckets = make([]int32, size)
+	j.next = make([]int32, j.buildN)
+	for r := 0; r < j.buildN; r++ {
+		slot := hashAll[r] & j.mask
+		j.next[r] = j.buckets[slot]
+		j.buckets[slot] = int32(r + 1)
+	}
+	return nil
+}
+
+// matchRow reports whether build row r matches the probe keys at i.
+func (j *HashJoin) matchRow(r int32, keyVecs []*vector.Vector, i int32) bool {
+	for c, kc := range j.buildKeyC {
+		if !kc.equalAt(uint32(r), keyVecs[c], i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*vector.Batch, error) {
+	if !j.built {
+		if err := j.buildTable(); err != nil {
+			return nil, err
+		}
+		j.built = true
+	}
+	if j.pend != nil {
+		out := j.pend
+		j.pend = nil
+		return out, nil
+	}
+	if j.done {
+		return nil, nil
+	}
+	for {
+		b, err := j.probe.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			j.done = true
+			return nil, nil
+		}
+		if b.N == 0 {
+			continue
+		}
+		out, err := j.probeBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil {
+			return out, nil
+		}
+	}
+}
+
+// probeBatch joins one probe batch, returning an output batch (possibly
+// leaving an overflow batch pended) or nil when nothing matched.
+func (j *HashJoin) probeBatch(b *vector.Batch) (*vector.Batch, error) {
+	keyVecs := make([]*vector.Vector, len(j.probeKeys))
+	for i, e := range j.probeKeys {
+		v, err := e.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		keyVecs[i] = v
+	}
+	capn := b.Capacity()
+	if cap(j.hashes) < capn {
+		j.hashes = make([]uint64, capn)
+	}
+	hs := j.hashes[:capn]
+	for i, v := range keyVecs {
+		if i == 0 {
+			hashVec(hs, v, b.Sel, b.N)
+		} else {
+			rehashVec(hs, v, b.Sel, b.N)
+		}
+	}
+
+	var probeIdx []int32
+	var buildIdx []int32 // -1 for outer-null rows
+	walk := func(i int32) {
+		head := j.buckets[hs[i]&j.mask]
+		switch j.typ {
+		case JoinInner, JoinLeftOuter:
+			matched := false
+			for r := head; r != 0; r = j.next[r-1] {
+				if j.matchRow(r-1, keyVecs, i) {
+					probeIdx = append(probeIdx, i)
+					buildIdx = append(buildIdx, r-1)
+					matched = true
+				}
+			}
+			if !matched && j.typ == JoinLeftOuter {
+				probeIdx = append(probeIdx, i)
+				buildIdx = append(buildIdx, -1)
+			}
+		case JoinLeftSemi:
+			for r := head; r != 0; r = j.next[r-1] {
+				if j.matchRow(r-1, keyVecs, i) {
+					probeIdx = append(probeIdx, i)
+					return
+				}
+			}
+		case JoinLeftAnti:
+			for r := head; r != 0; r = j.next[r-1] {
+				if j.matchRow(r-1, keyVecs, i) {
+					return
+				}
+			}
+			probeIdx = append(probeIdx, i)
+		}
+	}
+	if b.Sel == nil {
+		for i := 0; i < b.N; i++ {
+			walk(int32(i))
+		}
+	} else {
+		for _, i := range b.Sel[:b.N] {
+			walk(i)
+		}
+	}
+	if len(probeIdx) == 0 {
+		return nil, nil
+	}
+	return j.emit(b, probeIdx, buildIdx), nil
+}
+
+// emit gathers matched pairs into an output batch; pairs beyond one
+// vector are queued on pend (the probe batch stays valid because emit
+// copies all referenced values).
+func (j *HashJoin) emit(b *vector.Batch, probeIdx, buildIdx []int32) *vector.Batch {
+	total := len(probeIdx)
+	mk := func(lo, hi int) *vector.Batch {
+		n := hi - lo
+		out := vector.NewBatch(j.schema, n)
+		np := len(b.Vecs)
+		for c := 0; c < np; c++ {
+			dst := out.Vecs[c]
+			src := b.Vecs[c]
+			for k := lo; k < hi; k++ {
+				dst.CopyFrom(src, int(probeIdx[k]), k-lo, 1)
+			}
+		}
+		if j.typ == JoinInner || j.typ == JoinLeftOuter {
+			for c, kc := range j.buildCols {
+				dst := out.Vecs[np+c]
+				for k := lo; k < hi; k++ {
+					if buildIdx[k] < 0 {
+						dst.Set(k-lo, vtypes.NullValue(kc.kind))
+						continue
+					}
+					dst.Set(k-lo, kc.get(int(buildIdx[k])))
+				}
+			}
+		}
+		out.SetDense(n)
+		return out
+	}
+	if total <= j.vecSize {
+		return mk(0, total)
+	}
+	// Chain overflow batches through pend (rare: fan-out joins).
+	first := mk(0, j.vecSize)
+	rest := mk(j.vecSize, total)
+	j.pend = rest
+	return first
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.buildCols, j.buildKeyC, j.buckets, j.next = nil, nil, nil, nil
+	if err := j.probe.Close(); err != nil {
+		j.build.Close()
+		return err
+	}
+	return j.build.Close()
+}

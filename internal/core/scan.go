@@ -1,0 +1,286 @@
+package core
+
+import (
+	"vectorwise/internal/pdt"
+	"vectorwise/internal/storage"
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+)
+
+// Scan reads a column projection of a stable table, merging in the
+// table's PDT layers (committed master, then the transaction's private
+// PDT) positionally. With empty PDTs the scan serves zero-copy views of
+// decompressed chunks; with deltas it routes through the merge scan.
+type Scan struct {
+	table   *storage.Table
+	cols    []int
+	fetch   storage.ChunkFetcher
+	prune   storage.PruneFn
+	vecSize int
+	// PDT layers, bottom-up; nil/empty layers are skipped.
+	layers []*pdt.PDT
+	// group range for parallel partition scans; hi == 0 means all.
+	gLo, gHi int
+
+	schema *vtypes.Schema
+	sc     *storage.Scanner
+	merged pdt.RowSource
+	batch  *vector.Batch
+}
+
+// ScanOpts configures a Scan.
+type ScanOpts struct {
+	// Fetch interposes a buffer manager; nil reads chunks directly.
+	Fetch storage.ChunkFetcher
+	// Prune skips row groups by statistics. Ignored (disabled) when any
+	// PDT layer is non-empty: positional merge needs every group's
+	// positions accounted for.
+	Prune storage.PruneFn
+	// VecSize overrides vector.DefaultSize.
+	VecSize int
+	// Layers are PDT layers, bottom (committed master) first.
+	Layers []*pdt.PDT
+	// GroupLo/GroupHi restrict the scan to row groups [lo, hi) for
+	// parallel partition scans; both zero means the whole table.
+	GroupLo, GroupHi int
+}
+
+// NewScan builds a scan of the given column indexes of t.
+func NewScan(t *storage.Table, cols []int, opts ScanOpts) *Scan {
+	full := t.Schema()
+	outCols := make([]vtypes.Column, len(cols))
+	for i, c := range cols {
+		outCols[i] = full.Cols[c]
+	}
+	s := &Scan{
+		table:   t,
+		cols:    append([]int(nil), cols...),
+		fetch:   opts.Fetch,
+		prune:   opts.Prune,
+		vecSize: opts.VecSize,
+		layers:  opts.Layers,
+		gLo:     opts.GroupLo,
+		gHi:     opts.GroupHi,
+		schema:  &vtypes.Schema{Cols: outCols},
+	}
+	if s.vecSize <= 0 {
+		s.vecSize = vector.DefaultSize
+	}
+	return s
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() *vtypes.Schema { return s.schema }
+
+// hasDeltas reports whether any PDT layer carries entries.
+func (s *Scan) hasDeltas() bool {
+	for _, p := range s.layers {
+		if p != nil && !p.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Open implements Operator.
+func (s *Scan) Open() error {
+	prune := s.prune
+	if s.hasDeltas() {
+		prune = nil // positions must stay dense under a merge
+	}
+	s.sc = storage.NewScanner(s.table, s.cols, s.fetch, prune, s.vecSize)
+	if s.gHi > 0 {
+		s.sc.SetGroupRange(s.gLo, s.gHi)
+	}
+	if s.hasDeltas() {
+		var src pdt.RowSource = &scanSource{sc: s.sc}
+		for _, layer := range s.layers {
+			if layer == nil || layer.Empty() {
+				continue
+			}
+			src = pdt.NewMergeScan(src, pdt.ProjectCols(layer, s.cols, s.schema), s.vecSize)
+		}
+		s.merged = src
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (*vector.Batch, error) {
+	if s.merged != nil {
+		vecs, n, err := s.merged.Next()
+		if err != nil || n == 0 {
+			return nil, err
+		}
+		b := &vector.Batch{Vecs: vecs}
+		b.SetDense(n)
+		return b, nil
+	}
+	vecs, _, n, err := s.sc.Next()
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	if s.batch == nil {
+		s.batch = &vector.Batch{}
+	}
+	s.batch.Vecs = vecs
+	s.batch.SetDense(n)
+	return s.batch, nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error {
+	s.sc, s.merged = nil, nil
+	return nil
+}
+
+// scanSource adapts storage.Scanner to pdt.RowSource.
+type scanSource struct{ sc *storage.Scanner }
+
+// Next implements pdt.RowSource.
+func (a *scanSource) Next() ([]*vector.Vector, int, error) {
+	vecs, _, n, err := a.sc.Next()
+	return vecs, n, err
+}
+
+// Select filters its input with a compiled predicate; surviving rows are
+// referenced through the batch's selection vector, never copied.
+type Select struct {
+	child Operator
+	pred  Pred
+}
+
+// Pred re-exports expr.Pred to avoid an import cycle in operator users.
+type Pred interface {
+	Filter(b *vector.Batch) error
+}
+
+// NewSelect wraps child with a filter.
+func NewSelect(child Operator, pred Pred) *Select {
+	return &Select{child: child, pred: pred}
+}
+
+// Schema implements Operator.
+func (s *Select) Schema() *vtypes.Schema { return s.child.Schema() }
+
+// Open implements Operator.
+func (s *Select) Open() error { return s.child.Open() }
+
+// Next implements Operator.
+func (s *Select) Next() (*vector.Batch, error) {
+	for {
+		b, err := s.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if err := s.pred.Filter(b); err != nil {
+			return nil, err
+		}
+		if b.N > 0 {
+			return b, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (s *Select) Close() error { return s.child.Close() }
+
+// Expr re-exports the expression contract used by Project and the
+// aggregate/join operators.
+type Expr interface {
+	Kind() vtypes.Kind
+	Eval(b *vector.Batch) (*vector.Vector, error)
+}
+
+// Project computes one expression per output column. Column references
+// pass through zero-copy; computed columns share the child's selection
+// vector (results are written only at live positions).
+type Project struct {
+	child  Operator
+	exprs  []Expr
+	schema *vtypes.Schema
+	out    vector.Batch
+}
+
+// NewProject builds a projection; names label the output columns.
+func NewProject(child Operator, exprs []Expr, names []string) *Project {
+	cols := make([]vtypes.Column, len(exprs))
+	for i, e := range exprs {
+		cols[i] = vtypes.Column{Name: names[i], Kind: e.Kind()}
+	}
+	return &Project{child: child, exprs: exprs, schema: &vtypes.Schema{Cols: cols}}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *vtypes.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.child.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (*vector.Batch, error) {
+	b, err := p.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if p.out.Vecs == nil {
+		p.out.Vecs = make([]*vector.Vector, len(p.exprs))
+	}
+	for i, e := range p.exprs {
+		v, err := e.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		p.out.Vecs[i] = v
+	}
+	p.out.Sel = b.Sel
+	p.out.N = b.N
+	return &p.out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.child.Close() }
+
+// Limit passes through at most n rows.
+type Limit struct {
+	child Operator
+	n     int64
+	seen  int64
+}
+
+// NewLimit caps the stream at n rows.
+func NewLimit(child Operator, n int64) *Limit { return &Limit{child: child, n: n} }
+
+// Schema implements Operator.
+func (l *Limit) Schema() *vtypes.Schema { return l.child.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error {
+	l.seen = 0
+	return l.child.Open()
+}
+
+// Next implements Operator.
+func (l *Limit) Next() (*vector.Batch, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	b, err := l.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if l.seen+int64(b.N) > l.n {
+		keep := int(l.n - l.seen)
+		if b.Sel != nil {
+			b.N = keep
+			b.Sel = b.Sel[:keep]
+		} else {
+			b.N = keep
+		}
+	}
+	l.seen += int64(b.N)
+	return b, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.child.Close() }

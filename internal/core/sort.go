@@ -1,0 +1,201 @@
+package core
+
+import (
+	"sort"
+
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+)
+
+// SortKey is one ORDER BY term.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Sort materializes its input, sorts an index by the keys, and streams
+// the permuted rows back out in vectors. (X100 sorts are also stop-and-
+// go materializers; vectors only bound the unit of data movement.)
+type Sort struct {
+	child   Operator
+	keys    []SortKey
+	vecSize int
+
+	cols   []*keyCol // payload columns
+	keysC  []*keyCol // evaluated key columns
+	nulls  [][]bool  // null indicators per payload column (lazily made)
+	n      int
+	perm   []int
+	built  bool
+	outPos int
+}
+
+// NewSort builds the operator.
+func NewSort(child Operator, keys []SortKey) *Sort {
+	return &Sort{child: child, keys: keys, vecSize: vector.DefaultSize}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *vtypes.Schema { return s.child.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open() error { return s.child.Open() }
+
+// consume materializes the child and evaluated sort keys.
+func (s *Sort) consume() error {
+	sch := s.child.Schema()
+	s.cols = make([]*keyCol, sch.Len())
+	s.nulls = make([][]bool, sch.Len())
+	for i, c := range sch.Cols {
+		s.cols[i] = &keyCol{kind: c.Kind}
+	}
+	s.keysC = make([]*keyCol, len(s.keys))
+	for i, k := range s.keys {
+		s.keysC[i] = &keyCol{kind: k.Expr.Kind()}
+	}
+	for {
+		b, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if b.N == 0 {
+			continue
+		}
+		keyVecs := make([]*vector.Vector, len(s.keys))
+		for i, k := range s.keys {
+			v, err := k.Expr.Eval(b)
+			if err != nil {
+				return err
+			}
+			keyVecs[i] = v
+		}
+		store := func(i int32) {
+			for c := range s.cols {
+				s.cols[c].appendFrom(b.Vecs[c], i)
+				if b.Vecs[c].Nulls != nil && b.Vecs[c].Nulls[i] {
+					if s.nulls[c] == nil {
+						s.nulls[c] = make([]bool, s.n)
+					}
+					for len(s.nulls[c]) < s.n {
+						s.nulls[c] = append(s.nulls[c], false)
+					}
+					s.nulls[c] = append(s.nulls[c], true)
+				} else if s.nulls[c] != nil {
+					s.nulls[c] = append(s.nulls[c], false)
+				}
+			}
+			for c := range s.keysC {
+				s.keysC[c].appendFrom(keyVecs[c], i)
+			}
+			s.n++
+		}
+		if b.Sel == nil {
+			for i := 0; i < b.N; i++ {
+				store(int32(i))
+			}
+		} else {
+			for _, i := range b.Sel[:b.N] {
+				store(i)
+			}
+		}
+	}
+	s.perm = make([]int, s.n)
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	sort.SliceStable(s.perm, func(a, b int) bool {
+		ia, ib := s.perm[a], s.perm[b]
+		for c, k := range s.keys {
+			cmp := s.keysC[c].compare(ia, ib)
+			if cmp == 0 {
+				continue
+			}
+			if k.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// compare orders two stored rows of a keyCol.
+func (k *keyCol) compare(a, b int) int {
+	switch k.kind.StorageClass() {
+	case vtypes.ClassI64:
+		switch {
+		case k.i64[a] < k.i64[b]:
+			return -1
+		case k.i64[a] > k.i64[b]:
+			return 1
+		}
+	case vtypes.ClassF64:
+		switch {
+		case k.f64[a] < k.f64[b]:
+			return -1
+		case k.f64[a] > k.f64[b]:
+			return 1
+		}
+	case vtypes.ClassStr:
+		switch {
+		case k.str[a] < k.str[b]:
+			return -1
+		case k.str[a] > k.str[b]:
+			return 1
+		}
+	case vtypes.ClassBool:
+		switch {
+		case !k.b[a] && k.b[b]:
+			return -1
+		case k.b[a] && !k.b[b]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (*vector.Batch, error) {
+	if !s.built {
+		if err := s.consume(); err != nil {
+			return nil, err
+		}
+		s.built = true
+	}
+	if s.outPos >= s.n {
+		return nil, nil
+	}
+	n := s.n - s.outPos
+	if n > s.vecSize {
+		n = s.vecSize
+	}
+	out := vector.NewBatch(s.Schema(), n)
+	for i := 0; i < n; i++ {
+		src := s.perm[s.outPos+i]
+		for c, kc := range s.cols {
+			if s.nulls[c] != nil && src < len(s.nulls[c]) && s.nulls[c][src] {
+				out.Vecs[c].Set(i, vtypes.NullValue(kc.kind))
+				continue
+			}
+			out.Vecs[c].Set(i, kc.get(src))
+		}
+	}
+	s.outPos += n
+	out.SetDense(n)
+	return out, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.cols, s.keysC, s.perm = nil, nil, nil
+	return s.child.Close()
+}
+
+// NewTopN composes Sort and Limit — ORDER BY ... LIMIT n.
+func NewTopN(child Operator, keys []SortKey, n int64) Operator {
+	return NewLimit(NewSort(child, keys), n)
+}

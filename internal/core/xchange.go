@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+)
+
+// XchgUnion is the Volcano-style exchange operator the rewriter injects
+// for multi-core parallelism (paper §I-B): each child subtree runs in
+// its own goroutine, pushing ownership-transferred batches into a shared
+// channel; the parent consumes them in arrival order. All parallelism in
+// the engine flows through this one operator, keeping every other
+// operator single-threaded and simple.
+type XchgUnion struct {
+	children []Operator
+	schema   *vtypes.Schema
+	ch       chan *vector.Batch
+	errCh    chan error
+	wg       sync.WaitGroup
+	opened   bool
+	firstErr error
+	done     int
+}
+
+// NewXchgUnion merges the outputs of the children, which must share a
+// schema.
+func NewXchgUnion(children []Operator) (*XchgUnion, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("core: exchange needs children")
+	}
+	return &XchgUnion{children: children, schema: children[0].Schema()}, nil
+}
+
+// Schema implements Operator.
+func (x *XchgUnion) Schema() *vtypes.Schema { return x.schema }
+
+// Open implements Operator: launches one producer goroutine per child.
+func (x *XchgUnion) Open() error {
+	x.ch = make(chan *vector.Batch, len(x.children)*2)
+	x.errCh = make(chan error, len(x.children))
+	for _, c := range x.children {
+		c := c
+		x.wg.Add(1)
+		go func() {
+			defer x.wg.Done()
+			if err := c.Open(); err != nil {
+				x.errCh <- err
+				return
+			}
+			for {
+				b, err := c.Next()
+				if err != nil {
+					x.errCh <- err
+					return
+				}
+				if b == nil {
+					x.errCh <- nil
+					return
+				}
+				if b.N == 0 {
+					continue
+				}
+				// Transfer ownership: the producer's batch buffers are
+				// reused on its next Next(), so compact-copy first.
+				owned := copyBatch(b)
+				x.ch <- owned
+			}
+		}()
+	}
+	x.opened = true
+	return nil
+}
+
+// copyBatch deep-copies the live rows of b into a fresh dense batch.
+func copyBatch(b *vector.Batch) *vector.Batch {
+	out := &vector.Batch{Vecs: make([]*vector.Vector, len(b.Vecs))}
+	if b.Sel == nil {
+		for i, v := range b.Vecs {
+			nv := vector.New(v.Kind, b.N)
+			nv.CopyFrom(v, 0, 0, b.N)
+			out.Vecs[i] = nv
+		}
+	} else {
+		for i, v := range b.Vecs {
+			nv := vector.New(v.Kind, b.N)
+			nv.GatherFrom(v, b.Sel[:b.N])
+			out.Vecs[i] = nv
+		}
+	}
+	out.SetDense(b.N)
+	return out
+}
+
+// Next implements Operator.
+func (x *XchgUnion) Next() (*vector.Batch, error) {
+	for {
+		if x.done == len(x.children) {
+			// All producers finished; drain any remaining batches.
+			select {
+			case b := <-x.ch:
+				return b, nil
+			default:
+				return nil, x.firstErr
+			}
+		}
+		select {
+		case b := <-x.ch:
+			return b, nil
+		case err := <-x.errCh:
+			x.done++
+			if err != nil && x.firstErr == nil {
+				x.firstErr = err
+			}
+		}
+	}
+}
+
+// Close implements Operator.
+func (x *XchgUnion) Close() error {
+	// Drain so producers blocked on the channel can exit.
+	go func() {
+		for range x.ch {
+		}
+	}()
+	x.wg.Wait()
+	close(x.ch)
+	var first error
+	for _, c := range x.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PartitionGroups splits a table's row groups into at most parts
+// contiguous ranges for parallel partition scans. Ranges are [lo, hi).
+func PartitionGroups(numGroups, parts int) [][2]int {
+	if parts > numGroups {
+		parts = numGroups
+	}
+	if parts <= 0 {
+		parts = 1
+	}
+	var out [][2]int
+	base := numGroups / parts
+	extra := numGroups % parts
+	lo := 0
+	for p := 0; p < parts; p++ {
+		sz := base
+		if p < extra {
+			sz++
+		}
+		out = append(out, [2]int{lo, lo + sz})
+		lo += sz
+	}
+	return out
+}

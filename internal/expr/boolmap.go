@@ -1,0 +1,245 @@
+package expr
+
+import (
+	"fmt"
+
+	"vectorwise/internal/primitives"
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+)
+
+// Boolean-map composites: AND/OR/NOT/IN/BETWEEN as value-producing
+// expressions (used when a boolean expression appears inside CASE or a
+// projection rather than as a top-level filter, where the selection-
+// vector Pred forms are cheaper).
+
+// AndMap computes the conjunction of boolean maps.
+type AndMap struct {
+	ins []Expr
+	buf *vector.Vector
+}
+
+// NewAndMap compiles an AND over boolean expressions.
+func NewAndMap(ins ...Expr) (*AndMap, error) {
+	for _, e := range ins {
+		if e.Kind() != vtypes.KindBool {
+			return nil, fmt.Errorf("expr: AND operand must be boolean, got %v", e.Kind())
+		}
+	}
+	return &AndMap{ins: ins}, nil
+}
+
+// Kind implements Expr.
+func (a *AndMap) Kind() vtypes.Kind { return vtypes.KindBool }
+
+// Eval implements Expr.
+func (a *AndMap) Eval(b *vector.Batch) (*vector.Vector, error) {
+	if a.buf == nil || a.buf.Len() < b.Capacity() {
+		a.buf = vector.New(vtypes.KindBool, b.Capacity())
+	}
+	for i, e := range a.ins {
+		v, err := e.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		if b.N == 0 {
+			continue
+		}
+		if i == 0 {
+			primitives.MapCopy(a.buf.B, v.B, b.Sel, b.N)
+		} else {
+			primitives.MapAnd(a.buf.B, a.buf.B, v.B, b.Sel, b.N)
+		}
+	}
+	return a.buf, nil
+}
+
+// OrMap computes the disjunction of boolean maps.
+type OrMap struct {
+	ins []Expr
+	buf *vector.Vector
+}
+
+// NewOrMap compiles an OR over boolean expressions.
+func NewOrMap(ins ...Expr) (*OrMap, error) {
+	for _, e := range ins {
+		if e.Kind() != vtypes.KindBool {
+			return nil, fmt.Errorf("expr: OR operand must be boolean, got %v", e.Kind())
+		}
+	}
+	return &OrMap{ins: ins}, nil
+}
+
+// Kind implements Expr.
+func (o *OrMap) Kind() vtypes.Kind { return vtypes.KindBool }
+
+// Eval implements Expr.
+func (o *OrMap) Eval(b *vector.Batch) (*vector.Vector, error) {
+	if o.buf == nil || o.buf.Len() < b.Capacity() {
+		o.buf = vector.New(vtypes.KindBool, b.Capacity())
+	}
+	for i, e := range o.ins {
+		v, err := e.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		if b.N == 0 {
+			continue
+		}
+		if i == 0 {
+			primitives.MapCopy(o.buf.B, v.B, b.Sel, b.N)
+		} else {
+			primitives.MapOr(o.buf.B, o.buf.B, v.B, b.Sel, b.N)
+		}
+	}
+	return o.buf, nil
+}
+
+// NotMap negates a boolean map.
+type NotMap struct {
+	in  Expr
+	buf *vector.Vector
+}
+
+// NewNotMap compiles NOT over a boolean expression.
+func NewNotMap(in Expr) (*NotMap, error) {
+	if in.Kind() != vtypes.KindBool {
+		return nil, fmt.Errorf("expr: NOT operand must be boolean, got %v", in.Kind())
+	}
+	return &NotMap{in: in}, nil
+}
+
+// Kind implements Expr.
+func (n *NotMap) Kind() vtypes.Kind { return vtypes.KindBool }
+
+// Eval implements Expr.
+func (n *NotMap) Eval(b *vector.Batch) (*vector.Vector, error) {
+	v, err := n.in.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if n.buf == nil || n.buf.Len() < b.Capacity() {
+		n.buf = vector.New(vtypes.KindBool, b.Capacity())
+	}
+	if b.N > 0 {
+		primitives.MapNot(n.buf.B, v.B, b.Sel, b.N)
+	}
+	return n.buf, nil
+}
+
+// InMap computes membership as a boolean map.
+type InMap struct {
+	in   Expr
+	strs []string
+	i64s []int64
+	buf  *vector.Vector
+}
+
+// NewInMap compiles `e IN (consts...)` as a boolean map.
+func NewInMap(e Expr, vals []vtypes.Value) (*InMap, error) {
+	m := &InMap{in: e}
+	switch e.Kind().StorageClass() {
+	case vtypes.ClassStr:
+		for _, v := range vals {
+			m.strs = append(m.strs, v.Str)
+		}
+	case vtypes.ClassI64:
+		for _, v := range vals {
+			m.i64s = append(m.i64s, v.I64)
+		}
+	default:
+		return nil, fmt.Errorf("expr: IN unsupported for %v", e.Kind())
+	}
+	return m, nil
+}
+
+// Kind implements Expr.
+func (m *InMap) Kind() vtypes.Kind { return vtypes.KindBool }
+
+// Eval implements Expr.
+func (m *InMap) Eval(b *vector.Batch) (*vector.Vector, error) {
+	v, err := m.in.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if m.buf == nil || m.buf.Len() < b.Capacity() {
+		m.buf = vector.New(vtypes.KindBool, b.Capacity())
+	}
+	if b.N > 0 {
+		if m.strs != nil {
+			primitives.MapInSet(m.buf.B, v.Str, m.strs, b.Sel, b.N)
+		} else {
+			primitives.MapInSet(m.buf.B, v.I64, m.i64s, b.Sel, b.N)
+		}
+	}
+	return m.buf, nil
+}
+
+// BetweenMap computes lo <= e <= hi as a boolean map.
+type BetweenMap struct {
+	in     Expr
+	lo, hi vtypes.Value
+	buf    *vector.Vector
+}
+
+// NewBetweenMap compiles BETWEEN as a boolean map.
+func NewBetweenMap(e Expr, lo, hi vtypes.Value) (*BetweenMap, error) {
+	if e.Kind().StorageClass() != lo.Kind.StorageClass() {
+		return nil, fmt.Errorf("expr: BETWEEN type mismatch")
+	}
+	return &BetweenMap{in: e, lo: lo, hi: hi}, nil
+}
+
+// Kind implements Expr.
+func (m *BetweenMap) Kind() vtypes.Kind { return vtypes.KindBool }
+
+// Eval implements Expr.
+func (m *BetweenMap) Eval(b *vector.Batch) (*vector.Vector, error) {
+	v, err := m.in.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if m.buf == nil || m.buf.Len() < b.Capacity() {
+		m.buf = vector.New(vtypes.KindBool, b.Capacity())
+	}
+	if b.N == 0 {
+		return m.buf, nil
+	}
+	set := func(i int32, ok bool) { m.buf.B[i] = ok }
+	switch v.Kind.StorageClass() {
+	case vtypes.ClassI64:
+		lo, hi := m.lo.I64, m.hi.I64
+		if b.Sel == nil {
+			for i := 0; i < b.N; i++ {
+				m.buf.B[i] = v.I64[i] >= lo && v.I64[i] <= hi
+			}
+		} else {
+			for _, i := range b.Sel[:b.N] {
+				m.buf.B[i] = v.I64[i] >= lo && v.I64[i] <= hi
+			}
+		}
+	case vtypes.ClassF64:
+		lo, hi := m.lo.F64, m.hi.F64
+		if b.Sel == nil {
+			for i := 0; i < b.N; i++ {
+				m.buf.B[i] = v.F64[i] >= lo && v.F64[i] <= hi
+			}
+		} else {
+			for _, i := range b.Sel[:b.N] {
+				m.buf.B[i] = v.F64[i] >= lo && v.F64[i] <= hi
+			}
+		}
+	case vtypes.ClassStr:
+		lo, hi := m.lo.Str, m.hi.Str
+		if b.Sel == nil {
+			for i := 0; i < b.N; i++ {
+				set(int32(i), v.Str[i] >= lo && v.Str[i] <= hi)
+			}
+		} else {
+			for _, i := range b.Sel[:b.N] {
+				set(i, v.Str[i] >= lo && v.Str[i] <= hi)
+			}
+		}
+	}
+	return m.buf, nil
+}

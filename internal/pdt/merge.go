@@ -1,0 +1,240 @@
+package pdt
+
+import (
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+)
+
+// RowSource is a pull-based stream of row batches as aligned column
+// vectors (dense, no selection vector). n == 0 signals end of stream.
+// The storage scanner and the merge scan both present this shape, so
+// PDT layers chain naturally: stable → big PDT → small PDT.
+type RowSource interface {
+	Next() (cols []*vector.Vector, n int, err error)
+}
+
+// MergeScan applies a PDT to a stable RowSource positionally: deleted
+// stable rows are dropped, modified rows patched, inserted rows injected
+// at their positions. Runs of unmodified rows move with bulk copies —
+// the reason positional deltas merge faster than value-based ones.
+type MergeScan struct {
+	src    RowSource
+	p      *PDT
+	schema *vtypes.Schema
+	vecCap int
+
+	// stable input cursor
+	cols []*vector.Vector
+	n    int
+	off  int
+	sid  int64
+	eof  bool
+
+	// entry cursor
+	ents []Entry
+	ei   int
+
+	out *vector.Batch
+}
+
+// NewMergeScan wraps src with the deltas of p. vecCap <= 0 selects
+// vector.DefaultSize for output batches.
+func NewMergeScan(src RowSource, p *PDT, vecCap int) *MergeScan {
+	if vecCap <= 0 {
+		vecCap = vector.DefaultSize
+	}
+	return &MergeScan{
+		src:    src,
+		p:      p,
+		schema: p.Schema(),
+		vecCap: vecCap,
+		ents:   p.Entries(),
+		out:    vector.NewBatch(p.Schema(), vecCap),
+	}
+}
+
+// fill ensures a stable batch is available (or eof).
+func (m *MergeScan) fill() error {
+	for !m.eof && m.off >= m.n {
+		cols, n, err := m.src.Next()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			m.eof = true
+			return nil
+		}
+		m.cols, m.n, m.off = cols, n, 0
+	}
+	return nil
+}
+
+// Next implements RowSource, producing the merged image.
+func (m *MergeScan) Next() (cols []*vector.Vector, n int, err error) {
+	if err := m.fill(); err != nil {
+		return nil, 0, err
+	}
+	produced := 0
+	// Fresh output vectors each call: downstream operators may retain
+	// views of the returned columns.
+	m.out = vector.NewBatch(m.schema, m.vecCap)
+	for produced < m.vecCap {
+		var entSID int64 = 1<<62 - 1
+		if m.ei < len(m.ents) {
+			entSID = m.ents[m.ei].SID
+		}
+		if m.eof && m.ei >= len(m.ents) {
+			break
+		}
+		if !m.eof && m.sid < entSID {
+			// Bulk-copy the run of untouched stable rows.
+			run := entSID - m.sid
+			if avail := int64(m.n - m.off); run > avail {
+				run = avail
+			}
+			if rem := int64(m.vecCap - produced); run > rem {
+				run = rem
+			}
+			if run > 0 {
+				for c := range m.out.Vecs {
+					m.out.Vecs[c].CopyFrom(m.cols[c], m.off, produced, int(run))
+				}
+				m.off += int(run)
+				m.sid += run
+				produced += int(run)
+			}
+			if m.off >= m.n {
+				if err := m.fill(); err != nil {
+					return nil, 0, err
+				}
+			}
+			continue
+		}
+		if m.ei < len(m.ents) && entSID <= m.sid {
+			e := &m.ents[m.ei]
+			switch e.Type {
+			case Ins:
+				for c := range m.out.Vecs {
+					m.out.Vecs[c].Set(produced, e.Row[c])
+				}
+				produced++
+				m.ei++
+			case Del:
+				// Skip the stable row at this SID.
+				if err := m.skipStable(); err != nil {
+					return nil, 0, err
+				}
+				m.ei++
+			case Mod:
+				for c := range m.out.Vecs {
+					m.out.Vecs[c].CopyFrom(m.cols[c], m.off, produced, 1)
+				}
+				for _, mc := range e.Mods {
+					m.out.Vecs[mc.Col].Set(produced, mc.Val)
+				}
+				produced++
+				m.ei++
+				if err := m.skipStable(); err != nil {
+					return nil, 0, err
+				}
+			}
+			continue
+		}
+		// Entries exhausted but stable rows remain past eof handling.
+		if m.eof {
+			break
+		}
+	}
+	if produced == 0 {
+		return nil, 0, nil
+	}
+	m.out.SetDense(produced)
+	return m.out.Vecs, produced, nil
+}
+
+// skipStable advances past one stable input row.
+func (m *MergeScan) skipStable() error {
+	m.off++
+	m.sid++
+	if m.off >= m.n {
+		return m.fill()
+	}
+	return nil
+}
+
+// VecSource adapts a fixed set of in-memory columns to RowSource (test
+// and baseline-engine helper).
+type VecSource struct {
+	cols []*vector.Vector
+	rows int
+	cap  int
+	pos  int
+}
+
+// NewVecSource serves rows from whole-column vectors in batches of cap.
+func NewVecSource(cols []*vector.Vector, rows, capacity int) *VecSource {
+	if capacity <= 0 {
+		capacity = vector.DefaultSize
+	}
+	return &VecSource{cols: cols, rows: rows, cap: capacity}
+}
+
+// Next implements RowSource.
+func (s *VecSource) Next() ([]*vector.Vector, int, error) {
+	if s.pos >= s.rows {
+		return nil, 0, nil
+	}
+	n := s.rows - s.pos
+	if n > s.cap {
+		n = s.cap
+	}
+	out := make([]*vector.Vector, len(s.cols))
+	for i, v := range s.cols {
+		out[i] = viewRange(v, s.pos, s.pos+n)
+	}
+	s.pos += n
+	return out, n, nil
+}
+
+// Reset rewinds the source.
+func (s *VecSource) Reset() { s.pos = 0 }
+
+func viewRange(v *vector.Vector, lo, hi int) *vector.Vector {
+	out := &vector.Vector{Kind: v.Kind}
+	switch v.Kind.StorageClass() {
+	case vtypes.ClassI64:
+		out.I64 = v.I64[lo:hi]
+	case vtypes.ClassF64:
+		out.F64 = v.F64[lo:hi]
+	case vtypes.ClassStr:
+		out.Str = v.Str[lo:hi]
+	case vtypes.ClassBool:
+		out.B = v.B[lo:hi]
+	}
+	if v.Nulls != nil {
+		out.Nulls = v.Nulls[lo:hi]
+	}
+	return out
+}
+
+// Materialize drains a RowSource into full rows (test helper and the
+// update layer's snapshot reads).
+func Materialize(src RowSource, schema *vtypes.Schema) ([]vtypes.Row, error) {
+	var out []vtypes.Row
+	for {
+		cols, n, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		for i := 0; i < n; i++ {
+			row := make(vtypes.Row, len(cols))
+			for c, v := range cols {
+				row[c] = v.Get(i)
+			}
+			out = append(out, row)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package pdt
+
+import "vectorwise/internal/vtypes"
+
+// ProjectCols rewrites the PDT onto a column projection: Ins rows keep
+// only the projected columns, Mod entries remap column indexes (and
+// disappear when none of their columns survive), Del entries pass
+// through. Scans that read a subset of columns merge against the
+// projected PDT, so untouched columns never materialize.
+func ProjectCols(p *PDT, cols []int, projected *vtypes.Schema) *PDT {
+	out := New(projected, p.stableRows)
+	colMap := make(map[int]int, len(cols))
+	for newIdx, oldIdx := range cols {
+		colMap[oldIdx] = newIdx
+	}
+	for _, c := range p.chunks {
+		for _, e := range c.entries {
+			switch e.Type {
+			case Ins:
+				row := make(vtypes.Row, len(cols))
+				for newIdx, oldIdx := range cols {
+					row[newIdx] = e.Row[oldIdx]
+				}
+				out.appendOrdered(Entry{SID: e.SID, Type: Ins, Row: row})
+			case Del:
+				out.appendOrdered(Entry{SID: e.SID, Type: Del})
+			case Mod:
+				var mods []ColChange
+				for _, mc := range e.Mods {
+					if newIdx, ok := colMap[mc.Col]; ok {
+						mods = append(mods, ColChange{Col: newIdx, Val: mc.Val})
+					}
+				}
+				if mods != nil {
+					out.appendOrdered(Entry{SID: e.SID, Type: Mod, Mods: mods})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package pdt
+
+import "fmt"
+
+// Propagate folds a small (transaction-private) PDT down onto a copy of
+// the big (shared) PDT it was stacked on, producing a single PDT over
+// the big one's stable image. This is the commit-time operation of the
+// paper's layered PDT design.
+//
+// The small PDT's SIDs address the big PDT's *output* image — exactly
+// the coordinate system of the big PDT's RID API — so each small entry
+// replays through Insert/Delete/Modify on the copy. Entries are applied
+// in reverse sequence order: applying a change never disturbs the
+// positions of rows before it, so earlier (smaller-position) entries
+// remain addressable; and reverse replay of equal-position inserts
+// restores their original relative order.
+func Propagate(big, small *PDT) (*PDT, error) {
+	if big.VisibleRows() != small.StableRows() {
+		return nil, fmt.Errorf("pdt: propagate mismatch: big output %d rows, small stable %d",
+			big.VisibleRows(), small.StableRows())
+	}
+	out := big.Clone()
+	ents := small.Entries()
+	for i := len(ents) - 1; i >= 0; i-- {
+		e := ents[i]
+		switch e.Type {
+		case Ins:
+			if err := out.Insert(e.SID, e.Row); err != nil {
+				return nil, fmt.Errorf("pdt: propagate insert: %w", err)
+			}
+		case Del:
+			if err := out.Delete(e.SID); err != nil {
+				return nil, fmt.Errorf("pdt: propagate delete: %w", err)
+			}
+		case Mod:
+			for _, mc := range e.Mods {
+				if err := out.Modify(e.SID, mc.Col, mc.Val); err != nil {
+					return nil, fmt.Errorf("pdt: propagate modify: %w", err)
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package primitives
+
+import "strings"
+
+// LIKE support. The expression compiler classifies patterns into fast
+// paths (prefix / suffix / contains / exact) and falls back to a general
+// glob matcher for mixed patterns such as TPC-H Q9's '%green%' or
+// Q13's '%special%requests%'. '%' matches any run, '_' any single byte.
+
+// LikeShape classifies a LIKE pattern.
+type LikeShape uint8
+
+// Pattern shapes, cheapest first.
+const (
+	// LikeExact has no wildcards: equality.
+	LikeExact LikeShape = iota
+	// LikePrefix is "abc%".
+	LikePrefix
+	// LikeSuffix is "%abc".
+	LikeSuffix
+	// LikeContains is "%abc%".
+	LikeContains
+	// LikeGeneral is anything else.
+	LikeGeneral
+)
+
+// ClassifyLike returns the shape of pattern and the literal payload for
+// the fast-path shapes (pattern stripped of its wildcards).
+func ClassifyLike(pattern string) (LikeShape, string) {
+	if strings.ContainsRune(pattern, '_') {
+		return LikeGeneral, pattern
+	}
+	n := strings.Count(pattern, "%")
+	switch {
+	case n == 0:
+		return LikeExact, pattern
+	case n == 1 && strings.HasSuffix(pattern, "%"):
+		return LikePrefix, pattern[:len(pattern)-1]
+	case n == 1 && strings.HasPrefix(pattern, "%"):
+		return LikeSuffix, pattern[1:]
+	case n == 2 && strings.HasPrefix(pattern, "%") && strings.HasSuffix(pattern, "%") && len(pattern) >= 2:
+		inner := pattern[1 : len(pattern)-1]
+		if !strings.Contains(inner, "%") {
+			return LikeContains, inner
+		}
+	}
+	return LikeGeneral, pattern
+}
+
+// MatchLike reports whether s matches the general LIKE pattern.
+// Iterative two-pointer algorithm with backtracking on the last '%'.
+func MatchLike(s, pattern string) bool {
+	var si, pi int
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star != -1:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// SelLike selects live i where a[i] matches pattern, dispatching to the
+// cheapest kernel for the pattern's shape.
+func SelLike(res []int32, a []string, pattern string, sel []int32, n int) int {
+	shape, lit := ClassifyLike(pattern)
+	pred := likePred(shape, lit, pattern)
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if pred(a[i]) {
+				res[k] = int32(i)
+				k++
+			}
+		}
+		return k
+	}
+	for _, i := range sel[:n] {
+		if pred(a[i]) {
+			res[k] = i
+			k++
+		}
+	}
+	return k
+}
+
+// SelNotLike selects live i where a[i] does not match pattern.
+func SelNotLike(res []int32, a []string, pattern string, sel []int32, n int) int {
+	shape, lit := ClassifyLike(pattern)
+	pred := likePred(shape, lit, pattern)
+	k := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if !pred(a[i]) {
+				res[k] = int32(i)
+				k++
+			}
+		}
+		return k
+	}
+	for _, i := range sel[:n] {
+		if !pred(a[i]) {
+			res[k] = i
+			k++
+		}
+	}
+	return k
+}
+
+// MapLike computes dst[i] = (a[i] LIKE pattern) for live i.
+func MapLike(dst []bool, a []string, pattern string, sel []int32, n int) {
+	shape, lit := ClassifyLike(pattern)
+	pred := likePred(shape, lit, pattern)
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			dst[i] = pred(a[i])
+		}
+		return
+	}
+	for _, i := range sel[:n] {
+		dst[i] = pred(a[i])
+	}
+}
+
+func likePred(shape LikeShape, lit, pattern string) func(string) bool {
+	switch shape {
+	case LikeExact:
+		return func(s string) bool { return s == lit }
+	case LikePrefix:
+		return func(s string) bool { return strings.HasPrefix(s, lit) }
+	case LikeSuffix:
+		return func(s string) bool { return strings.HasSuffix(s, lit) }
+	case LikeContains:
+		return func(s string) bool { return strings.Contains(s, lit) }
+	default:
+		return func(s string) bool { return MatchLike(s, pattern) }
+	}
+}

@@ -1,0 +1,179 @@
+package rewriter
+
+import (
+	"strings"
+	"testing"
+
+	"vectorwise/internal/algebra"
+	"vectorwise/internal/catalog"
+	"vectorwise/internal/core"
+	"vectorwise/internal/storage"
+	"vectorwise/internal/tupleengine"
+	"vectorwise/internal/vtypes"
+	"vectorwise/internal/xcompile"
+)
+
+func colI(i int) algebra.Scalar { return &algebra.ColRef{Idx: i, K: vtypes.KindI64} }
+func litI(v int64) algebra.Scalar {
+	return &algebra.Lit{Val: vtypes.I64Value(v)}
+}
+
+func TestSimplifyFlattensAndFolds(t *testing.T) {
+	nested := &algebra.And{Preds: []algebra.Scalar{
+		&algebra.And{Preds: []algebra.Scalar{
+			&algebra.Cmp{Op: algebra.CmpLt, L: colI(0), R: litI(5)},
+			&algebra.Lit{Val: vtypes.BoolValue(true)},
+		}},
+		&algebra.Cmp{Op: algebra.CmpGt, L: colI(1), R: litI(2)},
+	}}
+	out := Simplify(nested)
+	and, ok := out.(*algebra.And)
+	if !ok || len(and.Preds) != 2 {
+		t.Fatalf("flatten failed: %v", out)
+	}
+	// Single conjunct unwraps.
+	single := Simplify(&algebra.And{Preds: []algebra.Scalar{colCmp()}})
+	if _, ok := single.(*algebra.Cmp); !ok {
+		t.Fatalf("single AND must unwrap: %T", single)
+	}
+	// Double negation cancels.
+	nn := Simplify(&algebra.Not{In: &algebra.Not{In: colCmp()}})
+	if _, ok := nn.(*algebra.Cmp); !ok {
+		t.Fatalf("double NOT must cancel: %T", nn)
+	}
+	// NOT of comparison inverts the operator.
+	inv := Simplify(&algebra.Not{In: &algebra.Cmp{Op: algebra.CmpLt, L: colI(0), R: litI(1)}})
+	if c, ok := inv.(*algebra.Cmp); !ok || c.Op != algebra.CmpGe {
+		t.Fatalf("NOT < must become >=: %v", inv)
+	}
+	// Literal-literal comparison folds.
+	folded := Simplify(&algebra.Cmp{Op: algebra.CmpLt, L: litI(1), R: litI(2)})
+	if l, ok := folded.(*algebra.Lit); !ok || !l.Val.B {
+		t.Fatalf("1<2 must fold to true: %v", folded)
+	}
+	// NOT LIKE folds into the Like node.
+	nl := Simplify(&algebra.Not{In: &algebra.Like{In: colI(0), Pattern: "x%"}})
+	if lk, ok := nl.(*algebra.Like); !ok || !lk.Negate {
+		t.Fatalf("NOT LIKE must fold: %v", nl)
+	}
+}
+
+func colCmp() algebra.Scalar {
+	return &algebra.Cmp{Op: algebra.CmpEq, L: colI(0), R: litI(1)}
+}
+
+func buildCat(t *testing.T, rows, groupRows int) *catalog.Catalog {
+	t.Helper()
+	schema := vtypes.NewSchema(
+		vtypes.Column{Name: "g", Kind: vtypes.KindI64},
+		vtypes.Column{Name: "v", Kind: vtypes.KindF64},
+	)
+	b := storage.NewBuilder("t", schema, groupRows)
+	for i := 0; i < rows; i++ {
+		if err := b.AppendRow(vtypes.Row{vtypes.I64Value(int64(i % 13)), vtypes.F64Value(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	cat.Put(tbl)
+	return cat
+}
+
+func aggPlan(fn algebra.AggFn) *algebra.AggNode {
+	return &algebra.AggNode{
+		Input: &algebra.ScanNode{Table: "t", Cols: []int{0, 1},
+			Out: vtypes.NewSchema(
+				vtypes.Column{Name: "g", Kind: vtypes.KindI64},
+				vtypes.Column{Name: "v", Kind: vtypes.KindF64})},
+		GroupBy: []algebra.Scalar{colI(0)},
+		Aggs:    []algebra.AggExpr{{Fn: fn, Arg: &algebra.ColRef{Idx: 1, K: vtypes.KindF64}}},
+		Names:   []string{"g", "a"},
+	}
+}
+
+func TestParallelizeAggMatchesSerial(t *testing.T) {
+	cat := buildCat(t, 5000, 512)
+	for _, fn := range []algebra.AggFn{algebra.AggSum, algebra.AggMin, algebra.AggMax, algebra.AggAvg} {
+		serialRows, err := tupleengine.Run(aggPlan(fn), cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := Parallelize(aggPlan(fn), cat, 4)
+		if _, isAgg := par.(*algebra.AggNode); fn != algebra.AggAvg && !isAgg {
+			t.Fatalf("fn %v: parallel plan should be final-agg-rooted, got %T", fn, par)
+		}
+		op, err := xcompile.Compile(par, cat, xcompile.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRows, err := core.Collect(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parRows) != len(serialRows) {
+			t.Fatalf("fn %v: %d parallel rows vs %d serial", fn, len(parRows), len(serialRows))
+		}
+		// Compare as maps (exchange reorders groups).
+		want := map[int64]float64{}
+		for _, r := range serialRows {
+			want[r[0].I64] = r[1].AsFloat()
+		}
+		for _, r := range parRows {
+			w := want[r[0].I64]
+			g := r[1].AsFloat()
+			if diff := g - w; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("fn %v group %d: parallel %v vs serial %v", fn, r[0].I64, g, w)
+			}
+		}
+	}
+}
+
+func TestParallelizeInjectsExchange(t *testing.T) {
+	cat := buildCat(t, 5000, 512)
+	par := Parallelize(aggPlan(algebra.AggSum), cat, 4)
+	plan := algebra.Explain(par)
+	if !strings.Contains(plan, "XchgUnion") {
+		t.Fatalf("no exchange in plan:\n%s", plan)
+	}
+	if !strings.Contains(plan, "part=") {
+		t.Fatalf("no partitioned scans in plan:\n%s", plan)
+	}
+}
+
+func TestParallelizeLeavesSmallTablesAlone(t *testing.T) {
+	cat := buildCat(t, 100, 512) // single row group
+	par := Parallelize(aggPlan(algebra.AggSum), cat, 4)
+	if strings.Contains(algebra.Explain(par), "XchgUnion") {
+		t.Fatal("single-group table must not parallelize")
+	}
+	// workers <= 1 is a no-op.
+	same := Parallelize(aggPlan(algebra.AggSum), cat, 1)
+	if strings.Contains(algebra.Explain(same), "XchgUnion") {
+		t.Fatal("workers=1 must not parallelize")
+	}
+}
+
+func TestDecomposeAvg(t *testing.T) {
+	plan := aggPlan(algebra.AggAvg)
+	out := DecomposeAvg(plan)
+	proj, ok := out.(*algebra.ProjectNode)
+	if !ok {
+		t.Fatalf("AVG must decompose under a Project, got %T", out)
+	}
+	inner, ok := proj.Input.(*algebra.AggNode)
+	if !ok || len(inner.Aggs) != 2 {
+		t.Fatalf("decomposed agg wrong: %#v", proj.Input)
+	}
+	if inner.Aggs[0].Fn != algebra.AggSum || inner.Aggs[1].Fn != algebra.AggCountStar {
+		t.Fatal("AVG must become SUM + COUNT")
+	}
+	// Non-AVG plans pass through unchanged.
+	same := DecomposeAvg(aggPlan(algebra.AggSum))
+	if _, ok := same.(*algebra.AggNode); !ok {
+		t.Fatal("non-AVG plan must pass through")
+	}
+}

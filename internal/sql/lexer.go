@@ -1,0 +1,143 @@
+// Package sql implements the SQL frontend: a hand-written lexer and
+// recursive-descent parser for the analytical subset the repository's
+// workloads need (stand-in for the Ingres SQL layer of §I-B), plus a
+// planner that resolves names against the catalog and emits algebra
+// plans for the optimizer/cross-compiler stack.
+//
+// Supported statements:
+//
+//	CREATE TABLE t (col TYPE [NULL], ...)
+//	INSERT INTO t VALUES (...), (...)
+//	SELECT exprs FROM t [JOIN u ON a = b]... [WHERE p]
+//	    [GROUP BY exprs] [ORDER BY expr [DESC], ...] [LIMIT n]
+//	UPDATE t SET col = expr [WHERE p]
+//	DELETE FROM t [WHERE p]
+//
+// Scalar grammar: arithmetic, comparisons, AND/OR/NOT, BETWEEN, IN,
+// [NOT] LIKE, IS [NOT] NULL, CASE WHEN ... THEN ... ELSE ... END,
+// SUM/COUNT/AVG/MIN/MAX aggregates, YEAR(d), DATE 'YYYY-MM-DD' literals.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // recognized keyword (upper-cased)
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased, idents lower-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "BETWEEN": true, "LIKE": true,
+	"IS": true, "NULL": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "AS": true, "JOIN": true, "ON": true,
+	"INNER": true, "LEFT": true, "OUTER": true, "SEMI": true, "ANTI": true,
+	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "DATE": true,
+	"BIGINT": true, "DOUBLE": true, "VARCHAR": true, "BOOLEAN": true,
+	"TRUE": true, "FALSE": true, "SUM": true, "COUNT": true, "AVG": true,
+	"MIN": true, "MAX": true, "YEAR": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "HAVING": true, "DISTINCT": true, "INTEGER": true,
+	"TEXT": true, "FLOAT": true,
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			for i < n && (isDigit(input[i]) || input[i] == '.') {
+				i++
+			}
+			out = append(out, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			i++
+			start := i
+			var sb strings.Builder
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteString(input[start:i])
+						sb.WriteByte('\'')
+						i += 2
+						start = i
+						continue
+					}
+					break
+				}
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated string at %d", start)
+			}
+			sb.WriteString(input[start:i])
+			i++
+			out = append(out, token{kind: tokString, text: sb.String(), pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentChar(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				out = append(out, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				out = append(out, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+			}
+		default:
+			// Multi-char operators first.
+			if i+1 < n {
+				two := input[i : i+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					if two == "!=" {
+						two = "<>"
+					}
+					out = append(out, token{kind: tokSymbol, text: two, pos: i})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';':
+				out = append(out, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: n})
+	return out, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentChar(c byte) bool  { return isIdentStart(c) || isDigit(c) }

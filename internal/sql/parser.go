@@ -1,0 +1,681 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one SQL statement.
+func Parse(input string) (Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, fmt.Errorf("sql: expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.at(tokKeyword, "CREATE"):
+		return p.createStmt()
+	case p.at(tokKeyword, "INSERT"):
+		return p.insertStmt()
+	case p.at(tokKeyword, "UPDATE"):
+		return p.updateStmt()
+	case p.at(tokKeyword, "DELETE"):
+		return p.deleteStmt()
+	case p.accept(tokKeyword, "BEGIN"):
+		return &TxStmt{Kind: "begin"}, nil
+	case p.accept(tokKeyword, "COMMIT"):
+		return &TxStmt{Kind: "commit"}, nil
+	case p.accept(tokKeyword, "ROLLBACK"):
+		return &TxStmt{Kind: "rollback"}, nil
+	default:
+		return nil, fmt.Errorf("sql: unexpected %q", p.cur().text)
+	}
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	for {
+		if p.accept(tokSymbol, "*") {
+			s.Items = append(s.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokKeyword, "AS") {
+				t, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = t.text
+			} else if p.at(tokIdent, "") {
+				item.Alias = p.next().text
+			}
+			s.Items = append(s.Items, item)
+		}
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	tr, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	s.From = append(s.From, tr)
+	for {
+		kind := ""
+		switch {
+		case p.accept(tokKeyword, "JOIN"):
+			kind = "inner"
+		case p.at(tokKeyword, "INNER"):
+			p.next()
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "inner"
+		case p.at(tokKeyword, "LEFT"):
+			p.next()
+			p.accept(tokKeyword, "OUTER")
+			if p.accept(tokKeyword, "SEMI") {
+				kind = "semi"
+			} else if p.accept(tokKeyword, "ANTI") {
+				kind = "anti"
+			} else {
+				kind = "left"
+			}
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		case p.at(tokKeyword, "SEMI"):
+			p.next()
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "semi"
+		case p.at(tokKeyword, "ANTI"):
+			p.next()
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "anti"
+		}
+		if kind == "" {
+			break
+		}
+		jt, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		var ons []OnEq
+		for {
+			l, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, "="); err != nil {
+				return nil, err
+			}
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			ons = append(ons, OnEq{L: l, R: r})
+			if !p.accept(tokKeyword, "AND") {
+				break
+			}
+		}
+		s.Joins = append(s.Joins, JoinClause{Kind: kind, Table: jt, On: ons})
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: t.text, Alias: t.text}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a.text
+	} else if p.at(tokIdent, "") {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+func (p *parser) createStmt() (*CreateStmt, error) {
+	p.next() // CREATE
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	st := &CreateStmt{Table: name.text}
+	for {
+		cn, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ct := p.cur()
+		if ct.kind != tokKeyword {
+			return nil, fmt.Errorf("sql: expected type for column %q", cn.text)
+		}
+		p.next()
+		typ := ct.text
+		switch typ {
+		case "INTEGER":
+			typ = "BIGINT"
+		case "TEXT":
+			typ = "VARCHAR"
+		case "FLOAT":
+			typ = "DOUBLE"
+		}
+		col := CreateCol{Name: cn.text, Type: typ}
+		if p.accept(tokKeyword, "NULL") {
+			col.Nullable = true
+		} else if p.accept(tokKeyword, "NOT") {
+			if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+				return nil, err
+			}
+		}
+		st.Cols = append(st.Cols, col)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) insertStmt() (*InsertStmt, error) {
+	p.next() // INSERT
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name.text}
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) updateStmt() (*UpdateStmt, error) {
+	p.next() // UPDATE
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name.text, Set: map[string]Expr{}}
+	for {
+		cn, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set[cn.text] = e
+		st.SetOrder = append(st.SetOrder, cn.text)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStmt() (*DeleteStmt, error) {
+	p.next() // DELETE
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name.text}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+// Expression grammar (precedence climbing):
+// expr := orExpr
+// orExpr := andExpr (OR andExpr)*
+// andExpr := notExpr (AND notExpr)*
+// notExpr := [NOT] predExpr
+// predExpr := addExpr [cmpOp addExpr | BETWEEN .. AND .. | IN (..) |
+//             [NOT] LIKE 'pat' | IS [NOT] NULL]
+// addExpr := mulExpr (('+'|'-') mulExpr)*
+// mulExpr := unary (('*'|'/') unary)*
+// unary := ['-'] primary
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		in, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{In: in}, nil
+	}
+	return p.predExpr()
+}
+
+func (p *parser) predExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.at(tokSymbol, "=") || p.at(tokSymbol, "<") || p.at(tokSymbol, ">") ||
+		p.at(tokSymbol, "<=") || p.at(tokSymbol, ">=") || p.at(tokSymbol, "<>"):
+		op := p.next().text
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: op, L: l, R: r}, nil
+	case p.accept(tokKeyword, "BETWEEN"):
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{In: l, Lo: lo, Hi: hi}, nil
+	case p.accept(tokKeyword, "IN"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{In: l, List: list}, nil
+	case p.accept(tokKeyword, "LIKE"):
+		t, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{In: l, Pattern: t.text}, nil
+	case p.accept(tokKeyword, "IS"):
+		neg := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{In: l, Negate: neg}, nil
+	}
+	// NOT LIKE postfix.
+	if p.at(tokKeyword, "NOT") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == "LIKE" {
+		p.next()
+		p.next()
+		t, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{In: l, Pattern: t.text, Negate: true}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "+") || p.at(tokSymbol, "-") {
+		op := p.next().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "*") || p.at(tokSymbol, "/") {
+		op := p.next().text
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		in, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: "-", L: &NumLit{Text: "0"}, R: in}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return &NumLit{Text: t.text}, nil
+	case t.kind == tokString:
+		p.next()
+		return &StrLit{Val: t.text}, nil
+	case p.accept(tokKeyword, "TRUE"):
+		return &BoolLit{Val: true}, nil
+	case p.accept(tokKeyword, "FALSE"):
+		return &BoolLit{Val: false}, nil
+	case p.accept(tokKeyword, "NULL"):
+		return &NullLit{}, nil
+	case p.accept(tokKeyword, "DATE"):
+		s, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &DateLit{Val: s.text}, nil
+	case p.accept(tokKeyword, "CASE"):
+		if _, err := p.expect(tokKeyword, "WHEN"); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ELSE"); err != nil {
+			return nil, err
+		}
+		el, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "END"); err != nil {
+			return nil, err
+		}
+		return &CaseExpr{Cond: cond, Then: then, Else: el}, nil
+	case t.kind == tokKeyword && (t.text == "SUM" || t.text == "COUNT" || t.text == "AVG" || t.text == "MIN" || t.text == "MAX"):
+		p.next()
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		call := &AggCall{Fn: t.text}
+		if t.text == "COUNT" && p.accept(tokSymbol, "*") {
+			// COUNT(*)
+		} else {
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call.Arg = arg
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	case p.accept(tokKeyword, "YEAR"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &FuncCall{Fn: "YEAR", Arg: arg}, nil
+	case p.accept(tokSymbol, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.accept(tokSymbol, ".") {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qualifier: t.text, Name: c.text}, nil
+		}
+		return &Ident{Name: t.text}, nil
+	default:
+		return nil, fmt.Errorf("sql: unexpected token %q in expression", t.text)
+	}
+}

@@ -1,0 +1,731 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vectorwise/internal/algebra"
+	"vectorwise/internal/catalog"
+	"vectorwise/internal/vtypes"
+)
+
+// Planner lowers parsed statements onto the algebra, resolving names
+// against the catalog, pushing single-table predicates below joins and
+// picking hash-join build sides by estimated cardinality — the slice of
+// the Ingres optimizer's work this reproduction needs (histograms feed
+// the estimates; see internal/catalog).
+type Planner struct {
+	Cat *catalog.Catalog
+}
+
+// scopeEntry is one table visible in the FROM clause.
+type scopeEntry struct {
+	alias  string
+	table  string
+	schema *vtypes.Schema
+	offset int // column offset in the join row
+}
+
+type scope struct{ entries []scopeEntry }
+
+func (s *scope) width() int {
+	n := 0
+	for _, e := range s.entries {
+		n += e.schema.Len()
+	}
+	return n
+}
+
+// resolve finds a column by (qualifier, name).
+func (s *scope) resolve(qual, name string) (int, vtypes.Kind, error) {
+	found := -1
+	var kind vtypes.Kind
+	for _, e := range s.entries {
+		if qual != "" && e.alias != qual {
+			continue
+		}
+		if ix := e.schema.ColIndex(name); ix >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("sql: ambiguous column %q", name)
+			}
+			found = e.offset + ix
+			kind = e.schema.Col(ix).Kind
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("sql: unknown column %q", qualName(qual, name))
+	}
+	return found, kind, nil
+}
+
+func qualName(q, n string) string {
+	if q == "" {
+		return n
+	}
+	return q + "." + n
+}
+
+// PlanSelect lowers a SELECT onto the algebra.
+func (p *Planner) PlanSelect(s *SelectStmt) (algebra.Node, error) {
+	if len(s.From) != 1 {
+		return nil, fmt.Errorf("sql: exactly one FROM table plus JOIN clauses supported")
+	}
+	sc := &scope{}
+	node, err := p.baseScan(s.From[0], sc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split WHERE into conjuncts for pushdown.
+	conjuncts := splitConjuncts(s.Where)
+
+	// Push single-table conjuncts that only reference the first table
+	// down before joins.
+	node, conjuncts, err = p.pushdown(node, sc, conjuncts, s.From[0].Alias)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, j := range s.Joins {
+		rightSc := &scope{}
+		right, err := p.baseScan(j.Table, rightSc)
+		if err != nil {
+			return nil, err
+		}
+		// Push right-table-only conjuncts into the build side.
+		right, conjuncts, err = p.pushdown(right, rightSc, conjuncts, j.Table.Alias)
+		if err != nil {
+			return nil, err
+		}
+		// Resolve keys: left keys against current scope, right keys
+		// against the joined table.
+		var lkeys, rkeys []algebra.Scalar
+		for _, on := range j.On {
+			lk, rk, err := p.resolveOn(on, sc, rightSc)
+			if err != nil {
+				return nil, err
+			}
+			lkeys = append(lkeys, lk)
+			rkeys = append(rkeys, rk)
+		}
+		var typ algebra.JoinType
+		switch j.Kind {
+		case "inner":
+			typ = algebra.JoinInner
+		case "left":
+			typ = algebra.JoinLeftOuter
+		case "semi":
+			typ = algebra.JoinLeftSemi
+		case "anti":
+			typ = algebra.JoinLeftAnti
+		}
+		node = &algebra.JoinNode{Left: node, Right: right, LeftKeys: lkeys, RightKeys: rkeys, Type: typ}
+		if typ == algebra.JoinInner || typ == algebra.JoinLeftOuter {
+			base := sc.width()
+			for _, e := range rightSc.entries {
+				sc.entries = append(sc.entries, scopeEntry{
+					alias: e.alias, table: e.table, schema: e.schema, offset: base + e.offset,
+				})
+			}
+		}
+	}
+
+	// Remaining WHERE conjuncts above the joins.
+	if len(conjuncts) > 0 {
+		pred, err := p.lowerConjuncts(conjuncts, sc)
+		if err != nil {
+			return nil, err
+		}
+		node = &algebra.SelectNode{Input: node, Pred: pred}
+	}
+
+	// Aggregation?
+	hasAgg := len(s.GroupBy) > 0
+	for _, item := range s.Items {
+		if !item.Star && containsAgg(item.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		return p.planAggregate(s, node, sc)
+	}
+
+	// Plain projection.
+	var exprs []algebra.Scalar
+	var names []string
+	for _, item := range s.Items {
+		if item.Star {
+			for _, e := range sc.entries {
+				for ci := 0; ci < e.schema.Len(); ci++ {
+					exprs = append(exprs, &algebra.ColRef{Idx: e.offset + ci, K: e.schema.Col(ci).Kind})
+					names = append(names, e.schema.Col(ci).Name)
+				}
+			}
+			continue
+		}
+		lo, err := p.lower(item.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, lo)
+		names = append(names, itemName(item))
+	}
+	// ORDER BY resolves against the pre-projection scope (SQL permits
+	// sorting on non-projected columns), falling back to select aliases.
+	if len(s.OrderBy) > 0 {
+		var keys []algebra.SortKey
+		for _, o := range s.OrderBy {
+			lo, err := p.lower(o.Expr, sc)
+			if err != nil {
+				if id, ok := o.Expr.(*Ident); ok && id.Qualifier == "" {
+					found := false
+					for i, n := range names {
+						if n == id.Name {
+							lo, found = exprs[i], true
+							break
+						}
+					}
+					if !found {
+						return nil, err
+					}
+				} else {
+					return nil, err
+				}
+			}
+			keys = append(keys, algebra.SortKey{Expr: lo, Desc: o.Desc})
+		}
+		node = &algebra.SortNode{Input: node, Keys: keys}
+	}
+	out := algebra.Node(&algebra.ProjectNode{Input: node, Exprs: exprs, Names: names})
+	if s.Limit >= 0 {
+		out = &algebra.LimitNode{Input: out, N: s.Limit}
+	}
+	return out, nil
+}
+
+// baseScan builds a full-width scan of a table.
+func (p *Planner) baseScan(tr TableRef, sc *scope) (algebra.Node, error) {
+	tbl, _, err := p.Cat.Resolve(tr.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	cols := make([]int, schema.Len())
+	for i := range cols {
+		cols[i] = i
+	}
+	sc.entries = append(sc.entries, scopeEntry{alias: tr.Alias, table: tr.Table, schema: schema, offset: sc.width()})
+	return &algebra.ScanNode{Table: tr.Table, Cols: cols, Out: schema.Clone()}, nil
+}
+
+// pushdown applies conjuncts referencing only `alias` directly above its
+// scan, returning the remaining conjuncts.
+func (p *Planner) pushdown(node algebra.Node, sc *scope, conjuncts []Expr, alias string) (algebra.Node, []Expr, error) {
+	var local, rest []Expr
+	for _, c := range conjuncts {
+		if onlyReferences(c, alias, sc) {
+			local = append(local, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	if len(local) == 0 {
+		return node, rest, nil
+	}
+	pred, err := p.lowerConjuncts(local, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &algebra.SelectNode{Input: node, Pred: pred}, rest, nil
+}
+
+func (p *Planner) lowerConjuncts(cs []Expr, sc *scope) (algebra.Scalar, error) {
+	var preds []algebra.Scalar
+	for _, c := range cs {
+		lo, err := p.lower(c, sc)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, lo)
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return &algebra.And{Preds: preds}, nil
+}
+
+func (p *Planner) resolveOn(on OnEq, left, right *scope) (algebra.Scalar, algebra.Scalar, error) {
+	l, errL := p.lower(on.L, left)
+	if errL == nil {
+		r, errR := p.lower(on.R, right)
+		if errR == nil {
+			return l, r, nil
+		}
+	}
+	// Try swapped orientation (ON b.x = a.y).
+	l2, err := p.lower(on.R, left)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sql: cannot resolve join condition")
+	}
+	r2, err := p.lower(on.L, right)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sql: cannot resolve join condition")
+	}
+	return l2, r2, nil
+}
+
+// planAggregate lowers GROUP BY queries.
+func (p *Planner) planAggregate(s *SelectStmt, input algebra.Node, sc *scope) (algebra.Node, error) {
+	var groupBy []algebra.Scalar
+	for _, g := range s.GroupBy {
+		lo, err := p.lower(g, sc)
+		if err != nil {
+			return nil, err
+		}
+		groupBy = append(groupBy, lo)
+	}
+	// Collect aggregates and map select items onto agg output columns.
+	var aggs []algebra.AggExpr
+	var names []string
+	type outCol struct {
+		isGroup bool
+		idx     int
+	}
+	var outs []outCol
+	groupNames := make([]string, len(groupBy))
+	for i := range groupNames {
+		groupNames[i] = fmt.Sprintf("g%d", i)
+	}
+	for _, item := range s.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sql: * not allowed with GROUP BY")
+		}
+		if g := matchGroupExpr(item.Expr, s.GroupBy); g >= 0 {
+			outs = append(outs, outCol{isGroup: true, idx: g})
+			groupNames[g] = itemName(item)
+			names = append(names, itemName(item))
+			continue
+		}
+		agg, ok := item.Expr.(*AggCall)
+		if !ok {
+			return nil, fmt.Errorf("sql: non-aggregate select item must appear in GROUP BY")
+		}
+		ax, err := p.lowerAgg(agg, sc)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, outCol{idx: len(aggs)})
+		aggs = append(aggs, ax)
+		names = append(names, itemName(item))
+	}
+	aggNames := append([]string{}, groupNames...)
+	for i, o := range outs {
+		if !o.isGroup {
+			aggNames = append(aggNames, names[i])
+		}
+	}
+	node := algebra.Node(&algebra.AggNode{Input: input, GroupBy: groupBy, Aggs: aggs, Names: aggNames})
+	aggSchema := node.Schema()
+
+	// Re-project into select order.
+	var exprs []algebra.Scalar
+	for _, o := range outs {
+		if o.isGroup {
+			exprs = append(exprs, &algebra.ColRef{Idx: o.idx, K: aggSchema.Col(o.idx).Kind})
+		} else {
+			ix := len(groupBy) + o.idx
+			exprs = append(exprs, &algebra.ColRef{Idx: ix, K: aggSchema.Col(ix).Kind})
+		}
+	}
+	node = &algebra.ProjectNode{Input: node, Exprs: exprs, Names: names}
+
+	if s.Having != nil {
+		outSc := schemaScope(node.Schema())
+		pred, err := p.lower(s.Having, outSc)
+		if err != nil {
+			return nil, err
+		}
+		node = &algebra.SelectNode{Input: node, Pred: pred}
+	}
+	return p.finishOrderLimit(s, node)
+}
+
+// finishOrderLimit adds Sort and Limit over the projected output.
+func (p *Planner) finishOrderLimit(s *SelectStmt, node algebra.Node) (algebra.Node, error) {
+	if len(s.OrderBy) > 0 {
+		outSc := schemaScope(node.Schema())
+		var keys []algebra.SortKey
+		for _, o := range s.OrderBy {
+			lo, err := p.lower(o.Expr, outSc)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, algebra.SortKey{Expr: lo, Desc: o.Desc})
+		}
+		node = &algebra.SortNode{Input: node, Keys: keys}
+	}
+	if s.Limit >= 0 {
+		node = &algebra.LimitNode{Input: node, N: s.Limit}
+	}
+	return node, nil
+}
+
+// schemaScope exposes an output schema as an unqualified scope.
+func schemaScope(s *vtypes.Schema) *scope {
+	return &scope{entries: []scopeEntry{{alias: "", schema: s}}}
+}
+
+// lowerAgg lowers an aggregate call.
+func (p *Planner) lowerAgg(a *AggCall, sc *scope) (algebra.AggExpr, error) {
+	var fn algebra.AggFn
+	switch a.Fn {
+	case "SUM":
+		fn = algebra.AggSum
+	case "COUNT":
+		if a.Arg == nil {
+			return algebra.AggExpr{Fn: algebra.AggCountStar}, nil
+		}
+		fn = algebra.AggCount
+	case "AVG":
+		fn = algebra.AggAvg
+	case "MIN":
+		fn = algebra.AggMin
+	case "MAX":
+		fn = algebra.AggMax
+	}
+	arg, err := p.lower(a.Arg, sc)
+	if err != nil {
+		return algebra.AggExpr{}, err
+	}
+	return algebra.AggExpr{Fn: fn, Arg: arg}, nil
+}
+
+// lower lowers an AST expression against a scope.
+func (p *Planner) lower(e Expr, sc *scope) (algebra.Scalar, error) {
+	switch t := e.(type) {
+	case *Ident:
+		ix, kind, err := sc.resolve(t.Qualifier, t.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.ColRef{Idx: ix, K: kind}, nil
+	case *NumLit:
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.Text)
+			}
+			return &algebra.Lit{Val: vtypes.F64Value(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.Text)
+		}
+		return &algebra.Lit{Val: vtypes.I64Value(n)}, nil
+	case *StrLit:
+		return &algebra.Lit{Val: vtypes.StrValue(t.Val)}, nil
+	case *DateLit:
+		d, err := vtypes.ParseDate(t.Val)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Lit{Val: vtypes.DateValue(d)}, nil
+	case *BoolLit:
+		return &algebra.Lit{Val: vtypes.BoolValue(t.Val)}, nil
+	case *NullLit:
+		return &algebra.Lit{Val: vtypes.NullValue(vtypes.KindI64)}, nil
+	case *BinExpr:
+		l, err := p.lower(t.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.lower(t.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "AND":
+			return &algebra.And{Preds: []algebra.Scalar{l, r}}, nil
+		case "OR":
+			return &algebra.Or{Preds: []algebra.Scalar{l, r}}, nil
+		case "+", "-", "*", "/":
+			op := map[string]algebra.ArithOp{"+": algebra.OpAdd, "-": algebra.OpSub, "*": algebra.OpMul, "/": algebra.OpDiv}[t.Op]
+			// Widen int literals beside float columns.
+			l, r = widenPair(l, r)
+			return algebra.NewArith(op, l, r)
+		default:
+			op := map[string]algebra.CmpOp{"=": algebra.CmpEq, "<>": algebra.CmpNe, "<": algebra.CmpLt, "<=": algebra.CmpLe, ">": algebra.CmpGt, ">=": algebra.CmpGe}[t.Op]
+			l, r = widenPair(l, r)
+			return &algebra.Cmp{Op: op, L: l, R: r}, nil
+		}
+	case *NotExpr:
+		in, err := p.lower(t.In, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Not{In: in}, nil
+	case *BetweenExpr:
+		in, err := p.lower(t.In, sc)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := p.lowerLit(t.Lo, sc, in.Kind())
+		if err != nil {
+			return nil, err
+		}
+		hi, err := p.lowerLit(t.Hi, sc, in.Kind())
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Between{In: in, Lo: lo, Hi: hi}, nil
+	case *InExpr:
+		in, err := p.lower(t.In, sc)
+		if err != nil {
+			return nil, err
+		}
+		var list []vtypes.Value
+		for _, le := range t.List {
+			v, err := p.lowerLit(le, sc, in.Kind())
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, v)
+		}
+		return &algebra.In{In: in, List: list}, nil
+	case *LikeExpr:
+		in, err := p.lower(t.In, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Like{In: in, Pattern: t.Pattern, Negate: t.Negate}, nil
+	case *IsNullExpr:
+		in, err := p.lower(t.In, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.IsNull{In: in, Negate: t.Negate}, nil
+	case *CaseExpr:
+		cond, err := p.lower(t.Cond, sc)
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.lower(t.Then, sc)
+		if err != nil {
+			return nil, err
+		}
+		el, err := p.lower(t.Else, sc)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewCase(cond, then, el)
+	case *FuncCall:
+		arg, err := p.lower(t.Arg, sc)
+		if err != nil {
+			return nil, err
+		}
+		if t.Fn == "YEAR" {
+			return &algebra.YearOf{In: arg}, nil
+		}
+		return nil, fmt.Errorf("sql: unknown function %q", t.Fn)
+	case *AggCall:
+		return nil, fmt.Errorf("sql: aggregate %s not allowed here", t.Fn)
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+// lowerLit lowers an expression that must fold to a literal, coercing
+// its kind class to match `want`.
+func (p *Planner) lowerLit(e Expr, sc *scope, want vtypes.Kind) (vtypes.Value, error) {
+	lo, err := p.lower(e, sc)
+	if err != nil {
+		return vtypes.Value{}, err
+	}
+	lit, ok := lo.(*algebra.Lit)
+	if !ok {
+		return vtypes.Value{}, fmt.Errorf("sql: literal required")
+	}
+	v := lit.Val
+	if v.Kind.StorageClass() != want.StorageClass() {
+		switch {
+		case want.StorageClass() == vtypes.ClassF64 && v.Kind.StorageClass() == vtypes.ClassI64:
+			v = vtypes.F64Value(float64(v.I64))
+		case want.StorageClass() == vtypes.ClassI64 && v.Kind.StorageClass() == vtypes.ClassF64:
+			v = vtypes.Value{Kind: want, I64: int64(v.F64)}
+		default:
+			return vtypes.Value{}, fmt.Errorf("sql: literal %v incompatible with %v", v, want)
+		}
+	} else if v.Kind != want {
+		v.Kind = want
+	}
+	return v, nil
+}
+
+// widenPair widens int literals next to float expressions so kernels
+// compare within one storage class.
+func widenPair(l, r algebra.Scalar) (algebra.Scalar, algebra.Scalar) {
+	if l.Kind().StorageClass() == vtypes.ClassF64 && r.Kind().StorageClass() == vtypes.ClassI64 {
+		if lit, ok := r.(*algebra.Lit); ok {
+			return l, &algebra.Lit{Val: vtypes.F64Value(float64(lit.Val.I64))}
+		}
+	}
+	if r.Kind().StorageClass() == vtypes.ClassF64 && l.Kind().StorageClass() == vtypes.ClassI64 {
+		if lit, ok := l.(*algebra.Lit); ok {
+			return &algebra.Lit{Val: vtypes.F64Value(float64(lit.Val.I64))}, r
+		}
+	}
+	return l, r
+}
+
+// splitConjuncts flattens a WHERE tree into ANDed conjuncts.
+func splitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// onlyReferences reports whether every column in e resolves inside the
+// single alias.
+func onlyReferences(e Expr, alias string, sc *scope) bool {
+	ok := true
+	walkIdents(e, func(id *Ident) {
+		if id.Qualifier != "" {
+			if id.Qualifier != alias {
+				ok = false
+			}
+			return
+		}
+		// Unqualified: resolve; only accept if it binds to alias's table.
+		for _, ent := range sc.entries {
+			if ent.schema.ColIndex(id.Name) >= 0 && ent.alias != alias {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+func walkIdents(e Expr, fn func(*Ident)) {
+	switch t := e.(type) {
+	case *Ident:
+		fn(t)
+	case *BinExpr:
+		walkIdents(t.L, fn)
+		walkIdents(t.R, fn)
+	case *NotExpr:
+		walkIdents(t.In, fn)
+	case *BetweenExpr:
+		walkIdents(t.In, fn)
+		walkIdents(t.Lo, fn)
+		walkIdents(t.Hi, fn)
+	case *InExpr:
+		walkIdents(t.In, fn)
+	case *LikeExpr:
+		walkIdents(t.In, fn)
+	case *IsNullExpr:
+		walkIdents(t.In, fn)
+	case *CaseExpr:
+		walkIdents(t.Cond, fn)
+		walkIdents(t.Then, fn)
+		walkIdents(t.Else, fn)
+	case *AggCall:
+		if t.Arg != nil {
+			walkIdents(t.Arg, fn)
+		}
+	case *FuncCall:
+		walkIdents(t.Arg, fn)
+	}
+}
+
+// containsAgg reports whether an expression contains an aggregate call.
+func containsAgg(e Expr) bool {
+	found := false
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case *AggCall:
+			found = true
+		case *BinExpr:
+			walk(t.L)
+			walk(t.R)
+		case *NotExpr:
+			walk(t.In)
+		case *CaseExpr:
+			walk(t.Cond)
+			walk(t.Then)
+			walk(t.Else)
+		case *FuncCall:
+			walk(t.Arg)
+		}
+	}
+	walk(e)
+	return found
+}
+
+// matchGroupExpr returns the index of the GROUP BY expression textually
+// identical to e, or -1.
+func matchGroupExpr(e Expr, groups []Expr) int {
+	er := renderExpr(e)
+	for i, g := range groups {
+		if renderExpr(g) == er {
+			return i
+		}
+	}
+	return -1
+}
+
+// renderExpr canonicalizes an AST expression for matching.
+func renderExpr(e Expr) string {
+	switch t := e.(type) {
+	case *Ident:
+		return qualName(t.Qualifier, t.Name)
+	case *NumLit:
+		return t.Text
+	case *StrLit:
+		return "'" + t.Val + "'"
+	case *DateLit:
+		return "date'" + t.Val + "'"
+	case *BinExpr:
+		return "(" + renderExpr(t.L) + t.Op + renderExpr(t.R) + ")"
+	case *FuncCall:
+		return t.Fn + "(" + renderExpr(t.Arg) + ")"
+	case *CaseExpr:
+		return "case(" + renderExpr(t.Cond) + "," + renderExpr(t.Then) + "," + renderExpr(t.Else) + ")"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// itemName derives the output column name of a select item.
+func itemName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if id, ok := item.Expr.(*Ident); ok {
+		return id.Name
+	}
+	if ag, ok := item.Expr.(*AggCall); ok {
+		return strings.ToLower(ag.Fn)
+	}
+	return "expr"
+}
+
+// LowerOnTable lowers an expression against a single table schema
+// (UPDATE/DELETE predicates and SET expressions).
+func (p *Planner) LowerOnTable(e Expr, schema *vtypes.Schema) (algebra.Scalar, error) {
+	return p.lower(e, schemaScope(schema))
+}
+
+// LowerLiteral folds a literal-only expression to a value of the wanted
+// kind (INSERT VALUES).
+func (p *Planner) LowerLiteral(e Expr, want vtypes.Kind) (vtypes.Value, error) {
+	if _, ok := e.(*NullLit); ok {
+		return vtypes.NullValue(want), nil
+	}
+	return p.lowerLit(e, &scope{}, want)
+}

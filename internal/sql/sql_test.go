@@ -1,0 +1,178 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex(`SELECT a.b, 'it''s', 1.5 FROM t -- comment
+WHERE x <> 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.text)
+	}
+	joined := strings.Join(texts, " ")
+	if !strings.Contains(joined, "it's") {
+		t.Fatalf("escaped quote lost: %v", texts)
+	}
+	if !strings.Contains(joined, "<>") {
+		t.Fatalf("operator lost: %v", texts)
+	}
+	if strings.Contains(joined, "comment") {
+		t.Fatal("comment not stripped")
+	}
+	// != normalizes to <>.
+	toks2, _ := lex("x != 1")
+	if toks2[1].text != "<>" {
+		t.Fatal("!= must normalize to <>")
+	}
+	if _, err := lex("bad ` char"); err == nil {
+		t.Fatal("bad character must error")
+	}
+	if _, err := lex("'unterminated"); err == nil {
+		t.Fatal("unterminated string must error")
+	}
+}
+
+func TestParseSelectShapes(t *testing.T) {
+	stmt, err := Parse(`SELECT a, SUM(b) total FROM t
+		JOIN u ON t.k = u.k
+		LEFT SEMI JOIN v ON t.k = v.k
+		WHERE a > 1 AND b BETWEEN 2 AND 3 OR c IN (1,2) AND d LIKE 'x%'
+		GROUP BY a HAVING total > 0 ORDER BY total DESC, a LIMIT 7;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmt.(*SelectStmt)
+	if len(s.Items) != 2 || s.Items[1].Alias != "total" {
+		t.Fatalf("items: %+v", s.Items)
+	}
+	if len(s.Joins) != 2 || s.Joins[0].Kind != "inner" || s.Joins[1].Kind != "semi" {
+		t.Fatalf("joins: %+v", s.Joins)
+	}
+	if s.Where == nil || s.Having == nil {
+		t.Fatal("where/having missing")
+	}
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatalf("orderby: %+v", s.OrderBy)
+	}
+	if s.Limit != 7 {
+		t.Fatalf("limit: %d", s.Limit)
+	}
+}
+
+func TestParseDML(t *testing.T) {
+	st, err := Parse(`CREATE TABLE t (a BIGINT, b VARCHAR NULL, c DATE, d DOUBLE, e BOOLEAN)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.(*CreateStmt)
+	if len(cs.Cols) != 5 || !cs.Cols[1].Nullable || cs.Cols[0].Nullable {
+		t.Fatalf("create: %+v", cs.Cols)
+	}
+
+	st, err = Parse(`INSERT INTO t VALUES (1, 'x', DATE '2011-01-01', 1.5, TRUE), (2, NULL, DATE '2011-01-02', -2.5, FALSE)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is := st.(*InsertStmt)
+	if len(is.Rows) != 2 || len(is.Rows[0]) != 5 {
+		t.Fatalf("insert: %+v", is)
+	}
+
+	st, err = Parse(`UPDATE t SET b = 'y', d = d + 1.0 WHERE a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := st.(*UpdateStmt)
+	if len(us.SetOrder) != 2 || us.Where == nil {
+		t.Fatalf("update: %+v", us)
+	}
+
+	st, err = Parse(`DELETE FROM t WHERE a IS NOT NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := st.(*DeleteStmt)
+	if ds.Where == nil {
+		t.Fatal("delete where missing")
+	}
+	if _, ok := ds.Where.(*IsNullExpr); !ok {
+		t.Fatalf("IS NOT NULL: %T", ds.Where)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	st, err := Parse(`SELECT a + b * c FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.(*SelectStmt).Items[0].Expr.(*BinExpr)
+	if e.Op != "+" {
+		t.Fatalf("precedence wrong: %+v", e)
+	}
+	if inner, ok := e.R.(*BinExpr); !ok || inner.Op != "*" {
+		t.Fatalf("mul must bind tighter: %+v", e.R)
+	}
+	// AND binds tighter than OR.
+	st, _ = Parse(`SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3`)
+	w := st.(*SelectStmt).Where.(*BinExpr)
+	if w.Op != "OR" {
+		t.Fatalf("OR must be top: %+v", w)
+	}
+	// CASE expression.
+	st, err = Parse(`SELECT CASE WHEN a > 1 THEN b ELSE 0 END FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*SelectStmt).Items[0].Expr.(*CaseExpr); !ok {
+		t.Fatal("case not parsed")
+	}
+	// Unary minus.
+	st, _ = Parse(`SELECT -a FROM t`)
+	if _, ok := st.(*SelectStmt).Items[0].Expr.(*BinExpr); !ok {
+		t.Fatal("unary minus not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT a`,
+		`SELECT a FROM`,
+		`SELECT a FROM t WHERE`,
+		`SELECT a FROM t GROUP`,
+		`SELECT a FROM t LIMIT x`,
+		`CREATE TABLE`,
+		`CREATE TABLE t (a)`,
+		`INSERT INTO t`,
+		`INSERT INTO t VALUES (1`,
+		`UPDATE t`,
+		`DELETE t`,
+		`SELECT a FROM t trailing garbage ( (`,
+		`SELECT a FROM t JOIN u`,
+		`SELECT CASE WHEN a THEN b END FROM t`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseTxStatements(t *testing.T) {
+	for _, kw := range []string{"BEGIN", "COMMIT", "ROLLBACK"} {
+		st, err := Parse(kw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.(*TxStmt).Kind != strings.ToLower(kw) {
+			t.Fatalf("tx kind wrong for %s", kw)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package storage
+
+import (
+	"fmt"
+
+	"vectorwise/internal/compress"
+	"vectorwise/internal/vtypes"
+)
+
+// Builder accumulates rows column-wise and flushes them into compressed
+// row groups, choosing a codec per chunk (the per-chunk adaptivity of
+// the Vectorwise storage layer: a sorted key column gets PFOR-DELTA
+// while a status column in the same group gets RLE or PDICT).
+type Builder struct {
+	name      string
+	schema    *vtypes.Schema
+	groupRows int
+
+	// Column accumulators for the group under construction.
+	i64s  [][]int64
+	f64s  [][]float64
+	strs  [][]string
+	bools [][]bool
+	nulls [][]bool
+	n     int
+
+	meta TableMeta
+	data []byte
+}
+
+// NewBuilder creates a builder for the named table. groupRows <= 0
+// selects DefaultGroupRows.
+func NewBuilder(name string, schema *vtypes.Schema, groupRows int) *Builder {
+	if groupRows <= 0 {
+		groupRows = DefaultGroupRows
+	}
+	b := &Builder{
+		name:      name,
+		schema:    schema,
+		groupRows: groupRows,
+		i64s:      make([][]int64, schema.Len()),
+		f64s:      make([][]float64, schema.Len()),
+		strs:      make([][]string, schema.Len()),
+		bools:     make([][]bool, schema.Len()),
+		nulls:     make([][]bool, schema.Len()),
+	}
+	b.meta.Name = name
+	b.meta.Cols = schema.Clone().Cols
+	return b
+}
+
+// AppendRow adds one row. Values must match the schema kinds; NULLs are
+// allowed only in nullable columns.
+func (b *Builder) AppendRow(row vtypes.Row) error {
+	if len(row) != b.schema.Len() {
+		return fmt.Errorf("storage: row arity %d != schema arity %d", len(row), b.schema.Len())
+	}
+	for c, col := range b.schema.Cols {
+		v := row[c]
+		if v.Null {
+			if !col.Nullable {
+				return fmt.Errorf("storage: NULL in non-nullable column %q", col.Name)
+			}
+			b.nulls[c] = append(b.nulls[c], true)
+			// Store the safe value (zero of the class).
+			switch col.Kind.StorageClass() {
+			case vtypes.ClassI64:
+				b.i64s[c] = append(b.i64s[c], 0)
+			case vtypes.ClassF64:
+				b.f64s[c] = append(b.f64s[c], 0)
+			case vtypes.ClassStr:
+				b.strs[c] = append(b.strs[c], "")
+			case vtypes.ClassBool:
+				b.bools[c] = append(b.bools[c], false)
+			}
+			continue
+		}
+		if v.Kind.StorageClass() != col.Kind.StorageClass() {
+			return fmt.Errorf("storage: column %q: kind %v incompatible with %v", col.Name, v.Kind, col.Kind)
+		}
+		if col.Nullable {
+			b.nulls[c] = append(b.nulls[c], false)
+		}
+		switch col.Kind.StorageClass() {
+		case vtypes.ClassI64:
+			b.i64s[c] = append(b.i64s[c], v.I64)
+		case vtypes.ClassF64:
+			b.f64s[c] = append(b.f64s[c], v.F64)
+		case vtypes.ClassStr:
+			b.strs[c] = append(b.strs[c], v.Str)
+		case vtypes.ClassBool:
+			b.bools[c] = append(b.bools[c], v.B)
+		}
+	}
+	b.n++
+	if b.n >= b.groupRows {
+		return b.flushGroup()
+	}
+	return nil
+}
+
+// appendChunk compresses payload bytes into the data section and returns
+// its ChunkMeta.
+func (b *Builder) appendChunk(raw []byte, codec compress.Codec) ChunkMeta {
+	off := int64(len(b.data))
+	b.data = append(b.data, raw...)
+	return ChunkMeta{Codec: codec, Offset: off, Len: int64(len(raw))}
+}
+
+// flushGroup compresses the accumulated columns into a row group.
+func (b *Builder) flushGroup() error {
+	if b.n == 0 {
+		return nil
+	}
+	grp := GroupMeta{Rows: b.n}
+	anyNullable := false
+	for _, col := range b.schema.Cols {
+		if col.Nullable {
+			anyNullable = true
+		}
+	}
+	if anyNullable {
+		grp.NullCols = make([]ChunkMeta, b.schema.Len())
+	}
+	for c, col := range b.schema.Cols {
+		var cm ChunkMeta
+		switch col.Kind.StorageClass() {
+		case vtypes.ClassI64:
+			vals := b.i64s[c]
+			codec := compress.ChooseI64Codec(vals)
+			raw, err := compress.CompressI64(vals, codec)
+			if err != nil {
+				return err
+			}
+			cm = b.appendChunk(raw, codec)
+			cm.HasStats = true
+			cm.MinI64, cm.MaxI64 = minMaxI64(vals)
+			b.i64s[c] = vals[:0]
+		case vtypes.ClassF64:
+			vals := b.f64s[c]
+			raw, err := compress.CompressF64(vals)
+			if err != nil {
+				return err
+			}
+			cm = b.appendChunk(raw, compress.CodecPlainF64)
+			cm.HasStats = true
+			cm.MinF64, cm.MaxF64 = minMaxF64(vals)
+			b.f64s[c] = vals[:0]
+		case vtypes.ClassStr:
+			vals := b.strs[c]
+			codec := compress.ChooseStrCodec(vals)
+			raw, err := compress.CompressStr(vals, codec)
+			if err != nil {
+				return err
+			}
+			// CompressStr may have fallen back; record the actual codec.
+			actual, _, _, _ := compress.ReadHeader(raw)
+			cm = b.appendChunk(raw, actual)
+			cm.HasStats = true
+			cm.MinStr, cm.MaxStr = minMaxStr(vals)
+			b.strs[c] = vals[:0]
+		case vtypes.ClassBool:
+			vals := b.bools[c]
+			raw, err := compress.CompressBool(vals)
+			if err != nil {
+				return err
+			}
+			cm = b.appendChunk(raw, compress.CodecBoolPack)
+			b.bools[c] = vals[:0]
+		}
+		grp.Cols = append(grp.Cols, cm)
+		if col.Nullable {
+			raw, err := compress.CompressBool(b.nulls[c])
+			if err != nil {
+				return err
+			}
+			grp.NullCols[c] = b.appendChunk(raw, compress.CodecBoolPack)
+			b.nulls[c] = b.nulls[c][:0]
+		}
+	}
+	b.meta.Groups = append(b.meta.Groups, grp)
+	b.meta.Rows += int64(b.n)
+	b.n = 0
+	return nil
+}
+
+// Finish flushes the final partial group and returns the built table.
+func (b *Builder) Finish() (*Table, error) {
+	if err := b.flushGroup(); err != nil {
+		return nil, err
+	}
+	return &Table{Meta: b.meta, data: b.data}, nil
+}
+
+func minMaxI64(vals []int64) (mn, mx int64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	mn, mx = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+func minMaxF64(vals []float64) (mn, mx float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	mn, mx = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+func minMaxStr(vals []string) (mn, mx string) {
+	if len(vals) == 0 {
+		return "", ""
+	}
+	mn, mx = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+// BuildFromColumns constructs a table directly from complete column
+// slices (bulk load path used by the TPC-H generator). All value slices
+// must have equal length; nulls may be nil (meaning no NULLs) or a
+// per-column slice matching the row count.
+func BuildFromColumns(name string, schema *vtypes.Schema, groupRows int, cols []any, nulls [][]bool) (*Table, error) {
+	if len(cols) != schema.Len() {
+		return nil, fmt.Errorf("storage: %d column slices for %d schema columns", len(cols), schema.Len())
+	}
+	rows := -1
+	colLen := func(c any) int {
+		switch s := c.(type) {
+		case []int64:
+			return len(s)
+		case []float64:
+			return len(s)
+		case []string:
+			return len(s)
+		case []bool:
+			return len(s)
+		}
+		return -1
+	}
+	for i, c := range cols {
+		l := colLen(c)
+		if l < 0 {
+			return nil, fmt.Errorf("storage: column %d has unsupported slice type %T", i, c)
+		}
+		if rows == -1 {
+			rows = l
+		} else if rows != l {
+			return nil, fmt.Errorf("storage: column %d has %d rows, want %d", i, l, rows)
+		}
+	}
+	if rows == -1 {
+		rows = 0
+	}
+	b := NewBuilder(name, schema, groupRows)
+	row := make(vtypes.Row, schema.Len())
+	for r := 0; r < rows; r++ {
+		for c, col := range schema.Cols {
+			if nulls != nil && nulls[c] != nil && nulls[c][r] {
+				row[c] = vtypes.NullValue(col.Kind)
+				continue
+			}
+			switch s := cols[c].(type) {
+			case []int64:
+				row[c] = vtypes.Value{Kind: col.Kind, I64: s[r]}
+			case []float64:
+				row[c] = vtypes.Value{Kind: col.Kind, F64: s[r]}
+			case []string:
+				row[c] = vtypes.Value{Kind: col.Kind, Str: s[r]}
+			case []bool:
+				row[c] = vtypes.Value{Kind: col.Kind, B: s[r]}
+			}
+		}
+		if err := b.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
+}

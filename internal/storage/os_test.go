@@ -1,0 +1,9 @@
+package storage
+
+import "os"
+
+// osWriteFile indirection keeps the main test file free of direct os
+// imports beyond what it needs.
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

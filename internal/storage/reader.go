@@ -1,0 +1,228 @@
+package storage
+
+import (
+	"fmt"
+
+	"vectorwise/internal/compress"
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+)
+
+// DecodeChunk decompresses the value chunk (and indicator chunk, if any)
+// of column c in group g into a full-group vector.
+func (t *Table) DecodeChunk(g, c int) (*vector.Vector, error) {
+	col := t.Meta.Cols[c]
+	v := &vector.Vector{Kind: col.Kind}
+	raw := t.RawChunk(g, c)
+	var err error
+	switch col.Kind.StorageClass() {
+	case vtypes.ClassI64:
+		v.I64, err = compress.DecompressI64(nil, raw)
+	case vtypes.ClassF64:
+		v.F64, err = compress.DecompressF64(nil, raw)
+	case vtypes.ClassStr:
+		v.Str, err = compress.DecompressStr(nil, raw)
+	case vtypes.ClassBool:
+		v.B, err = compress.DecompressBool(nil, raw)
+	default:
+		return nil, fmt.Errorf("storage: column %q has invalid kind", col.Name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: decode %s group %d col %d: %w", t.Meta.Name, g, c, err)
+	}
+	if nraw := t.RawNullChunk(g, c); nraw != nil {
+		v.Nulls, err = compress.DecompressBool(nil, nraw)
+		if err != nil {
+			return nil, fmt.Errorf("storage: decode nulls %s group %d col %d: %w", t.Meta.Name, g, c, err)
+		}
+	}
+	return v, nil
+}
+
+// ChunkFetcher abstracts chunk access so a buffer manager can interpose
+// caching and I/O accounting between scans and table data.
+type ChunkFetcher interface {
+	// FetchColumn returns the decompressed column chunk of (group, col).
+	// The returned vector is shared; callers must treat it as read-only.
+	FetchColumn(t *Table, group, col int) (*vector.Vector, error)
+}
+
+// DirectFetcher decodes chunks on every access, bypassing any cache.
+type DirectFetcher struct{}
+
+// FetchColumn implements ChunkFetcher.
+func (DirectFetcher) FetchColumn(t *Table, group, col int) (*vector.Vector, error) {
+	return t.DecodeChunk(group, col)
+}
+
+// PruneFn decides whether a whole row group can be skipped based on its
+// chunk statistics. Returning true skips the group.
+type PruneFn func(grp *GroupMeta) bool
+
+// Scanner iterates a table's row groups column-wise, serving vectors of
+// at most vecSize rows. It reports the global start position of every
+// batch so callers (the PDT merge scan) can align positional deltas.
+type Scanner struct {
+	t       *Table
+	cols    []int
+	fetch   ChunkFetcher
+	prune   PruneFn
+	vecSize int
+
+	g    int
+	off  int   // offset within current group
+	base int64 // global position of current group start
+	cur  []*vector.Vector
+
+	gLo, gHi int // group range [gLo, gHi); gHi == 0 means all groups
+}
+
+// NewScanner creates a scanner over the given column indexes. fetch may
+// be nil (DirectFetcher); prune may be nil (no pruning); vecSize <= 0
+// selects vector.DefaultSize.
+func NewScanner(t *Table, cols []int, fetch ChunkFetcher, prune PruneFn, vecSize int) *Scanner {
+	if fetch == nil {
+		fetch = DirectFetcher{}
+	}
+	if vecSize <= 0 {
+		vecSize = vector.DefaultSize
+	}
+	return &Scanner{t: t, cols: cols, fetch: fetch, prune: prune, vecSize: vecSize}
+}
+
+// Next returns the next batch of column vectors (views into the group
+// chunks), the global row position of the first row, and the row count.
+// n == 0 signals end of table.
+func (s *Scanner) Next() (vecs []*vector.Vector, pos int64, n int, err error) {
+	limit := s.t.Groups()
+	if s.gHi > 0 && s.gHi < limit {
+		limit = s.gHi
+	}
+	for {
+		if s.g >= limit {
+			return nil, 0, 0, nil
+		}
+		grp := &s.t.Meta.Groups[s.g]
+		if s.cur == nil {
+			if s.prune != nil && s.prune(grp) {
+				s.base += int64(grp.Rows)
+				s.g++
+				continue
+			}
+			s.cur = make([]*vector.Vector, len(s.cols))
+			for i, c := range s.cols {
+				v, ferr := s.fetch.FetchColumn(s.t, s.g, c)
+				if ferr != nil {
+					return nil, 0, 0, ferr
+				}
+				s.cur[i] = v
+			}
+		}
+		if s.off >= grp.Rows {
+			s.base += int64(grp.Rows)
+			s.g++
+			s.off = 0
+			s.cur = nil
+			continue
+		}
+		n = grp.Rows - s.off
+		if n > s.vecSize {
+			n = s.vecSize
+		}
+		out := make([]*vector.Vector, len(s.cur))
+		for i, v := range s.cur {
+			out[i] = sliceRange(v, s.off, s.off+n)
+		}
+		pos = s.base + int64(s.off)
+		s.off += n
+		return out, pos, n, nil
+	}
+}
+
+// Reset rewinds the scanner to the beginning of the table (or of its
+// group range, if one was set).
+func (s *Scanner) Reset() {
+	s.g, s.off, s.base, s.cur = s.gLo, 0, 0, nil
+	for i := 0; i < s.gLo; i++ {
+		s.base += int64(s.t.GroupRows(i))
+	}
+}
+
+// SetGroupRange restricts the scanner to row groups [lo, hi) — the
+// partitioning unit of parallel scans. Positions remain global.
+func (s *Scanner) SetGroupRange(lo, hi int) {
+	if hi > s.t.Groups() {
+		hi = s.t.Groups()
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	s.gLo, s.gHi = lo, hi
+	s.Reset()
+}
+
+// sliceRange views v[lo:hi] without copying.
+func sliceRange(v *vector.Vector, lo, hi int) *vector.Vector {
+	out := &vector.Vector{Kind: v.Kind}
+	switch v.Kind.StorageClass() {
+	case vtypes.ClassI64:
+		out.I64 = v.I64[lo:hi]
+	case vtypes.ClassF64:
+		out.F64 = v.F64[lo:hi]
+	case vtypes.ClassStr:
+		out.Str = v.Str[lo:hi]
+	case vtypes.ClassBool:
+		out.B = v.B[lo:hi]
+	}
+	if v.Nulls != nil {
+		out.Nulls = v.Nulls[lo:hi]
+	}
+	return out
+}
+
+// ReadAllColumn decodes an entire column into one contiguous vector (the
+// column-at-a-time baseline engine and tests use this; the vectorized
+// engine never does).
+func (t *Table) ReadAllColumn(c int) (*vector.Vector, error) {
+	col := t.Meta.Cols[c]
+	out := vector.New(col.Kind, int(t.Rows()))
+	if anyNullable(t, c) {
+		out.EnsureNulls()
+	}
+	off := 0
+	for g := 0; g < t.Groups(); g++ {
+		v, err := t.DecodeChunk(g, c)
+		if err != nil {
+			return nil, err
+		}
+		out.CopyFrom(v, 0, off, t.GroupRows(g))
+		off += t.GroupRows(g)
+	}
+	return out, nil
+}
+
+func anyNullable(t *Table, c int) bool {
+	return t.Meta.Cols[c].Nullable
+}
+
+// RowAt materializes one full row by position (point-access path used by
+// tests and the update layer when validating conflicts).
+func (t *Table) RowAt(pos int64) (vtypes.Row, error) {
+	if pos < 0 || pos >= t.Rows() {
+		return nil, fmt.Errorf("storage: row %d out of range [0,%d)", pos, t.Rows())
+	}
+	g := 0
+	for pos >= int64(t.GroupRows(g)) {
+		pos -= int64(t.GroupRows(g))
+		g++
+	}
+	row := make(vtypes.Row, len(t.Meta.Cols))
+	for c := range t.Meta.Cols {
+		v, err := t.DecodeChunk(g, c)
+		if err != nil {
+			return nil, err
+		}
+		row[c] = v.Get(int(pos))
+	}
+	return row, nil
+}

@@ -1,0 +1,356 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vectorwise/internal/compress"
+	"vectorwise/internal/vtypes"
+)
+
+func testSchema() *vtypes.Schema {
+	return vtypes.NewSchema(
+		vtypes.Column{Name: "id", Kind: vtypes.KindI64},
+		vtypes.Column{Name: "price", Kind: vtypes.KindF64},
+		vtypes.Column{Name: "flag", Kind: vtypes.KindStr},
+		vtypes.Column{Name: "ok", Kind: vtypes.KindBool},
+		vtypes.Column{Name: "note", Kind: vtypes.KindStr, Nullable: true},
+	)
+}
+
+func buildTestTable(t *testing.T, rows, groupRows int) *Table {
+	t.Helper()
+	b := NewBuilder("test", testSchema(), groupRows)
+	flags := []string{"A", "B", "C"}
+	for i := 0; i < rows; i++ {
+		note := vtypes.StrValue("note")
+		if i%3 == 0 {
+			note = vtypes.NullValue(vtypes.KindStr)
+		}
+		row := vtypes.Row{
+			vtypes.I64Value(int64(i)),
+			vtypes.F64Value(float64(i) * 1.5),
+			vtypes.StrValue(flags[i%3]),
+			vtypes.BoolValue(i%2 == 0),
+			note,
+		}
+		if err := b.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestBuilderGroups(t *testing.T) {
+	tbl := buildTestTable(t, 250, 100)
+	if tbl.Rows() != 250 {
+		t.Fatalf("Rows = %d", tbl.Rows())
+	}
+	if tbl.Groups() != 3 {
+		t.Fatalf("Groups = %d", tbl.Groups())
+	}
+	if tbl.GroupRows(0) != 100 || tbl.GroupRows(2) != 50 {
+		t.Fatal("group sizes wrong")
+	}
+}
+
+func TestChunkStatsAndCodecs(t *testing.T) {
+	tbl := buildTestTable(t, 200, 100)
+	idMeta := tbl.Meta.Groups[1].Cols[0]
+	if !idMeta.HasStats || idMeta.MinI64 != 100 || idMeta.MaxI64 != 199 {
+		t.Fatalf("id stats wrong: %+v", idMeta)
+	}
+	// Sequential ids should pick PFOR-DELTA.
+	if idMeta.Codec != compress.CodecPFORDelta {
+		t.Errorf("sequential ids got codec %v", idMeta.Codec)
+	}
+	// Low-cardinality flag column should be dictionary coded.
+	flagMeta := tbl.Meta.Groups[0].Cols[2]
+	if flagMeta.Codec != compress.CodecDict {
+		t.Errorf("flag column got codec %v", flagMeta.Codec)
+	}
+	if flagMeta.MinStr != "A" || flagMeta.MaxStr != "C" {
+		t.Errorf("flag stats wrong: %+v", flagMeta)
+	}
+	priceMeta := tbl.Meta.Groups[0].Cols[1]
+	if priceMeta.MinF64 != 0 || priceMeta.MaxF64 != 99*1.5 {
+		t.Errorf("price stats wrong: %+v", priceMeta)
+	}
+}
+
+func TestDecodeChunkRoundtrip(t *testing.T) {
+	tbl := buildTestTable(t, 150, 64)
+	v, err := tbl.DecodeChunk(1, 0) // ids 64..127
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I64[0] != 64 || v.I64[63] != 127 {
+		t.Fatalf("chunk values wrong: %d..%d", v.I64[0], v.I64[63])
+	}
+	// Nullable column carries its indicator.
+	nv, err := tbl.DecodeChunk(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.Nulls == nil {
+		t.Fatal("nullable column must decode indicator")
+	}
+	if !nv.Nulls[0] || nv.Nulls[1] {
+		t.Fatal("null pattern wrong")
+	}
+	if nv.Str[0] != "" {
+		t.Fatal("safe value for NULL string must be empty")
+	}
+}
+
+func TestNullInNonNullableRejected(t *testing.T) {
+	b := NewBuilder("t", vtypes.NewSchema(vtypes.Column{Name: "a", Kind: vtypes.KindI64}), 10)
+	if err := b.AppendRow(vtypes.Row{vtypes.NullValue(vtypes.KindI64)}); err == nil {
+		t.Fatal("NULL in non-nullable column must error")
+	}
+	if err := b.AppendRow(vtypes.Row{vtypes.StrValue("x")}); err == nil {
+		t.Fatal("kind mismatch must error")
+	}
+	if err := b.AppendRow(vtypes.Row{}); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+}
+
+func TestSaveOpenRoundtrip(t *testing.T) {
+	tbl := buildTestTable(t, 123, 50)
+	path := filepath.Join(t.TempDir(), "test.vwt")
+	if err := tbl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 123 || got.Groups() != 3 {
+		t.Fatal("reloaded meta wrong")
+	}
+	r1, err := tbl.RowAt(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := got.RowAt(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if !r1[i].Equal(r2[i]) {
+			t.Fatalf("row mismatch at col %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.vwt")
+	if err := writeFile(path, []byte("not a table")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("garbage file must be rejected")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.vwt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return osWriteFile(path, data)
+}
+
+func TestScannerFullScan(t *testing.T) {
+	tbl := buildTestTable(t, 300, 128)
+	sc := NewScanner(tbl, []int{0, 1}, nil, nil, 100)
+	var seen int64
+	next := int64(0)
+	for {
+		vecs, pos, n, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		if pos != next {
+			t.Fatalf("position %d, want %d", pos, next)
+		}
+		for i := 0; i < n; i++ {
+			if vecs[0].I64[i] != pos+int64(i) {
+				t.Fatalf("value at %d wrong", pos+int64(i))
+			}
+		}
+		next = pos + int64(n)
+		seen += int64(n)
+	}
+	if seen != 300 {
+		t.Fatalf("scanned %d rows", seen)
+	}
+	// Batches must respect both vector size and group boundary:
+	// group 0 has 128 rows → batches 100 + 28.
+	sc.Reset()
+	_, _, n1, _ := sc.Next()
+	_, _, n2, _ := sc.Next()
+	if n1 != 100 || n2 != 28 {
+		t.Fatalf("batch split %d/%d, want 100/28", n1, n2)
+	}
+}
+
+func TestScannerPruning(t *testing.T) {
+	tbl := buildTestTable(t, 300, 100)
+	// Prune groups whose id range is entirely below 150 (groups 0).
+	pruned := 0
+	prune := func(g *GroupMeta) bool {
+		if g.Cols[0].MaxI64 < 150 {
+			pruned++
+			return true
+		}
+		return false
+	}
+	sc := NewScanner(tbl, []int{0}, nil, prune, 1024)
+	var rows int64
+	var firstPos int64 = -1
+	for {
+		_, pos, n, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		if firstPos == -1 {
+			firstPos = pos
+		}
+		rows += int64(n)
+	}
+	if pruned != 1 {
+		t.Fatalf("pruned %d groups, want 1", pruned)
+	}
+	if rows != 200 {
+		t.Fatalf("scanned %d rows after pruning", rows)
+	}
+	// Positions must still be global: first unpruned row is 100.
+	if firstPos != 100 {
+		t.Fatalf("first pos %d, want 100", firstPos)
+	}
+}
+
+func TestReadAllColumn(t *testing.T) {
+	tbl := buildTestTable(t, 250, 100)
+	v, err := tbl.ReadAllColumn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 250 || v.I64[249] != 249 {
+		t.Fatal("ReadAllColumn wrong")
+	}
+	nv, err := tbl.ReadAllColumn(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.Nulls == nil || !nv.Nulls[0] || nv.Nulls[1] {
+		t.Fatal("ReadAllColumn nullable wrong")
+	}
+}
+
+func TestRowAtBounds(t *testing.T) {
+	tbl := buildTestTable(t, 10, 4)
+	if _, err := tbl.RowAt(-1); err == nil {
+		t.Fatal("negative pos must error")
+	}
+	if _, err := tbl.RowAt(10); err == nil {
+		t.Fatal("pos == rows must error")
+	}
+	r, err := tbl.RowAt(9)
+	if err != nil || r[0].I64 != 9 {
+		t.Fatal("RowAt(9) wrong")
+	}
+}
+
+func TestBuildFromColumns(t *testing.T) {
+	schema := vtypes.NewSchema(
+		vtypes.Column{Name: "k", Kind: vtypes.KindI64},
+		vtypes.Column{Name: "v", Kind: vtypes.KindF64},
+		vtypes.Column{Name: "s", Kind: vtypes.KindStr},
+		vtypes.Column{Name: "b", Kind: vtypes.KindBool},
+	)
+	tbl, err := BuildFromColumns("bulk", schema, 100,
+		[]any{[]int64{1, 2, 3}, []float64{0.5, 1.5, 2.5}, []string{"x", "y", "z"}, []bool{true, false, true}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 3 {
+		t.Fatal("rows wrong")
+	}
+	r, _ := tbl.RowAt(1)
+	if r[0].I64 != 2 || r[1].F64 != 1.5 || r[2].Str != "y" || r[3].B {
+		t.Fatalf("row wrong: %v", r)
+	}
+	// Mismatched lengths rejected.
+	if _, err := BuildFromColumns("bad", schema, 100,
+		[]any{[]int64{1}, []float64{}, []string{"x"}, []bool{true}}, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	// Wrong arity rejected.
+	if _, err := BuildFromColumns("bad2", schema, 100, []any{[]int64{1}}, nil); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+	// Unsupported slice type rejected.
+	if _, err := BuildFromColumns("bad3", schema, 100,
+		[]any{[]int32{1}, []float64{1}, []string{"x"}, []bool{true}}, nil); err == nil {
+		t.Fatal("bad slice type must error")
+	}
+}
+
+func TestBuildFromColumnsWithNulls(t *testing.T) {
+	schema := vtypes.NewSchema(
+		vtypes.Column{Name: "k", Kind: vtypes.KindI64},
+		vtypes.Column{Name: "n", Kind: vtypes.KindI64, Nullable: true},
+	)
+	tbl, err := BuildFromColumns("nulls", schema, 10,
+		[]any{[]int64{1, 2}, []int64{10, 0}}, [][]bool{nil, {false, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tbl.RowAt(1)
+	if !r[1].Null {
+		t.Fatal("null not preserved through bulk build")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	b := NewBuilder("empty", testSchema(), 100)
+	tbl, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 0 || tbl.Groups() != 0 {
+		t.Fatal("empty table wrong")
+	}
+	sc := NewScanner(tbl, []int{0}, nil, nil, 0)
+	_, _, n, err := sc.Next()
+	if err != nil || n != 0 {
+		t.Fatal("empty scan must return 0")
+	}
+	path := filepath.Join(t.TempDir(), "empty.vwt")
+	if err := tbl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataSizeSmallerThanPlain(t *testing.T) {
+	tbl := buildTestTable(t, 10000, 4096)
+	// 5 columns × 10000 rows; plain int64+f64 alone would be 160KB.
+	if tbl.DataSize() > 100_000 {
+		t.Fatalf("compressed size %d suspiciously large", tbl.DataSize())
+	}
+}

@@ -1,0 +1,426 @@
+package tpch
+
+import (
+	"vectorwise/internal/algebra"
+	"vectorwise/internal/vtypes"
+)
+
+// The query suite. Each entry builds the optimized algebra plan of one
+// TPC-H query with the spec's validation parameters. Eight queries cover
+// every operator class of the suite: scan-heavy aggregation (Q1, Q6),
+// multi-way joins with sort/limit (Q3, Q10), five-way join aggregation
+// (Q5), semi-join (Q4), CASE aggregation over joins (Q12, Q14), and an
+// OR-of-ANDs multi-predicate scan (Q19). The remaining 14 queries need
+// correlated subqueries or windowing the SQL subset does not cover;
+// EXPERIMENTS.md documents this substitution and QphH-analog is computed
+// over the implemented set.
+
+// Query is one benchmarkable query.
+type Query struct {
+	// Name is "Q1" .. "Q19".
+	Name string
+	// Build constructs the plan (fresh per run; plans hold no state).
+	Build func() algebra.Node
+}
+
+func cI64(i int) algebra.Scalar   { return &algebra.ColRef{Idx: i, K: vtypes.KindI64} }
+func cF64(i int) algebra.Scalar   { return &algebra.ColRef{Idx: i, K: vtypes.KindF64} }
+func cStr(i int) algebra.Scalar   { return &algebra.ColRef{Idx: i, K: vtypes.KindStr} }
+func cDate(i int) algebra.Scalar  { return &algebra.ColRef{Idx: i, K: vtypes.KindDate} }
+func litF(v float64) algebra.Scalar { return &algebra.Lit{Val: vtypes.F64Value(v)} }
+func litS(s string) algebra.Scalar  { return &algebra.Lit{Val: vtypes.StrValue(s)} }
+func litD(s string) algebra.Scalar {
+	return &algebra.Lit{Val: vtypes.DateValue(vtypes.MustParseDate(s))}
+}
+
+func scan(table string, schema *vtypes.Schema, cols ...int) *algebra.ScanNode {
+	return &algebra.ScanNode{Table: table, Cols: cols, Out: schema.Project(cols)}
+}
+
+func mustArith(op algebra.ArithOp, l, r algebra.Scalar) algebra.Scalar {
+	a, err := algebra.NewArith(op, l, r)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func mustCase(c, t, e algebra.Scalar) algebra.Scalar {
+	cs, err := algebra.NewCase(c, t, e)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// Q1 — pricing summary report: big scan, 4-group aggregation, heavy
+// arithmetic. The paper's raw-processing-power showcase.
+func Q1() algebra.Node {
+	ls := LineitemSchema()
+	// Projection order: returnflag, linestatus, qty, extprice, discount, tax.
+	in := scan("lineitem", ls, LReturnFlag, LLineStatus, LQuantity, LExtendedPrice, LDiscount, LTax)
+	filtered := &algebra.SelectNode{
+		Input: in,
+		Pred: &algebra.Cmp{Op: algebra.CmpLe, L: cDate(6), R: litD("1998-09-02")},
+	}
+	// Need shipdate too: re-project scan with shipdate as col 6.
+	in.Cols = []int{LReturnFlag, LLineStatus, LQuantity, LExtendedPrice, LDiscount, LTax, LShipDate}
+	in.Out = ls.Project(in.Cols)
+
+	discPrice := mustArith(algebra.OpMul, cF64(3), mustArith(algebra.OpSub, litF(1), cF64(4)))
+	charge := mustArith(algebra.OpMul, discPrice, mustArith(algebra.OpAdd, litF(1), cF64(5)))
+	agg := &algebra.AggNode{
+		Input:   filtered,
+		GroupBy: []algebra.Scalar{cStr(0), cStr(1)},
+		Aggs: []algebra.AggExpr{
+			{Fn: algebra.AggSum, Arg: cF64(2)},
+			{Fn: algebra.AggSum, Arg: cF64(3)},
+			{Fn: algebra.AggSum, Arg: discPrice},
+			{Fn: algebra.AggSum, Arg: charge},
+			{Fn: algebra.AggAvg, Arg: cF64(2)},
+			{Fn: algebra.AggAvg, Arg: cF64(3)},
+			{Fn: algebra.AggAvg, Arg: cF64(4)},
+			{Fn: algebra.AggCountStar},
+		},
+		Names: []string{"l_returnflag", "l_linestatus", "sum_qty", "sum_base_price",
+			"sum_disc_price", "sum_charge", "avg_qty", "avg_price", "avg_disc", "count_order"},
+	}
+	return &algebra.SortNode{Input: agg, Keys: []algebra.SortKey{
+		{Expr: cStr(0)}, {Expr: cStr(1)},
+	}}
+}
+
+// Q3 — shipping priority: customer ⋈ orders ⋈ lineitem, top-10 by
+// revenue.
+func Q3() algebra.Node {
+	cs, os, ls := CustomerSchema(), OrdersSchema(), LineitemSchema()
+	cust := &algebra.SelectNode{
+		Input: scan("customer", cs, CCustKey, CMktSegment),
+		Pred:  &algebra.Cmp{Op: algebra.CmpEq, L: cStr(1), R: litS("BUILDING")},
+	}
+	ord := &algebra.SelectNode{
+		Input: scan("orders", os, OOrderKey, OCustKey, OOrderDate, OShipPriority),
+		Pred:  &algebra.Cmp{Op: algebra.CmpLt, L: cDate(2), R: litD("1995-03-15")},
+	}
+	// orders ⋈ customer (build small side).
+	oc := &algebra.JoinNode{
+		Left: ord, Right: cust,
+		LeftKeys:  []algebra.Scalar{cI64(1)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinLeftSemi,
+	}
+	line := &algebra.SelectNode{
+		Input: scan("lineitem", ls, LOrderKey, LExtendedPrice, LDiscount, LShipDate),
+		Pred:  &algebra.Cmp{Op: algebra.CmpGt, L: cDate(3), R: litD("1995-03-15")},
+	}
+	// lineitem ⋈ (orders⋈customer).
+	j := &algebra.JoinNode{
+		Left: line, Right: oc,
+		LeftKeys:  []algebra.Scalar{cI64(0)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	// Schema: l_orderkey, extprice, discount, shipdate, o_orderkey, custkey, orderdate, shippri
+	rev := mustArith(algebra.OpMul, cF64(1), mustArith(algebra.OpSub, litF(1), cF64(2)))
+	agg := &algebra.AggNode{
+		Input:   j,
+		GroupBy: []algebra.Scalar{cI64(0), cDate(6), cI64(7)},
+		Aggs:    []algebra.AggExpr{{Fn: algebra.AggSum, Arg: rev}},
+		Names:   []string{"l_orderkey", "o_orderdate", "o_shippriority", "revenue"},
+	}
+	return &algebra.LimitNode{N: 10, Input: &algebra.SortNode{Input: agg, Keys: []algebra.SortKey{
+		{Expr: cF64(3), Desc: true}, {Expr: cDate(1)},
+	}}}
+}
+
+// Q4 — order priority checking: semi-join of orders with late lineitems.
+func Q4() algebra.Node {
+	os, ls := OrdersSchema(), LineitemSchema()
+	ord := &algebra.SelectNode{
+		Input: scan("orders", os, OOrderKey, OOrderDate, OOrderPriority),
+		Pred: &algebra.Between{In: cDate(1),
+			Lo: vtypes.DateValue(vtypes.MustParseDate("1993-07-01")),
+			Hi: vtypes.DateValue(vtypes.MustParseDate("1993-09-30"))},
+	}
+	late := &algebra.SelectNode{
+		Input: scan("lineitem", ls, LOrderKey, LCommitDate, LReceiptDate),
+		Pred:  &algebra.Cmp{Op: algebra.CmpLt, L: cDate(1), R: cDate(2)},
+	}
+	semi := &algebra.JoinNode{
+		Left: ord, Right: late,
+		LeftKeys:  []algebra.Scalar{cI64(0)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinLeftSemi,
+	}
+	agg := &algebra.AggNode{
+		Input:   semi,
+		GroupBy: []algebra.Scalar{cStr(2)},
+		Aggs:    []algebra.AggExpr{{Fn: algebra.AggCountStar}},
+		Names:   []string{"o_orderpriority", "order_count"},
+	}
+	return &algebra.SortNode{Input: agg, Keys: []algebra.SortKey{{Expr: cStr(0)}}}
+}
+
+// Q5 — local supplier volume: five-way join down the region hierarchy.
+func Q5() algebra.Node {
+	rs, ns, cs, os, ls, ss := RegionSchema(), NationSchema(), CustomerSchema(), OrdersSchema(), LineitemSchema(), SupplierSchema()
+	region := &algebra.SelectNode{
+		Input: scan("region", rs, RRegionKey, RName),
+		Pred:  &algebra.Cmp{Op: algebra.CmpEq, L: cStr(1), R: litS("ASIA")},
+	}
+	nation := &algebra.JoinNode{ // nation ⋈ region
+		Left:      scan("nation", ns, NNationKey, NName, NRegionKey),
+		Right:     region,
+		LeftKeys:  []algebra.Scalar{cI64(2)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinLeftSemi,
+	}
+	// customer ⋈ nation → (custkey, nationkey, n_name)
+	cust := &algebra.JoinNode{
+		Left:      scan("customer", cs, CCustKey, CNationKey),
+		Right:     nation,
+		LeftKeys:  []algebra.Scalar{cI64(1)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	ord := &algebra.SelectNode{
+		Input: scan("orders", os, OOrderKey, OCustKey, OOrderDate),
+		Pred: &algebra.Between{In: cDate(2),
+			Lo: vtypes.DateValue(vtypes.MustParseDate("1994-01-01")),
+			Hi: vtypes.DateValue(vtypes.MustParseDate("1994-12-31"))},
+	}
+	// orders ⋈ cust → orderkey, custkey, odate, [custkey, nationkey, nkey, name, rkey]
+	oj := &algebra.JoinNode{
+		Left: ord, Right: cust,
+		LeftKeys:  []algebra.Scalar{cI64(1)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	// lineitem ⋈ oj on orderkey; then supplier nation must equal customer nation.
+	line := scan("lineitem", ls, LOrderKey, LSuppKey, LExtendedPrice, LDiscount)
+	lj := &algebra.JoinNode{
+		Left: line, Right: oj,
+		LeftKeys:  []algebra.Scalar{cI64(0)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	// lj schema: lokey, lsupp, extp, disc | okey, ocust, odate | ckey, cnat | nkey, nname, nregion
+	supp := scan("supplier", ss, SSuppKey, SNationKey)
+	sj := &algebra.JoinNode{
+		Left: lj, Right: supp,
+		LeftKeys:  []algebra.Scalar{cI64(1), cI64(8)}, // suppkey + customer nation
+		RightKeys: []algebra.Scalar{cI64(0), cI64(1)}, // suppkey + supplier nation
+		Type:      algebra.JoinInner,
+	}
+	rev := mustArith(algebra.OpMul, cF64(2), mustArith(algebra.OpSub, litF(1), cF64(3)))
+	agg := &algebra.AggNode{
+		Input:   sj,
+		GroupBy: []algebra.Scalar{cStr(10)}, // n_name
+		Aggs:    []algebra.AggExpr{{Fn: algebra.AggSum, Arg: rev}},
+		Names:   []string{"n_name", "revenue"},
+	}
+	return &algebra.SortNode{Input: agg, Keys: []algebra.SortKey{{Expr: cF64(1), Desc: true}}}
+}
+
+// Q6 — forecasting revenue change: the pure selective-scan aggregate.
+func Q6() algebra.Node {
+	ls := LineitemSchema()
+	in := scan("lineitem", ls, LShipDate, LDiscount, LQuantity, LExtendedPrice)
+	sel := &algebra.SelectNode{
+		Input: in,
+		Pred: &algebra.And{Preds: []algebra.Scalar{
+			&algebra.Between{In: cDate(0),
+				Lo: vtypes.DateValue(vtypes.MustParseDate("1994-01-01")),
+				Hi: vtypes.DateValue(vtypes.MustParseDate("1994-12-31"))},
+			&algebra.Between{In: cF64(1),
+				Lo: vtypes.F64Value(0.05), Hi: vtypes.F64Value(0.07)},
+			&algebra.Cmp{Op: algebra.CmpLt, L: cF64(2), R: litF(24)},
+		}},
+	}
+	rev := mustArith(algebra.OpMul, cF64(3), cF64(1))
+	return &algebra.AggNode{
+		Input: sel,
+		Aggs:  []algebra.AggExpr{{Fn: algebra.AggSum, Arg: rev}},
+		Names: []string{"revenue"},
+	}
+}
+
+// Q10 — returned item reporting: 4-way join, top 20 customers.
+func Q10() algebra.Node {
+	cs, os, ls, ns := CustomerSchema(), OrdersSchema(), LineitemSchema(), NationSchema()
+	ord := &algebra.SelectNode{
+		Input: scan("orders", os, OOrderKey, OCustKey, OOrderDate),
+		Pred: &algebra.Between{In: cDate(2),
+			Lo: vtypes.DateValue(vtypes.MustParseDate("1993-10-01")),
+			Hi: vtypes.DateValue(vtypes.MustParseDate("1993-12-31"))},
+	}
+	line := &algebra.SelectNode{
+		Input: scan("lineitem", ls, LOrderKey, LExtendedPrice, LDiscount, LReturnFlag),
+		Pred:  &algebra.Cmp{Op: algebra.CmpEq, L: cStr(3), R: litS("R")},
+	}
+	lo := &algebra.JoinNode{
+		Left: line, Right: ord,
+		LeftKeys:  []algebra.Scalar{cI64(0)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	// lo: lokey, extp, disc, rf | okey, custkey, odate
+	cust := scan("customer", cs, CCustKey, CName, CAcctBal, CNationKey, CPhone, CAddress)
+	cj := &algebra.JoinNode{
+		Left: lo, Right: cust,
+		LeftKeys:  []algebra.Scalar{cI64(5)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	// cj: ...7 | ckey(7), cname(8), acct(9), cnat(10), phone(11), addr(12)
+	nat := scan("nation", ns, NNationKey, NName)
+	nj := &algebra.JoinNode{
+		Left: cj, Right: nat,
+		LeftKeys:  []algebra.Scalar{cI64(10)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	rev := mustArith(algebra.OpMul, cF64(1), mustArith(algebra.OpSub, litF(1), cF64(2)))
+	agg := &algebra.AggNode{
+		Input:   nj,
+		GroupBy: []algebra.Scalar{cI64(7), cStr(8), cF64(9), cStr(14), cStr(11), cStr(12)},
+		Aggs:    []algebra.AggExpr{{Fn: algebra.AggSum, Arg: rev}},
+		Names:   []string{"c_custkey", "c_name", "c_acctbal", "n_name", "c_phone", "c_address", "revenue"},
+	}
+	return &algebra.LimitNode{N: 20, Input: &algebra.SortNode{Input: agg,
+		Keys: []algebra.SortKey{{Expr: cF64(6), Desc: true}, {Expr: cI64(0)}}}}
+}
+
+// Q12 — shipping modes and order priority: join + dual CASE aggregation.
+func Q12() algebra.Node {
+	os, ls := OrdersSchema(), LineitemSchema()
+	line := &algebra.SelectNode{
+		Input: scan("lineitem", ls, LOrderKey, LShipMode, LCommitDate, LReceiptDate, LShipDate),
+		Pred: &algebra.And{Preds: []algebra.Scalar{
+			&algebra.In{In: cStr(1), List: []vtypes.Value{vtypes.StrValue("MAIL"), vtypes.StrValue("SHIP")}},
+			&algebra.Cmp{Op: algebra.CmpLt, L: cDate(2), R: cDate(3)},
+			&algebra.Cmp{Op: algebra.CmpLt, L: cDate(4), R: cDate(2)},
+			&algebra.Between{In: cDate(3),
+				Lo: vtypes.DateValue(vtypes.MustParseDate("1994-01-01")),
+				Hi: vtypes.DateValue(vtypes.MustParseDate("1994-12-31"))},
+		}},
+	}
+	ord := scan("orders", os, OOrderKey, OOrderPriority)
+	j := &algebra.JoinNode{
+		Left: line, Right: ord,
+		LeftKeys:  []algebra.Scalar{cI64(0)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	// j: lokey, mode, commit, receipt, ship | okey, priority(6)
+	isHigh := &algebra.Or{Preds: []algebra.Scalar{
+		&algebra.Cmp{Op: algebra.CmpEq, L: cStr(6), R: litS("1-URGENT")},
+		&algebra.Cmp{Op: algebra.CmpEq, L: cStr(6), R: litS("2-HIGH")},
+	}}
+	one := &algebra.Lit{Val: vtypes.I64Value(1)}
+	zero := &algebra.Lit{Val: vtypes.I64Value(0)}
+	highLine := mustCase(isHigh, one, zero)
+	lowLine := mustCase(&algebra.Not{In: isHigh}, one, zero)
+	agg := &algebra.AggNode{
+		Input:   j,
+		GroupBy: []algebra.Scalar{cStr(1)},
+		Aggs: []algebra.AggExpr{
+			{Fn: algebra.AggSum, Arg: highLine},
+			{Fn: algebra.AggSum, Arg: lowLine},
+		},
+		Names: []string{"l_shipmode", "high_line_count", "low_line_count"},
+	}
+	return &algebra.SortNode{Input: agg, Keys: []algebra.SortKey{{Expr: cStr(0)}}}
+}
+
+// Q14 — promotion effect: join + CASE ratio.
+func Q14() algebra.Node {
+	ps, ls := PartSchema(), LineitemSchema()
+	line := &algebra.SelectNode{
+		Input: scan("lineitem", ls, LPartKey, LExtendedPrice, LDiscount, LShipDate),
+		Pred: &algebra.Between{In: cDate(3),
+			Lo: vtypes.DateValue(vtypes.MustParseDate("1995-09-01")),
+			Hi: vtypes.DateValue(vtypes.MustParseDate("1995-09-30"))},
+	}
+	part := scan("part", ps, PPartKey, PType)
+	j := &algebra.JoinNode{
+		Left: line, Right: part,
+		LeftKeys:  []algebra.Scalar{cI64(0)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	// j: lpart, extp, disc, ship | pkey, ptype(5)
+	rev := mustArith(algebra.OpMul, cF64(1), mustArith(algebra.OpSub, litF(1), cF64(2)))
+	promo := mustCase(&algebra.Like{In: cStr(5), Pattern: "PROMO%"}, rev, litF(0))
+	agg := &algebra.AggNode{
+		Input: j,
+		Aggs: []algebra.AggExpr{
+			{Fn: algebra.AggSum, Arg: promo},
+			{Fn: algebra.AggSum, Arg: rev},
+		},
+		Names: []string{"promo_revenue", "total_revenue"},
+	}
+	ratio := mustArith(algebra.OpDiv, mustArith(algebra.OpMul, litF(100), cF64(0)), cF64(1))
+	return &algebra.ProjectNode{Input: agg, Exprs: []algebra.Scalar{ratio}, Names: []string{"promo_revenue_pct"}}
+}
+
+// Q19 — discounted revenue: the OR-of-ANDs predicate zoo over a join.
+func Q19() algebra.Node {
+	ps, ls := PartSchema(), LineitemSchema()
+	line := &algebra.SelectNode{
+		Input: scan("lineitem", ls, LPartKey, LQuantity, LExtendedPrice, LDiscount, LShipInstruct, LShipMode),
+		Pred: &algebra.And{Preds: []algebra.Scalar{
+			&algebra.In{In: cStr(5), List: []vtypes.Value{vtypes.StrValue("AIR"), vtypes.StrValue("REG AIR")}},
+			&algebra.Cmp{Op: algebra.CmpEq, L: cStr(4), R: litS("DELIVER IN PERSON")},
+		}},
+	}
+	part := scan("part", ps, PPartKey, PBrand, PSize, PContainer)
+	j := &algebra.JoinNode{
+		Left: line, Right: part,
+		LeftKeys:  []algebra.Scalar{cI64(0)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	// j: lpart, qty(1), extp(2), disc(3), instr, mode | pkey(6), brand(7), size(8), container(9)
+	arm := func(brand string, containers []string, qlo, qhi float64, szHi int64) algebra.Scalar {
+		var cl []vtypes.Value
+		for _, c := range containers {
+			cl = append(cl, vtypes.StrValue(c))
+		}
+		return &algebra.And{Preds: []algebra.Scalar{
+			&algebra.Cmp{Op: algebra.CmpEq, L: cStr(7), R: litS(brand)},
+			&algebra.In{In: cStr(9), List: cl},
+			&algebra.Between{In: cF64(1), Lo: vtypes.F64Value(qlo), Hi: vtypes.F64Value(qhi)},
+			&algebra.Between{In: cI64(8), Lo: vtypes.I64Value(1), Hi: vtypes.I64Value(szHi)},
+		}}
+	}
+	sel := &algebra.SelectNode{
+		Input: j,
+		Pred: &algebra.Or{Preds: []algebra.Scalar{
+			arm("Brand#12", []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11, 5),
+			arm("Brand#23", []string{"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10, 20, 10),
+			arm("Brand#34", []string{"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30, 15),
+		}},
+	}
+	rev := mustArith(algebra.OpMul, cF64(2), mustArith(algebra.OpSub, litF(1), cF64(3)))
+	return &algebra.AggNode{
+		Input: sel,
+		Aggs:  []algebra.AggExpr{{Fn: algebra.AggSum, Arg: rev}},
+		Names: []string{"revenue"},
+	}
+}
+
+// Suite returns the implemented query set in TPC-H order.
+func Suite() []Query {
+	return []Query{
+		{Name: "Q1", Build: Q1},
+		{Name: "Q3", Build: Q3},
+		{Name: "Q4", Build: Q4},
+		{Name: "Q5", Build: Q5},
+		{Name: "Q6", Build: Q6},
+		{Name: "Q10", Build: Q10},
+		{Name: "Q12", Build: Q12},
+		{Name: "Q14", Build: Q14},
+		{Name: "Q19", Build: Q19},
+	}
+}

@@ -1,0 +1,175 @@
+package tpch
+
+import (
+	"testing"
+
+	"vectorwise/internal/vtypes"
+)
+
+// tiny catalog shared by tests (SF 0.002 ≈ 3000 orders, ~12k lineitems).
+func tinyCat(t testing.TB) interface{ anyCat() } { return nil }
+
+func TestGeneratorShapes(t *testing.T) {
+	cat, err := Generate(0.002, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := SizesFor(0.002)
+	for _, chk := range []struct {
+		table string
+		want  int64
+	}{
+		{"region", 5}, {"nation", 25},
+		{"supplier", sz.Supplier}, {"customer", sz.Customer},
+		{"part", sz.Part}, {"orders", sz.Orders}, {"partsupp", sz.Part * 4},
+	} {
+		tbl, _, err := cat.Resolve(chk.table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Rows() != chk.want {
+			t.Errorf("%s: %d rows, want %d", chk.table, tbl.Rows(), chk.want)
+		}
+	}
+	li, _, err := cat.Resolve("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~4 lines per order on average.
+	if li.Rows() < sz.Orders*2 || li.Rows() > sz.Orders*7 {
+		t.Errorf("lineitem rows %d out of expected band", li.Rows())
+	}
+	// FK integrity spot check: partkeys within range.
+	r, err := li.RowAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[LPartKey].I64 < 1 || r[LPartKey].I64 > sz.Part {
+		t.Errorf("lineitem partkey %d out of range", r[LPartKey].I64)
+	}
+	// Determinism: regenerating yields identical rows.
+	cat2, err := Generate(0.002, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li2, _, _ := cat2.Resolve("lineitem")
+	for _, pos := range []int64{0, 100, li.Rows() - 1} {
+		a, _ := li.RowAt(pos)
+		b, _ := li2.RowAt(pos)
+		for c := range a {
+			if !a[c].Equal(b[c]) {
+				t.Fatalf("generator not deterministic at row %d col %d", pos, c)
+			}
+		}
+	}
+}
+
+func TestSuiteValidatesAcrossEngines(t *testing.T) {
+	cat, err := Generate(0.002, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueriesReturnPlausibleResults(t *testing.T) {
+	cat, err := Generate(0.002, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Suite() {
+		rows, d, err := RunQuery(cat, q, RunOptions{Engine: EngineVectorized})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if d <= 0 {
+			t.Fatalf("%s: non-positive duration", q.Name)
+		}
+		switch q.Name {
+		case "Q1":
+			if len(rows) < 3 || len(rows) > 6 {
+				t.Errorf("Q1 groups = %d, want 4-ish", len(rows))
+			}
+			for _, r := range rows {
+				if r[9].I64 <= 0 {
+					t.Errorf("Q1 count_order must be positive")
+				}
+			}
+		case "Q3":
+			if len(rows) > 10 {
+				t.Errorf("Q3 must respect LIMIT 10, got %d", len(rows))
+			}
+		case "Q6":
+			if len(rows) != 1 {
+				t.Fatalf("Q6 must return one row")
+			}
+			if rows[0][0].F64 <= 0 {
+				t.Errorf("Q6 revenue must be positive, got %v", rows[0][0])
+			}
+		case "Q10":
+			if len(rows) > 20 {
+				t.Errorf("Q10 must respect LIMIT 20")
+			}
+		case "Q14":
+			if len(rows) != 1 || rows[0][0].F64 < 0 || rows[0][0].F64 > 100 {
+				t.Errorf("Q14 promo pct implausible: %v", rows)
+			}
+		}
+	}
+}
+
+func TestPowerAndThroughputMetrics(t *testing.T) {
+	cat, err := Generate(0.001, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PowerRun(cat, 0.001, RunOptions{Engine: EngineVectorized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.QphPower <= 0 || len(p.Durations) != len(Suite()) {
+		t.Fatalf("power metrics wrong: %+v", p)
+	}
+	tp, err := ThroughputRun(cat, 0.001, 2, RunOptions{Engine: EngineVectorized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.QphThroughput <= 0 {
+		t.Fatal("throughput metric wrong")
+	}
+	if QphH(p, tp) <= 0 {
+		t.Fatal("composite metric wrong")
+	}
+}
+
+func TestQ6MatchesScalarReference(t *testing.T) {
+	// Recompute Q6 with a plain scalar loop over the raw table.
+	cat, err := Generate(0.002, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, _, _ := cat.Resolve("lineitem")
+	lo := vtypes.MustParseDate("1994-01-01")
+	hi := vtypes.MustParseDate("1994-12-31")
+	var want float64
+	ship, _ := li.ReadAllColumn(LShipDate)
+	disc, _ := li.ReadAllColumn(LDiscount)
+	qty, _ := li.ReadAllColumn(LQuantity)
+	extp, _ := li.ReadAllColumn(LExtendedPrice)
+	for i := 0; i < int(li.Rows()); i++ {
+		if ship.I64[i] >= lo && ship.I64[i] <= hi &&
+			disc.F64[i] >= 0.05 && disc.F64[i] <= 0.07 && qty.F64[i] < 24 {
+			want += extp.F64[i] * disc.F64[i]
+		}
+	}
+	rows, _, err := RunQuery(cat, Query{Name: "Q6", Build: Q6}, RunOptions{Engine: EngineVectorized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rows[0][0].F64
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("Q6 = %v, scalar reference %v", got, want)
+	}
+}

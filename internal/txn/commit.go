@@ -1,0 +1,260 @@
+package txn
+
+import (
+	"fmt"
+
+	"vectorwise/internal/pdt"
+	"vectorwise/internal/storage"
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+	"vectorwise/internal/wal"
+)
+
+// touchedStable translates a small PDT's write positions (RIDs over the
+// snapshot master image) into stable SIDs — the coordinate system shared
+// by all transactions, in which conflicts are defined.
+func touchedStable(small *pdt.PDT, master *pdt.PDT) (map[int64]struct{}, error) {
+	out := make(map[int64]struct{})
+	for _, e := range small.Entries() {
+		var rid int64 = e.SID
+		switch e.Type {
+		case pdt.Ins:
+			sid, _, err := master.InsertionPoint(rid)
+			if err != nil {
+				return nil, err
+			}
+			out[sid] = struct{}{}
+		default:
+			sid, _, _, err := master.ResolveRID(rid)
+			if err != nil {
+				return nil, err
+			}
+			out[sid] = struct{}{}
+		}
+	}
+	return out, nil
+}
+
+// rebase re-expresses the small PDT in the coordinate system of the
+// current master image. Validation has already guaranteed that no
+// intervening commit touched the same stable positions, so each write
+// target still exists; only its RID may have shifted. Entries replay in
+// reverse sequence order for the same reason Propagate does: applying a
+// change never disturbs positions before it.
+func rebase(small *pdt.PDT, snapMaster, curMaster *pdt.PDT) (*pdt.PDT, error) {
+	out := pdt.New(small.Schema(), curMaster.VisibleRows())
+	ents := small.Entries()
+	for i := len(ents) - 1; i >= 0; i-- {
+		e := ents[i]
+		switch e.Type {
+		case pdt.Ins:
+			sid, k, err := snapMaster.InsertionPoint(e.SID)
+			if err != nil {
+				return nil, err
+			}
+			rid := curMaster.RIDOfIns(sid, k)
+			if err := out.Insert(rid, e.Row); err != nil {
+				return nil, err
+			}
+		case pdt.Del, pdt.Mod:
+			sid, k, isIns, err := snapMaster.ResolveRID(e.SID)
+			if err != nil {
+				return nil, err
+			}
+			var rid int64
+			if isIns {
+				rid = curMaster.RIDOfIns(sid, k)
+			} else {
+				rid = curMaster.RIDOfStable(sid)
+			}
+			if e.Type == pdt.Del {
+				if err := out.Delete(rid); err != nil {
+					return nil, err
+				}
+			} else {
+				for _, mc := range e.Mods {
+					if err := out.Modify(rid, mc.Col, mc.Val); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Commit validates, logs and publishes the transaction's writes.
+// On conflict it returns ErrConflict and the transaction is aborted.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrClosed
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		return nil
+	}
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Phase 1: validate every written table.
+	type pending struct {
+		ts      *tableState
+		rebased *pdt.PDT
+		touched map[int64]struct{}
+	}
+	var plan []pending
+	for name, small := range t.writes {
+		if small.Empty() {
+			continue
+		}
+		s := t.snaps[name]
+		ts := m.tables[name]
+		touched, err := touchedStable(small, s.master)
+		if err != nil {
+			return fmt.Errorf("txn: commit validation: %w", err)
+		}
+		for _, ci := range ts.commits {
+			if ci.version <= s.version {
+				continue
+			}
+			for sid := range touched {
+				if _, clash := ci.touched[sid]; clash {
+					return ErrConflict
+				}
+			}
+		}
+		rb, err := rebase(small, s.master, ts.master)
+		if err != nil {
+			return fmt.Errorf("txn: rebase: %w", err)
+		}
+		plan = append(plan, pending{ts: ts, rebased: rb, touched: touched})
+	}
+	if len(plan) == 0 {
+		return nil
+	}
+
+	// Phase 2: WAL (data records + commit marker, then sync).
+	if m.log != nil {
+		for i, p := range plan {
+			name := tableName(m, p.ts)
+			if _, err := m.log.Append(t.id, wal.KindData, name, pdt.Encode(p.rebased)); err != nil {
+				return fmt.Errorf("txn: wal append: %w", err)
+			}
+			_ = i
+		}
+		if _, err := m.log.Append(t.id, wal.KindCommit, "", nil); err != nil {
+			return fmt.Errorf("txn: wal commit marker: %w", err)
+		}
+		if err := m.log.Sync(); err != nil {
+			return fmt.Errorf("txn: wal sync: %w", err)
+		}
+	}
+
+	// Phase 3: publish new master versions.
+	for _, p := range plan {
+		combined, err := pdt.Propagate(p.ts.master, p.rebased)
+		if err != nil {
+			return fmt.Errorf("txn: propagate: %w", err)
+		}
+		p.ts.master = combined
+		p.ts.version++
+		p.ts.commits = append(p.ts.commits, commitInfo{version: p.ts.version, touched: p.touched})
+	}
+	return nil
+}
+
+// rowFromVecs boxes row i of a set of aligned vectors.
+func rowFromVecs(vecs []*vector.Vector, i int) vtypes.Row {
+	row := make(vtypes.Row, len(vecs))
+	for c, v := range vecs {
+		row[c] = v.Get(i)
+	}
+	return row
+}
+
+// tableName finds the registered name of a table state.
+func tableName(m *Manager, ts *tableState) string {
+	for n, s := range m.tables {
+		if s == ts {
+			return n
+		}
+	}
+	return ""
+}
+
+// Abort discards the transaction's writes.
+func (t *Txn) Abort() {
+	t.done = true
+	t.writes = nil
+	t.snaps = nil
+}
+
+// MasterPDT returns the current committed master PDT of a table (the
+// engine's scan path merges against it).
+func (m *Manager) MasterPDT(table string) (*pdt.PDT, *storage.Table, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.tables[table]
+	if ts == nil {
+		return nil, nil, fmt.Errorf("txn: unknown table %q", table)
+	}
+	return ts.master, ts.stable, nil
+}
+
+// Checkpoint rewrites the table's stable image with the master PDT
+// applied, installs an empty master, prunes the commit log, and (when a
+// WAL is attached) resets it. Callers must ensure no transaction is
+// in flight across a checkpoint (the embedded engine quiesces first).
+func (m *Manager) Checkpoint(table string) error {
+	m.mu.Lock()
+	ts := m.tables[table]
+	if ts == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("txn: unknown table %q", table)
+	}
+	master, stable := ts.master, ts.stable
+	m.mu.Unlock()
+
+	if master.Empty() {
+		return nil
+	}
+	// Rebuild the stable image through a merge scan.
+	schema := stable.Schema()
+	cols := make([]int, schema.Len())
+	for i := range cols {
+		cols[i] = i
+	}
+	src := &scanSource{sc: storage.NewScanner(stable, cols, nil, nil, 0)}
+	merged := pdt.NewMergeScan(src, master, 0)
+	nb := storage.NewBuilder(stable.Meta.Name, schema, 0)
+	for {
+		vecs, n, err := merged.Next()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if err := nb.AppendRow(rowFromVecs(vecs, i)); err != nil {
+				return err
+			}
+		}
+	}
+	newStable, err := nb.Finish()
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	ts.stable = newStable
+	ts.master = pdt.New(schema, newStable.Rows())
+	ts.version++
+	ts.commits = nil
+	log := m.log
+	m.mu.Unlock()
+	if log != nil {
+		return log.Reset()
+	}
+	return nil
+}

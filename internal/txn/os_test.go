@@ -1,0 +1,7 @@
+package txn
+
+import "os"
+
+func osOpenAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}

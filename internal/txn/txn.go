@@ -1,0 +1,260 @@
+// Package txn implements Vectorwise's transaction model: snapshot reads
+// over layered PDTs, optimistic PDT-based concurrency control, and a
+// write-ahead log that records PDTs as they commit (paper §I-B).
+//
+// Each table has a *master* PDT over its stable image; the master is
+// immutable once published, so readers hold a consistent snapshot by
+// pinning (stable, master) pairs. A transaction's writes accumulate in a
+// private small PDT stacked on its snapshot master. Commit, under a
+// short critical section:
+//
+//  1. validates optimistically — the small PDT's write set, translated
+//     to stable SIDs, must not intersect the write set of any
+//     transaction committed after the snapshot (first-committer-wins);
+//  2. rebases the small PDT from snapshot-master coordinates onto the
+//     current master's image (valid because validation ruled out
+//     overlapping positions);
+//  3. logs the rebased PDT and a commit marker to the WAL;
+//  4. propagates it onto a copy of the current master and publishes the
+//     result as the new master version.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"vectorwise/internal/pdt"
+	"vectorwise/internal/storage"
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+	"vectorwise/internal/wal"
+)
+
+// ErrConflict is returned by Commit when optimistic validation fails.
+var ErrConflict = errors.New("txn: write-write conflict, transaction aborted")
+
+// ErrClosed is returned when using a finished transaction.
+var ErrClosed = errors.New("txn: transaction already committed or aborted")
+
+// commitInfo records a committed transaction's write set for validation.
+type commitInfo struct {
+	version uint64
+	touched map[int64]struct{}
+}
+
+// tableState is the committed state of one table.
+type tableState struct {
+	stable  *storage.Table
+	master  *pdt.PDT
+	version uint64
+	commits []commitInfo
+}
+
+// Manager owns committed state and the WAL.
+type Manager struct {
+	mu      sync.Mutex
+	tables  map[string]*tableState
+	log     *wal.Log
+	nextTxn uint64
+}
+
+// NewManager creates a transaction manager. log may be nil (no
+// durability — used by benchmarks isolating CPU costs).
+func NewManager(log *wal.Log) *Manager {
+	return &Manager{tables: make(map[string]*tableState), log: log, nextTxn: 1}
+}
+
+// Register adds a table with an empty master PDT.
+func (m *Manager) Register(t *storage.Table) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tables[t.Meta.Name] = &tableState{
+		stable: t,
+		master: pdt.New(t.Schema(), t.Rows()),
+	}
+}
+
+// Recover replays committed WAL records (from wal.Open) onto the
+// registered tables. Must run after all tables are registered and before
+// any transaction starts.
+func (m *Manager) Recover(recs []wal.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range wal.CommittedTxns(recs) {
+		ts := m.tables[r.Table]
+		if ts == nil {
+			return fmt.Errorf("txn: WAL references unknown table %q", r.Table)
+		}
+		small, err := pdt.Decode(ts.stable.Schema(), r.Data)
+		if err != nil {
+			return fmt.Errorf("txn: WAL record LSN %d: %w", r.LSN, err)
+		}
+		combined, err := pdt.Propagate(ts.master, small)
+		if err != nil {
+			return fmt.Errorf("txn: WAL replay LSN %d: %w", r.LSN, err)
+		}
+		ts.master = combined
+		ts.version++
+	}
+	return nil
+}
+
+// snapshot pins one table's committed state.
+type snapshot struct {
+	stable  *storage.Table
+	master  *pdt.PDT
+	version uint64
+}
+
+// Txn is an in-flight transaction.
+type Txn struct {
+	m      *Manager
+	id     uint64
+	snaps  map[string]*snapshot
+	writes map[string]*pdt.PDT
+	done   bool
+}
+
+// Begin starts a transaction with a snapshot taken lazily per table.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Txn{m: m, id: m.nextTxn, snaps: make(map[string]*snapshot), writes: make(map[string]*pdt.PDT)}
+	m.nextTxn++
+	return t
+}
+
+// snap pins the table's current committed version on first touch.
+func (t *Txn) snap(table string) (*snapshot, error) {
+	if s, ok := t.snaps[table]; ok {
+		return s, nil
+	}
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	ts := t.m.tables[table]
+	if ts == nil {
+		return nil, fmt.Errorf("txn: unknown table %q", table)
+	}
+	s := &snapshot{stable: ts.stable, master: ts.master, version: ts.version}
+	t.snaps[table] = s
+	return s, nil
+}
+
+// small returns the transaction's write PDT for the table.
+func (t *Txn) small(table string) (*pdt.PDT, *snapshot, error) {
+	s, err := t.snap(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, ok := t.writes[table]
+	if !ok {
+		w = pdt.New(s.stable.Schema(), s.master.VisibleRows())
+		t.writes[table] = w
+	}
+	return w, s, nil
+}
+
+// Rows returns the table's visible row count in this transaction.
+func (t *Txn) Rows(table string) (int64, error) {
+	if t.done {
+		return 0, ErrClosed
+	}
+	w, s, err := t.small(table)
+	if err != nil {
+		return 0, err
+	}
+	_ = s
+	return w.VisibleRows(), nil
+}
+
+// Insert appends a row to the table (visible to this transaction).
+func (t *Txn) Insert(table string, row vtypes.Row) error {
+	if t.done {
+		return ErrClosed
+	}
+	w, _, err := t.small(table)
+	if err != nil {
+		return err
+	}
+	return w.Append(row)
+}
+
+// InsertAt inserts a row at a specific visible position.
+func (t *Txn) InsertAt(table string, rid int64, row vtypes.Row) error {
+	if t.done {
+		return ErrClosed
+	}
+	w, _, err := t.small(table)
+	if err != nil {
+		return err
+	}
+	return w.Insert(rid, row)
+}
+
+// Delete removes the visible row at rid.
+func (t *Txn) Delete(table string, rid int64) error {
+	if t.done {
+		return ErrClosed
+	}
+	w, _, err := t.small(table)
+	if err != nil {
+		return err
+	}
+	return w.Delete(rid)
+}
+
+// Update overwrites one column of the visible row at rid.
+func (t *Txn) Update(table string, rid int64, col int, val vtypes.Value) error {
+	if t.done {
+		return ErrClosed
+	}
+	w, _, err := t.small(table)
+	if err != nil {
+		return err
+	}
+	return w.Modify(rid, col, val)
+}
+
+// RowAt reads the visible row at rid (snapshot + own writes).
+func (t *Txn) RowAt(table string, rid int64) (vtypes.Row, error) {
+	if t.done {
+		return nil, ErrClosed
+	}
+	w, s, err := t.small(table)
+	if err != nil {
+		return nil, err
+	}
+	masterRead := func(sid int64) (vtypes.Row, error) {
+		return s.master.RowAt(sid, s.stable.RowAt)
+	}
+	return w.RowAt(rid, masterRead)
+}
+
+// Scan returns a RowSource over the transaction's view of the table:
+// stable image merged with the snapshot master and the private PDT.
+func (t *Txn) Scan(table string, vecSize int) (pdt.RowSource, *vtypes.Schema, error) {
+	if t.done {
+		return nil, nil, ErrClosed
+	}
+	w, s, err := t.small(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]int, s.stable.Schema().Len())
+	for i := range cols {
+		cols[i] = i
+	}
+	base := &scanSource{sc: storage.NewScanner(s.stable, cols, nil, nil, vecSize)}
+	merged := pdt.NewMergeScan(base, s.master, vecSize)
+	return pdt.NewMergeScan(merged, w, vecSize), s.stable.Schema(), nil
+}
+
+// scanSource adapts storage.Scanner to pdt.RowSource.
+type scanSource struct{ sc *storage.Scanner }
+
+// Next implements pdt.RowSource.
+func (s *scanSource) Next() ([]*vector.Vector, int, error) {
+	vecs, _, n, err := s.sc.Next()
+	return vecs, n, err
+}

@@ -1,0 +1,42 @@
+package xcompile
+
+import (
+	"vectorwise/internal/primitives"
+	"vectorwise/internal/vector"
+)
+
+// nullPred selects rows by a column's NULL indicator — the compiled form
+// of IS [NOT] NULL after the storage layer's two-column decomposition.
+type nullPred struct {
+	idx    int
+	negate bool // true = IS NOT NULL
+}
+
+// Filter implements expr.Pred.
+func (p *nullPred) Filter(b *vector.Batch) error {
+	v := b.Vecs[p.idx]
+	res := b.MutableSel(b.Capacity())
+	var k int
+	if v.Nulls == nil {
+		// Column has no indicator: nothing is NULL.
+		if p.negate {
+			if b.Sel == nil {
+				for i := 0; i < b.N; i++ {
+					res[i] = int32(i)
+				}
+				k = b.N
+			} else {
+				copy(res, b.Sel[:b.N])
+				k = b.N
+			}
+		} else {
+			k = 0
+		}
+	} else if p.negate {
+		k = primitives.SelIsNotNull(res, v.Nulls, b.Sel, b.N)
+	} else {
+		k = primitives.SelIsNull(res, v.Nulls, b.Sel, b.N)
+	}
+	b.SetSel(res, k)
+	return nil
+}

@@ -1,0 +1,140 @@
+package xcompile
+
+import (
+	"testing"
+
+	"vectorwise/internal/algebra"
+	"vectorwise/internal/catalog"
+	"vectorwise/internal/core"
+	"vectorwise/internal/storage"
+	"vectorwise/internal/vtypes"
+)
+
+func buildCat(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	schema := vtypes.NewSchema(
+		vtypes.Column{Name: "k", Kind: vtypes.KindI64},
+		vtypes.Column{Name: "n", Kind: vtypes.KindI64, Nullable: true},
+	)
+	b := storage.NewBuilder("t", schema, 64)
+	for i := 0; i < 100; i++ {
+		v := vtypes.I64Value(int64(i))
+		if i%5 == 0 {
+			v = vtypes.NullValue(vtypes.KindI64)
+		}
+		if err := b.AppendRow(vtypes.Row{vtypes.I64Value(int64(i)), v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	cat.Put(tbl)
+	return cat
+}
+
+func scanT() *algebra.ScanNode {
+	return &algebra.ScanNode{Table: "t", Cols: []int{0, 1},
+		Out: vtypes.NewSchema(
+			vtypes.Column{Name: "k", Kind: vtypes.KindI64},
+			vtypes.Column{Name: "n", Kind: vtypes.KindI64, Nullable: true})}
+}
+
+func TestCompileIsNullPredicate(t *testing.T) {
+	cat := buildCat(t)
+	plan := &algebra.SelectNode{
+		Input: scanT(),
+		Pred:  &algebra.IsNull{In: &algebra.ColRef{Idx: 1, K: vtypes.KindI64}},
+	}
+	op, err := Compile(plan, cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := core.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("IS NULL matched %d rows, want 20", len(rows))
+	}
+	// Negated form selects the complement.
+	plan.Pred = &algebra.IsNull{In: &algebra.ColRef{Idx: 1, K: vtypes.KindI64}, Negate: true}
+	op, err = Compile(plan, cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err = core.Collect(op)
+	if err != nil || len(rows) != 80 {
+		t.Fatalf("IS NOT NULL matched %d rows, want 80 (%v)", len(rows), err)
+	}
+}
+
+func TestNullPredOnColumnWithoutIndicator(t *testing.T) {
+	cat := buildCat(t)
+	// Column 0 has no NULLs (no indicator chunk).
+	plan := &algebra.SelectNode{
+		Input: scanT(),
+		Pred:  &algebra.IsNull{In: &algebra.ColRef{Idx: 0, K: vtypes.KindI64}},
+	}
+	op, err := Compile(plan, cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := core.Collect(op)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("IS NULL on non-nullable col: %d rows", len(rows))
+	}
+	plan.Pred = &algebra.IsNull{In: &algebra.ColRef{Idx: 0, K: vtypes.KindI64}, Negate: true}
+	op, _ = Compile(plan, cat, Options{})
+	rows, err = core.Collect(op)
+	if err != nil || len(rows) != 100 {
+		t.Fatalf("IS NOT NULL on non-nullable col: %d rows", len(rows))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cat := buildCat(t)
+	// Unknown table.
+	if _, err := Compile(&algebra.ScanNode{Table: "nope", Cols: []int{0}}, cat, Options{}); err == nil {
+		t.Fatal("unknown table must error")
+	}
+	// IS NULL on a non-column expression is unsupported.
+	arith, _ := algebra.NewArith(algebra.OpAdd,
+		&algebra.ColRef{Idx: 0, K: vtypes.KindI64}, &algebra.Lit{Val: vtypes.I64Value(1)})
+	bad := &algebra.SelectNode{Input: scanT(), Pred: &algebra.IsNull{In: arith}}
+	if _, err := Compile(bad, cat, Options{}); err == nil {
+		t.Fatal("IS NULL on expression must error")
+	}
+	// Join with mismatched key counts.
+	if _, err := Compile(&algebra.JoinNode{
+		Left: scanT(), Right: scanT(),
+		LeftKeys: []algebra.Scalar{&algebra.ColRef{Idx: 0, K: vtypes.KindI64}},
+	}, cat, Options{}); err == nil {
+		t.Fatal("key mismatch must error")
+	}
+}
+
+func TestCompilePruneHook(t *testing.T) {
+	cat := buildCat(t)
+	scan := scanT()
+	pruned := 0
+	opts := Options{Prune: map[*algebra.ScanNode]storage.PruneFn{
+		scan: func(g *storage.GroupMeta) bool {
+			pruned++
+			return g.Cols[0].MaxI64 < 64 // skip the first row group
+		},
+	}}
+	op, err := Compile(scan, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := core.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned == 0 || len(rows) != 36 {
+		t.Fatalf("prune hook: pruned=%d rows=%d", pruned, len(rows))
+	}
+}
