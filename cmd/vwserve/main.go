@@ -1,0 +1,105 @@
+// Command vwserve serves a vectorwise database over HTTP: a JSON query
+// endpoint with session management, per-request timeouts, and admission
+// control capping concurrent statements.
+//
+//	vwserve -db ./mydb -addr :8080
+//	curl -s localhost:8080/v1/query -d '{"sql":"SELECT k, SUM(v) s FROM t GROUP BY k"}'
+//
+// Flags:
+//
+//	-addr            listen address (default :8080)
+//	-db              database directory (empty = in-memory)
+//	-max-concurrent  in-flight statement cap (default 2×GOMAXPROCS/parallelism)
+//	-max-queue       waiting room beyond the cap (default 4×cap)
+//	-timeout         per-statement execution deadline (default 30s)
+//	-session-ttl     idle session expiry (default 15m)
+//	-parallelism     per-query worker target (default GOMAXPROCS)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	vectorwise "vectorwise"
+	"vectorwise/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("db", "", "database directory (empty = in-memory)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "in-flight statement cap (0 = 2×GOMAXPROCS/parallelism)")
+	maxQueue := flag.Int("max-queue", 0, "waiting room beyond the cap (0 = 4×cap, negative disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-statement execution deadline")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle session expiry (negative disables)")
+	parallelism := flag.Int("parallelism", 0, "per-query worker target (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	var db *vectorwise.DB
+	var err error
+	if *dir == "" {
+		db = vectorwise.OpenMemory()
+	} else {
+		db, err = vectorwise.Open(*dir)
+		if err != nil {
+			fail(err)
+		}
+	}
+	defer db.Close()
+	if *parallelism > 0 {
+		db.SetParallelism(*parallelism)
+	}
+
+	srv := server.New(db, server.Config{
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		QueryTimeout:  *timeout,
+		SessionTTL:    *sessionTTL,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain connections gracefully.
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("vwserve listening on %s (db=%s)\n", *addr, dbLabel(*dir))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case sig := <-sigc:
+		fmt.Printf("vwserve: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func dbLabel(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vwserve:", err)
+	os.Exit(1)
+}

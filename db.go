@@ -14,6 +14,11 @@
 //	db.Exec(`INSERT INTO t VALUES (1, 2.5), (2, 4.0)`)
 //	res, _ := db.Query(`SELECT k, SUM(v) s FROM t GROUP BY k ORDER BY k`)
 //	for _, row := range res.Rows { fmt.Println(row) }
+//
+// DB is safe for concurrent use (see the DB type for the reader/writer
+// contract). To serve a database over the network, see cmd/vwserve —
+// an HTTP/JSON front end with sessions, timeouts, and admission
+// control built on internal/server.
 package vectorwise
 
 import (
@@ -23,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"vectorwise/internal/algebra"
 	"vectorwise/internal/bufmgr"
@@ -39,10 +45,41 @@ import (
 	"vectorwise/internal/xcompile"
 )
 
-// DB is a database instance. All methods are safe for use from a single
-// goroutine; concurrent queries should Begin explicit transactions or
-// use separate read-only calls (scans pin immutable snapshots).
+// DB is a database instance. All exported methods are safe for
+// concurrent use by multiple goroutines.
+//
+// # Concurrency model
+//
+// DB follows a reader/writer discipline enforced by an internal
+// RWMutex:
+//
+//   - Read paths — [DB.Query], [DB.Explain] — run under a shared read
+//     lock. Any number of SELECTs execute concurrently; scans merge
+//     the stable column store with the committed master PDT, both of
+//     which are immutable once published, so readers observe a
+//     consistent snapshot for the duration of the statement.
+//   - Write paths — [DB.Exec] (CREATE/INSERT/UPDATE/DELETE),
+//     [DB.Checkpoint], [DB.Analyze], [DB.RegisterTable],
+//     [DB.SetParallelism], [DB.Close] — serialize under the exclusive
+//     write lock. A writer therefore never observes a half-applied DDL
+//     or a torn catalog-layer swap, and commit/refresh of the master
+//     PDT is atomic with respect to readers.
+//   - [DB.Catalog] and [DB.BufferManager] are plain accessors that
+//     take no lock; the handles they return are internally
+//     synchronized for the operations queries perform.
+//
+// Statement-level isolation is snapshot-per-statement: a SELECT that
+// starts before an UPDATE commits sees the pre-update image; one that
+// starts after sees all of it. Cross-statement transactions are managed
+// internally per DML statement (each INSERT/UPDATE/DELETE is one
+// PDT transaction validated first-committer-wins at commit).
 type DB struct {
+	// mu is the reader/writer gate described in the type comment.
+	// Lock ordering: db.mu is always acquired before any internal
+	// package mutex (catalog.Catalog.mu, txn.Manager.mu,
+	// bufmgr.Manager.mu); no internal package calls back into DB.
+	mu sync.RWMutex
+
 	cat *catalog.Catalog
 	txm *txn.Manager
 	buf *bufmgr.Manager
@@ -50,6 +87,9 @@ type DB struct {
 	dir string
 	// Parallelism is the worker count the parallel rewriter targets for
 	// Query; defaults to GOMAXPROCS. Set to 1 to force serial plans.
+	//
+	// Mutating the field directly is only safe before the DB is shared
+	// between goroutines; afterwards use [DB.SetParallelism].
 	Parallelism int
 }
 
@@ -113,18 +153,36 @@ func Open(dir string) (*DB, error) {
 	return db, nil
 }
 
-// Close releases the WAL handle.
+// Close releases the WAL handle. It takes the write lock, so it blocks
+// until in-flight statements drain; using the DB after Close is invalid.
 func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.log != nil {
 		return db.log.Close()
 	}
 	return nil
 }
 
-// Catalog exposes the catalog (experiment harness hook).
+// SetParallelism sets the worker count the parallel rewriter targets
+// for subsequent queries. Unlike writing the Parallelism field
+// directly, it is safe to call while other goroutines are querying.
+func (db *DB) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	db.mu.Lock()
+	db.Parallelism = n
+	db.mu.Unlock()
+}
+
+// Catalog exposes the catalog (experiment harness hook). The catalog is
+// internally synchronized, but mutating entries it returns is only safe
+// while no queries are running.
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
-// BufferManager exposes the buffer pool (experiment harness hook).
+// BufferManager exposes the buffer pool (experiment harness hook). The
+// manager is safe for concurrent use.
 func (db *DB) BufferManager() *bufmgr.Manager { return db.buf }
 
 // refreshLayers publishes the committed master PDT into the catalog so
@@ -143,16 +201,30 @@ func (db *DB) refreshLayers(table string) error {
 
 // RegisterTable adds a pre-built table (bulk loads, TPC-H generator).
 func (db *DB) RegisterTable(t *storage.Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.registerTableLocked(t)
+}
+
+// registerTableLocked is RegisterTable for callers already holding the
+// write lock (db.mu is not reentrant).
+func (db *DB) registerTableLocked(t *storage.Table) {
 	db.cat.Put(t)
 	db.txm.Register(t)
 }
 
 // Exec runs a DDL/DML statement and returns the affected row count.
+// Exec serializes under the DB write lock: one DDL/DML statement runs
+// at a time, and never concurrently with a SELECT. Each DML statement
+// is a single PDT transaction committed (or aborted) before Exec
+// returns.
 func (db *DB) Exec(sqlText string) (int64, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return 0, err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	switch s := stmt.(type) {
 	case *sql.CreateStmt:
 		return 0, db.execCreate(s)
@@ -172,12 +244,17 @@ func (db *DB) Exec(sqlText string) (int64, error) {
 }
 
 // Query runs a SELECT through the full stack: parse → plan → simplify →
-// parallelize → cross-compile → vectorized execution.
+// parallelize → cross-compile → vectorized execution. Queries run under
+// a shared read lock: any number run concurrently with each other, and
+// each observes a consistent committed snapshot (DDL/DML waits for
+// in-flight queries before mutating shared state).
 func (db *DB) Query(sqlText string) (*Result, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	sel, ok := stmt.(*sql.SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("vectorwise: Query requires SELECT")
@@ -198,12 +275,17 @@ func (db *DB) Query(sqlText string) (*Result, error) {
 	return db.runPlan(plan)
 }
 
-// Explain returns the optimized plan tree of a SELECT.
+// Explain returns the optimized plan tree of a SELECT: the planner
+// output after simplification and — when Parallelism > 1 — the
+// on-the-fly Xchange parallelization rewrite, rendered one operator per
+// line. Like Query it runs under the shared read lock.
 func (db *DB) Explain(sqlText string) (string, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return "", err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	sel, ok := stmt.(*sql.SelectStmt)
 	if !ok {
 		return "", fmt.Errorf("vectorwise: Explain requires SELECT")
@@ -266,7 +348,7 @@ func (db *DB) execCreate(s *sql.CreateStmt) error {
 	if err != nil {
 		return err
 	}
-	db.RegisterTable(t)
+	db.registerTableLocked(t)
 	return db.persistTable(s.Table)
 }
 
@@ -454,8 +536,12 @@ func (db *DB) execDelete(s *sql.DeleteStmt) (int64, error) {
 }
 
 // Checkpoint folds a table's committed deltas into a fresh stable image,
-// persists it (when the DB is disk-backed) and resets the WAL.
+// persists it (when the DB is disk-backed) and resets the WAL. It holds
+// the DB write lock for the duration, which supplies the quiescence the
+// transaction manager's checkpoint requires.
 func (db *DB) Checkpoint(table string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.txm.Checkpoint(table); err != nil {
 		return err
 	}
@@ -483,5 +569,12 @@ func (db *DB) persistTable(table string) error {
 	return ent.Table.Save(filepath.Join(db.dir, table+".vwt"))
 }
 
-// Analyze refreshes optimizer statistics for all tables.
-func (db *DB) Analyze() error { return db.cat.AnalyzeAll() }
+// Analyze refreshes optimizer statistics for all tables. It takes the
+// write lock because it mutates cataloged entries in place
+// (Entry.Stats), which must not race with anything traversing the
+// catalog.
+func (db *DB) Analyze() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.cat.AnalyzeAll()
+}

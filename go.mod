@@ -1,0 +1,3 @@
+module vectorwise
+
+go 1.24

@@ -92,6 +92,10 @@ type cacheEntry struct {
 // Manager is a byte-capacity LRU buffer pool over decompressed column
 // chunks, shared by all scans of a process. It implements
 // storage.ChunkFetcher so the core engine's scans go through it.
+// All methods are safe for concurrent use: cache state is guarded by
+// mu, chunk loads happen outside the lock (a racing duplicate load is
+// benign — one copy wins the cache, both are valid to read), and the
+// cached vectors themselves are treated as immutable by every scan.
 type Manager struct {
 	mu       sync.Mutex
 	capacity int64

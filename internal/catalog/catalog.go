@@ -6,6 +6,7 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -16,6 +17,13 @@ import (
 )
 
 // Entry is one cataloged table.
+//
+// Concurrency: the Catalog's lock guards the name → entry map and the
+// Layers/Stats fields while a catalog method touches them. Entry
+// pointers escape via Get, so mutating an Entry's fields directly is
+// only safe while the caller holds the DB-level write lock (the
+// vectorwise.DB reader/writer discipline); readers on the query path
+// must go through Resolve, which snapshots Layers under the lock.
 type Entry struct {
 	Table *storage.Table
 	// Layers are committed PDT layers, bottom first (nil when clean).
@@ -29,6 +37,11 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Entry
 }
+
+// ErrUnknownTable tags lookups of unregistered tables so callers can
+// classify the failure with errors.Is (e.g. the HTTP layer maps it to
+// 404 rather than 500).
+var ErrUnknownTable = errors.New("unknown table")
 
 // New creates an empty catalog.
 func New() *Catalog { return &Catalog{tables: make(map[string]*Entry)} }
@@ -46,7 +59,7 @@ func (c *Catalog) Get(name string) (*Entry, error) {
 	defer c.mu.RUnlock()
 	e, ok := c.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: unknown table %q", name)
+		return nil, fmt.Errorf("catalog: %w %q", ErrUnknownTable, name)
 	}
 	return e, nil
 }
@@ -57,7 +70,7 @@ func (c *Catalog) SetLayers(name string, layers []*pdt.PDT) error {
 	defer c.mu.Unlock()
 	e, ok := c.tables[name]
 	if !ok {
-		return fmt.Errorf("catalog: unknown table %q", name)
+		return fmt.Errorf("catalog: %w %q", ErrUnknownTable, name)
 	}
 	e.Layers = layers
 	return nil
@@ -76,13 +89,21 @@ func (c *Catalog) Names() []string {
 }
 
 // Resolve returns the storage and PDT layers of a table (the engines'
-// entry point).
+// entry point). The layer slice is copied under the read lock so a
+// concurrent SetLayers cannot tear the read; the layers themselves are
+// immutable once published.
 func (c *Catalog) Resolve(name string) (*storage.Table, []*pdt.PDT, error) {
-	e, err := c.Get(name)
-	if err != nil {
-		return nil, nil, err
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.tables[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("catalog: %w %q", ErrUnknownTable, name)
 	}
-	return e.Table, e.Layers, nil
+	var layers []*pdt.PDT
+	if len(e.Layers) > 0 {
+		layers = append(layers, e.Layers...)
+	}
+	return e.Table, layers, nil
 }
 
 // histBuckets is the equi-width histogram resolution.

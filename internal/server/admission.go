@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded is returned by acquire when the concurrency cap is
+// reached and the waiting room is full; the HTTP layer maps it to 429.
+var ErrOverloaded = errors.New("server: overloaded, try again later")
+
+// AdmissionStats is a snapshot of the admission controller's counters,
+// exposed on /v1/stats so the cap is observable from outside.
+type AdmissionStats struct {
+	// MaxConcurrent is the configured in-flight cap.
+	MaxConcurrent int `json:"max_concurrent"`
+	// InFlight is the number of queries currently holding a slot.
+	InFlight int `json:"in_flight"`
+	// PeakInFlight is the high-water mark of InFlight since start.
+	PeakInFlight int `json:"peak_in_flight"`
+	// Waiting is the number of requests queued for a slot right now.
+	Waiting int `json:"waiting"`
+	// Admitted counts requests that obtained a slot.
+	Admitted int64 `json:"admitted"`
+	// Rejected counts requests turned away with ErrOverloaded.
+	Rejected int64 `json:"rejected"`
+	// Abandoned counts requests whose context expired while waiting.
+	Abandoned int64 `json:"abandoned"`
+}
+
+// admission caps the number of statements executing simultaneously.
+// Requests past the cap wait for a slot (bounded by maxQueue waiters);
+// anything beyond that is rejected immediately so overload sheds load
+// instead of stacking goroutines.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int
+
+	mu    sync.Mutex
+	stats AdmissionStats
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: maxQueue,
+		stats:    AdmissionStats{MaxConcurrent: maxConcurrent},
+	}
+}
+
+// acquire obtains an execution slot, waiting until ctx expires. It
+// returns ErrOverloaded when the waiting room is full and ctx.Err()
+// when the caller's deadline passes first.
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: free slot.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted()
+		return nil
+	default:
+	}
+
+	a.mu.Lock()
+	if a.stats.Waiting >= a.maxQueue {
+		a.stats.Rejected++
+		a.mu.Unlock()
+		return ErrOverloaded
+	}
+	a.stats.Waiting++
+	a.mu.Unlock()
+
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.stats.Waiting--
+		a.mu.Unlock()
+		a.admitted()
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.stats.Waiting--
+		a.stats.Abandoned++
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// admitted records a successful slot grab.
+func (a *admission) admitted() {
+	a.mu.Lock()
+	a.stats.Admitted++
+	a.stats.InFlight++
+	if a.stats.InFlight > a.stats.PeakInFlight {
+		a.stats.PeakInFlight = a.stats.InFlight
+	}
+	a.mu.Unlock()
+}
+
+// release returns a slot. It must be called exactly once per successful
+// acquire, after the statement finishes executing (even if the HTTP
+// response was already written on timeout).
+func (a *admission) release() {
+	a.mu.Lock()
+	a.stats.InFlight--
+	a.mu.Unlock()
+	<-a.slots
+}
+
+// snapshot returns a copy of the counters.
+func (a *admission) snapshot() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}

@@ -1,0 +1,380 @@
+// Package server turns the embedded vectorwise engine into a
+// multi-user network service: an HTTP + JSON query endpoint with
+// session management, per-request timeouts, admission control capping
+// concurrent statements, and structured error responses. It is the
+// serving layer the Vectorwise product grew around its X100 core — the
+// same shape Vertica later gave C-Store — scaled down to one process.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/query          {"sql": "...", "session": "?", "timeout_ms": ?}
+//	POST   /v1/session        → {"id": "...", "created": "..."}
+//	DELETE /v1/session/{id}
+//	GET    /v1/stats          admission + session counters
+//	GET    /v1/healthz
+//
+// Concurrency: SELECTs run concurrently inside the engine (shared read
+// lock on vectorwise.DB); DDL/DML serializes under the engine's write
+// lock. The admission controller bounds how many statements of any
+// kind execute at once, with a bounded waiting room beyond the cap and
+// 429 past that, so overload degrades by queueing-then-shedding rather
+// than by collapse.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	vectorwise "vectorwise"
+	"vectorwise/internal/catalog"
+	"vectorwise/internal/sql"
+	"vectorwise/internal/txn"
+	"vectorwise/internal/vtypes"
+)
+
+// Config tunes a Server. Zero values pick sensible defaults.
+type Config struct {
+	// MaxConcurrent caps statements executing simultaneously. The
+	// default accounts for intra-query parallelism: each SELECT may
+	// fan out to DB.Parallelism workers, so the cap defaults to
+	// max(2, 2×GOMAXPROCS/Parallelism) to bound total runnable
+	// goroutines near 2×GOMAXPROCS. When setting it explicitly, tune
+	// it together with DB.Parallelism.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot beyond the cap
+	// (default 4×MaxConcurrent; <0 disables the waiting room so the
+	// cap rejects immediately). Requests past cap+queue get 429.
+	MaxQueue int
+	// QueryTimeout is the default per-request execution deadline
+	// (default 30s). Clients may shorten it per request via
+	// timeout_ms; they cannot exceed it.
+	QueryTimeout time.Duration
+	// SessionTTL expires sessions idle longer than this (default 15m;
+	// <0 disables expiry).
+	SessionTTL time.Duration
+}
+
+func (c Config) withDefaults(parallelism int) Config {
+	if c.MaxConcurrent <= 0 {
+		if parallelism < 1 {
+			parallelism = 1
+		}
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0) / parallelism
+		if c.MaxConcurrent < 2 {
+			c.MaxConcurrent = 2
+		}
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	return c
+}
+
+// Server serves SQL over HTTP against one vectorwise.DB.
+type Server struct {
+	db       *vectorwise.DB
+	cfg      Config
+	adm      *admission
+	sessions *sessionTable
+	mux      *http.ServeMux
+	started  time.Time
+	stop     chan struct{}
+}
+
+// New builds a Server around db. Close it to stop the session reaper;
+// closing the Server does not close the DB. New reads db.Parallelism
+// to size the default admission cap, so set it before calling New.
+func New(db *vectorwise.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults(db.Parallelism)
+	s := &Server{
+		db:       db,
+		cfg:      cfg,
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		sessions: newSessionTable(cfg.SessionTTL),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		stop:     make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	go s.reap()
+	return s
+}
+
+// Handler returns the HTTP handler (mount it on an http.Server or an
+// httptest.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the background session reaper.
+func (s *Server) Close() { close(s.stop) }
+
+// reap expires idle sessions until Close.
+func (s *Server) reap() {
+	if s.cfg.SessionTTL <= 0 {
+		return
+	}
+	tick := time.NewTicker(s.cfg.SessionTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-tick.C:
+			s.sessions.sweep(now)
+		}
+	}
+}
+
+// QueryRequest is the /v1/query request body.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// Session is an optional session id from POST /v1/session.
+	Session string `json:"session,omitempty"`
+	// TimeoutMs optionally shortens the server's QueryTimeout for this
+	// request.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the /v1/query success body.
+type QueryResponse struct {
+	// Columns and Rows are set for SELECT.
+	Columns []string `json:"columns,omitempty"`
+	Rows    [][]any  `json:"rows,omitempty"`
+	// RowsAffected is set for DDL/DML.
+	RowsAffected *int64  `json:"rows_affected,omitempty"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
+}
+
+// ErrorBody is the structured error payload.
+type ErrorBody struct {
+	// Code is a stable machine-readable identifier: bad_request,
+	// too_large, overloaded, timeout, conflict, not_found, internal.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse wraps every non-2xx body.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// StatsResponse is the /v1/stats body.
+type StatsResponse struct {
+	Admission AdmissionStats `json:"admission"`
+	Sessions  int            `json:"sessions"`
+	UptimeMs  int64          `json:"uptime_ms"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: msg}})
+}
+
+// writeEngineError maps an engine error onto a structured response.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, txn.ErrConflict):
+		writeError(w, http.StatusConflict, "conflict", err.Error())
+	case errors.Is(err, catalog.ErrUnknownTable):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// maxBodyBytes bounds /v1/query request bodies.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "sql" field`)
+		return
+	}
+	if req.Session != "" {
+		sess, err := s.sessions.get(req.Session)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "not_found", err.Error())
+			return
+		}
+		sess.touch(time.Now())
+	}
+
+	// Parse up front: syntax errors are the client's fault (400) and
+	// should not consume an execution slot.
+	stmt, err := sql.Parse(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if _, ok := stmt.(*sql.TxStmt); ok {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"explicit transactions are not supported over HTTP; each statement commits atomically")
+		return
+	}
+
+	timeout := s.cfg.QueryTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
+		} else {
+			writeError(w, http.StatusGatewayTimeout, "timeout",
+				"timed out waiting for an execution slot")
+		}
+		return
+	}
+
+	// Execute on a worker goroutine so the handler can honor the
+	// deadline. The engine is not yet cancellable mid-statement, so on
+	// timeout the worker keeps its admission slot until the statement
+	// finishes — the cap stays truthful about engine load.
+	start := time.Now()
+	type outcome struct {
+		resp QueryResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		// Release the slot before signalling completion so a client
+		// that saw its response (or anyone reading /v1/stats after it)
+		// observes the slot as free — the release happens-before the
+		// HTTP reply.
+		func() {
+			defer s.adm.release()
+			switch stmt.(type) {
+			case *sql.SelectStmt:
+				res, err := s.db.Query(req.SQL)
+				if err != nil {
+					o.err = err
+					return
+				}
+				o.resp.Columns = res.Columns
+				o.resp.Rows = encodeRows(res.Rows)
+			default:
+				n, err := s.db.Exec(req.SQL)
+				if err != nil {
+					o.err = err
+					return
+				}
+				o.resp.RowsAffected = &n
+			}
+		}()
+		done <- o
+	}()
+
+	select {
+	case o := <-done:
+		if o.err != nil {
+			writeEngineError(w, o.err)
+			return
+		}
+		o.resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+		writeJSON(w, http.StatusOK, o.resp)
+	case <-ctx.Done():
+		writeError(w, http.StatusGatewayTimeout, "timeout",
+			fmt.Sprintf("statement exceeded %v", timeout))
+	}
+}
+
+// encodeRows boxes result rows for JSON: NULL → null, BIGINT → number,
+// DOUBLE → number, VARCHAR → string, BOOLEAN → bool, DATE → "YYYY-MM-DD".
+func encodeRows(rows []vtypes.Row) [][]any {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		enc := make([]any, len(row))
+		for j, v := range row {
+			enc[j] = encodeValue(v)
+		}
+		out[i] = enc
+	}
+	return out
+}
+
+func encodeValue(v vtypes.Value) any {
+	if v.Null {
+		return nil
+	}
+	switch v.Kind {
+	case vtypes.KindI64:
+		return v.I64
+	case vtypes.KindF64:
+		return v.F64
+	case vtypes.KindStr:
+		return v.Str
+	case vtypes.KindBool:
+		return v.B
+	case vtypes.KindDate:
+		return vtypes.FormatDate(v.I64)
+	default:
+		return v.String()
+	}
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.create(time.Now())
+	writeJSON(w, http.StatusOK, sess)
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sessions.remove(id) {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("unknown or expired session %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Admission: s.adm.snapshot(),
+		Sessions:  s.sessions.count(),
+		UptimeMs:  time.Since(s.started).Milliseconds(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,330 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	vectorwise "vectorwise"
+)
+
+// newTestServer builds a Server over an in-memory DB with a seeded
+// table, mounted on an httptest server.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	db := vectorwise.OpenMemory()
+	if _, err := db.Exec(`CREATE TABLE kv (k BIGINT, v VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO kv VALUES (1,'a'), (2,'b'), (3,'c')`); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// postQuery issues a /v1/query request and decodes the response into out.
+func postQuery(t *testing.T, ts *httptest.Server, req QueryRequest, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestQueryEndpointSelect(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var got QueryResponse
+	code := postQuery(t, ts, QueryRequest{SQL: `SELECT k, v FROM kv ORDER BY k`}, &got)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Columns) != 2 || got.Columns[0] != "k" {
+		t.Fatalf("columns: %v", got.Columns)
+	}
+	if len(got.Rows) != 3 {
+		t.Fatalf("rows: %v", got.Rows)
+	}
+	// JSON numbers decode as float64; strings stay strings.
+	if got.Rows[0][0].(float64) != 1 || got.Rows[0][1].(string) != "a" {
+		t.Fatalf("row 0: %v", got.Rows[0])
+	}
+	if got.RowsAffected != nil {
+		t.Fatalf("SELECT should not set rows_affected")
+	}
+}
+
+func TestQueryEndpointDML(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var got QueryResponse
+	code := postQuery(t, ts, QueryRequest{SQL: `UPDATE kv SET v = 'z' WHERE k > 1`}, &got)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got.RowsAffected == nil || *got.RowsAffected != 2 {
+		t.Fatalf("rows_affected: %v", got.RowsAffected)
+	}
+	var sel QueryResponse
+	postQuery(t, ts, QueryRequest{SQL: `SELECT v FROM kv WHERE k = 3`}, &sel)
+	if len(sel.Rows) != 1 || sel.Rows[0][0].(string) != "z" {
+		t.Fatalf("update not visible: %v", sel.Rows)
+	}
+}
+
+func TestQueryEndpointNullAndDate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code := postQuery(t, ts, QueryRequest{
+		SQL: `CREATE TABLE ev (d DATE, note VARCHAR NULL)`}, nil); code != http.StatusOK {
+		t.Fatalf("create: %d", code)
+	}
+	if code := postQuery(t, ts, QueryRequest{
+		SQL: `INSERT INTO ev VALUES (DATE '2011-04-05', NULL)`}, nil); code != http.StatusOK {
+		t.Fatalf("insert: %d", code)
+	}
+	var got QueryResponse
+	postQuery(t, ts, QueryRequest{SQL: `SELECT d, note FROM ev`}, &got)
+	if len(got.Rows) != 1 || got.Rows[0][0].(string) != "2011-04-05" || got.Rows[0][1] != nil {
+		t.Fatalf("rows: %v", got.Rows)
+	}
+}
+
+func TestStructuredErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantErr  string
+	}{
+		{"syntax", `{"sql": "SELEC nope"}`, http.StatusBadRequest, "bad_request"},
+		{"missing sql", `{}`, http.StatusBadRequest, "bad_request"},
+		{"bad json", `{"sql": `, http.StatusBadRequest, "bad_request"},
+		{"unknown session", `{"sql": "SELECT k FROM kv", "session": "nope"}`, http.StatusNotFound, "not_found"},
+		{"unknown table", `{"sql": "SELECT x FROM missing"}`, http.StatusNotFound, "not_found"},
+		{"explicit txn", `{"sql": "BEGIN"}`, http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantCode)
+			}
+			var e ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatal(err)
+			}
+			if e.Error.Code != tc.wantErr {
+				t.Fatalf("code %q, want %q", e.Error.Code, tc.wantErr)
+			}
+			if e.Error.Message == "" {
+				t.Fatal("empty error message")
+			}
+		})
+	}
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Valid JSON framing so the decoder reads past the byte cap
+	// instead of bailing on a syntax error first.
+	big := append([]byte(`{"sql":"`), bytes.Repeat([]byte("x"), maxBodyBytes+1024)...)
+	big = append(big, `"}`...)
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != "too_large" {
+		t.Fatalf("code %q", e.Error.Code)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/session", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess Session
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sess.ID == "" {
+		t.Fatal("empty session id")
+	}
+
+	if code := postQuery(t, ts, QueryRequest{SQL: `SELECT k FROM kv`, Session: sess.ID}, nil); code != http.StatusOK {
+		t.Fatalf("query with session: %d", code)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+sess.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", dresp.StatusCode)
+	}
+	// Second delete: gone.
+	dresp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("re-delete: %d", dresp2.StatusCode)
+	}
+	// Using the deleted session fails.
+	if code := postQuery(t, ts, QueryRequest{SQL: `SELECT k FROM kv`, Session: sess.ID}, nil); code != http.StatusNotFound {
+		t.Fatalf("query with dead session: %d", code)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	tbl := newSessionTable(50 * time.Millisecond)
+	now := time.Now()
+	s := tbl.create(now)
+	if tbl.sweep(now.Add(10 * time.Millisecond)) != 0 {
+		t.Fatal("fresh session swept")
+	}
+	if n := tbl.sweep(now.Add(time.Second)); n != 1 {
+		t.Fatalf("swept %d, want 1", n)
+	}
+	if _, err := tbl.get(s.ID); err == nil {
+		t.Fatal("expired session still resolvable")
+	}
+	// Expiry must not depend on the sweeper: get() itself rejects a
+	// session whose TTL lapsed, even before any sweep runs.
+	s2 := tbl.create(time.Now().Add(-time.Second))
+	if _, err := tbl.get(s2.ID); err == nil {
+		t.Fatal("get accepted a session idle past its TTL")
+	}
+	if _, err := tbl.get(s2.ID); err == nil {
+		t.Fatal("expired session not removed by get")
+	}
+}
+
+func TestAdmissionRejectsWhenSaturated(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: -1, QueryTimeout: time.Second})
+	// Occupy the single slot directly so the next request finds the
+	// waiting room (capacity 0) full.
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.adm.release()
+
+	var e ErrorResponse
+	code := postQuery(t, ts, QueryRequest{SQL: `SELECT k FROM kv`}, &e)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", code)
+	}
+	if e.Error.Code != "overloaded" {
+		t.Fatalf("code %q", e.Error.Code)
+	}
+	st := s.adm.snapshot()
+	if st.Rejected == 0 {
+		t.Fatalf("rejections not counted: %+v", st)
+	}
+}
+
+func TestAdmissionWaiterTimesOut(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("err %v, want DeadlineExceeded", err)
+	}
+	st := a.snapshot()
+	if st.Abandoned != 1 || st.Waiting != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	a.release()
+	// The freed slot is reusable.
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	a.release()
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 3})
+	for i := 0; i < 5; i++ {
+		postQuery(t, ts, QueryRequest{SQL: fmt.Sprintf(`SELECT k FROM kv WHERE k = %d`, i)}, nil)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.MaxConcurrent != 3 {
+		t.Fatalf("max_concurrent: %+v", st.Admission)
+	}
+	if st.Admission.Admitted < 5 {
+		t.Fatalf("admitted %d, want >= 5", st.Admission.Admitted)
+	}
+	if st.Admission.InFlight != 0 {
+		t.Fatalf("in_flight should be 0 at rest: %+v", st.Admission)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/query: %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Session is one client session. Sessions carry client identity across
+// requests: per-session counters for observability and an idle TTL so
+// abandoned clients are reaped. (Per-session transactions layer on top
+// of this in a later PR; the engine commits per statement today.)
+type Session struct {
+	ID      string    `json:"id"`
+	Created time.Time `json:"created"`
+
+	mu       sync.Mutex
+	lastUsed time.Time
+	queries  int64
+}
+
+// touch marks the session used now and bumps its statement count.
+func (s *Session) touch(now time.Time) {
+	s.mu.Lock()
+	s.lastUsed = now
+	s.queries++
+	s.mu.Unlock()
+}
+
+// idleSince returns the last-used time.
+func (s *Session) idleSince() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastUsed
+}
+
+// Queries returns the number of statements the session has issued.
+func (s *Session) Queries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// sessionTable is the concurrency-safe id → session map.
+type sessionTable struct {
+	ttl time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+func newSessionTable(ttl time.Duration) *sessionTable {
+	return &sessionTable{ttl: ttl, sessions: make(map[string]*Session)}
+}
+
+// create registers a fresh session with a random 128-bit id.
+func (t *sessionTable) create(now time.Time) *Session {
+	var raw [16]byte
+	// crypto/rand.Read never returns an error (it aborts the program
+	// on entropy failure as of Go 1.24); a panic here beats silently
+	// degrading the session-ID space.
+	if _, err := rand.Read(raw[:]); err != nil {
+		panic(err)
+	}
+	s := &Session{ID: hex.EncodeToString(raw[:]), Created: now, lastUsed: now}
+	t.mu.Lock()
+	t.sessions[s.ID] = s
+	t.mu.Unlock()
+	return s
+}
+
+// get looks up a live session, expiring it inline when its idle TTL
+// has lapsed (the background sweep is garbage collection only, so
+// expiry does not depend on reaper timing).
+func (t *sessionTable) get(id string) (*Session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown or expired session %q", id)
+	}
+	if t.ttl > 0 && s.idleSince().Before(time.Now().Add(-t.ttl)) {
+		delete(t.sessions, id)
+		return nil, fmt.Errorf("server: unknown or expired session %q", id)
+	}
+	return s, nil
+}
+
+// remove deletes a session, reporting whether it existed.
+func (t *sessionTable) remove(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.sessions[id]; !ok {
+		return false
+	}
+	delete(t.sessions, id)
+	return true
+}
+
+// sweep expires sessions idle longer than the TTL and returns how many
+// it removed. A ttl <= 0 disables expiry.
+func (t *sessionTable) sweep(now time.Time) int {
+	if t.ttl <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-t.ttl)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int
+	for id, s := range t.sessions {
+		if s.idleSince().Before(cutoff) {
+			delete(t.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+// count returns the number of live sessions.
+func (t *sessionTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}

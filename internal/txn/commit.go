@@ -205,7 +205,8 @@ func (m *Manager) MasterPDT(table string) (*pdt.PDT, *storage.Table, error) {
 // Checkpoint rewrites the table's stable image with the master PDT
 // applied, installs an empty master, prunes the commit log, and (when a
 // WAL is attached) resets it. Callers must ensure no transaction is
-// in flight across a checkpoint (the embedded engine quiesces first).
+// in flight across a checkpoint (vectorwise.DB.Checkpoint quiesces by
+// holding the DB-level write lock for the duration).
 func (m *Manager) Checkpoint(table string) error {
 	m.mu.Lock()
 	ts := m.tables[table]

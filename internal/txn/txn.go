@@ -51,7 +51,10 @@ type tableState struct {
 	commits []commitInfo
 }
 
-// Manager owns committed state and the WAL.
+// Manager owns committed state and the WAL. All Manager methods are
+// safe for concurrent use; committed snapshots (stable image + master
+// PDT) are immutable once published, so a snapshot pinned by one
+// transaction is never mutated by another's commit.
 type Manager struct {
 	mu      sync.Mutex
 	tables  map[string]*tableState
@@ -107,7 +110,9 @@ type snapshot struct {
 	version uint64
 }
 
-// Txn is an in-flight transaction.
+// Txn is an in-flight transaction. A Txn is owned by one goroutine at a
+// time — its private write PDT and snapshot map are unsynchronized;
+// only the Manager state it touches through snap/Commit is locked.
 type Txn struct {
 	m      *Manager
 	id     uint64
