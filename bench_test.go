@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"vectorwise/internal/bufmgr"
 	"vectorwise/internal/catalog"
@@ -560,6 +561,116 @@ func BenchmarkF2ParallelScaling(b *testing.B) {
 			runSuiteQuery(b, "Q1", tpch.EngineVectorized, w)
 		})
 	}
+}
+
+// --- prepared statements vs ad-hoc planning (plan cache) ---
+
+// BenchmarkPreparedVsAdHoc measures what the plan cache buys on the
+// served-workload shape: a repeated parametrized point SELECT.
+//
+//	AdHoc         — cache disabled: lex → parse → plan → simplify →
+//	                parallelize → compile → execute, every request.
+//	Prepared      — cached template + parameter binding per request.
+//	ParsePlanOnly — just the front half (what the cache amortizes away).
+//
+// The AdHoc run also reports plan_pct: the share of ad-hoc latency
+// spent in parse+plan, i.e. the fraction the paper's amortization
+// argument says must not be paid per query.
+func BenchmarkPreparedVsAdHoc(b *testing.B) {
+	// The workload shape the cache targets: a short parametrized
+	// point/range query over small hot tables, where the SQL front end
+	// (lex → parse → name resolution → plan → simplify → parallelize)
+	// is a large share of request latency. The join + IN + BETWEEN give
+	// the planner realistic work (pushdown, join keys, predicate
+	// lowering) without making execution the bottleneck.
+	const q = `SELECT d.region AS region, SUM(p.v) total FROM pts p
+		JOIN dim d ON p.g = d.id
+		WHERE p.k BETWEEN ? AND ? AND d.id IN ($3, $4)
+		GROUP BY d.region ORDER BY region`
+	const rows = 256
+	newDB := func(b *testing.B) *DB {
+		db := OpenMemory()
+		if _, err := db.Exec(`CREATE TABLE pts (k BIGINT, g BIGINT, v DOUBLE)`); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(`CREATE TABLE dim (id BIGINT, region VARCHAR)`); err != nil {
+			b.Fatal(err)
+		}
+		stmt := "INSERT INTO pts VALUES "
+		for i := 0; i < rows; i++ {
+			if i > 0 {
+				stmt += ","
+			}
+			stmt += fmt.Sprintf("(%d, %d, %d.5)", i, i%8, i%100)
+		}
+		if _, err := db.Exec(stmt); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(`INSERT INTO dim VALUES (0,'n'), (1,'s'), (2,'e'), (3,'w'), (4,'ne'), (5,'nw'), (6,'se'), (7,'sw')`); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	args := func(i int) []any {
+		lo := int64(i % 128)
+		return []any{lo, lo + 64, int64(i % 8), int64((i + 3) % 8)}
+	}
+
+	b.Run("AdHoc", func(b *testing.B) {
+		db := newDB(b)
+		db.SetPlanCacheCapacity(0) // every request re-plans
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.QueryArgs(q, args(i)...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		// Estimate the parse+plan share: Explain runs exactly the
+		// front half (parse → plan → simplify → parallelize).
+		const probes = 200
+		start := time.Now()
+		for i := 0; i < probes; i++ {
+			if _, err := db.Explain(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		planPerOp := time.Since(start) / probes
+		adhocPerOp := b.Elapsed() / time.Duration(b.N)
+		if adhocPerOp > 0 {
+			b.ReportMetric(100*float64(planPerOp)/float64(adhocPerOp), "plan_pct")
+		}
+	})
+
+	b.Run("Prepared", func(b *testing.B) {
+		db := newDB(b)
+		stmt, err := db.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := db.PlanCacheStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Query(args(i)...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st := db.PlanCacheStats(); st.Misses != base.Misses {
+			b.Fatalf("prepared path re-planned: %+v vs %+v", st, base)
+		}
+	})
+
+	b.Run("ParsePlanOnly", func(b *testing.B) {
+		db := newDB(b)
+		db.SetPlanCacheCapacity(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Explain(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- end-to-end SQL sanity bench over the facade ---

@@ -14,6 +14,7 @@
 //	-timeout         per-statement execution deadline (default 30s)
 //	-session-ttl     idle session expiry (default 15m)
 //	-parallelism     per-query worker target (default GOMAXPROCS)
+//	-plan-cache      plan cache capacity in statements (0 disables)
 package main
 
 import (
@@ -39,6 +40,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-statement execution deadline")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle session expiry (negative disables)")
 	parallelism := flag.Int("parallelism", 0, "per-query worker target (0 = GOMAXPROCS)")
+	planCache := flag.Int("plan-cache", vectorwise.DefaultPlanCacheCapacity,
+		"plan cache capacity in statements (0 disables)")
 	flag.Parse()
 
 	var db *vectorwise.DB
@@ -54,6 +57,9 @@ func main() {
 	defer db.Close()
 	if *parallelism > 0 {
 		db.SetParallelism(*parallelism)
+	}
+	if *planCache != vectorwise.DefaultPlanCacheCapacity {
+		db.SetPlanCacheCapacity(*planCache)
 	}
 
 	srv := server.New(db, server.Config{

@@ -15,6 +15,12 @@
 //	res, _ := db.Query(`SELECT k, SUM(v) s FROM t GROUP BY k ORDER BY k`)
 //	for _, row := range res.Rows { fmt.Println(row) }
 //
+// Repeated statements should use placeholders so the plan cache
+// amortizes the SQL front end away (see DB.Prepare):
+//
+//	stmt, _ := db.Prepare(`SELECT v FROM t WHERE k = ?`)
+//	res, _ = stmt.Query(int64(2)) // planned once, bound per call
+//
 // DB is safe for concurrent use (see the DB type for the reader/writer
 // contract). To serve a database over the network, see cmd/vwserve —
 // an HTTP/JSON front end with sessions, timeouts, and admission
@@ -23,6 +29,7 @@ package vectorwise
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -35,6 +42,7 @@ import (
 	"vectorwise/internal/catalog"
 	"vectorwise/internal/core"
 	"vectorwise/internal/pdt"
+	"vectorwise/internal/plancache"
 	"vectorwise/internal/rewriter"
 	"vectorwise/internal/sql"
 	"vectorwise/internal/storage"
@@ -85,6 +93,12 @@ type DB struct {
 	buf *bufmgr.Manager
 	log *wal.Log
 	dir string
+	// plans caches compiled statements keyed by (normalized SQL, schema
+	// epoch, parallelism): optimized plan templates for SELECTs, parsed
+	// ASTs for DDL/DML. The cache is internally synchronized; DDL,
+	// checkpoints and ANALYZE bump the catalog epoch so stale entries
+	// become unreachable (see internal/plancache).
+	plans *plancache.Cache
 	// Parallelism is the worker count the parallel rewriter targets for
 	// Query; defaults to GOMAXPROCS. Set to 1 to force serial plans.
 	//
@@ -101,12 +115,16 @@ type Result struct {
 	Rows []vtypes.Row
 }
 
+// DefaultPlanCacheCapacity bounds the statement/plan cache of a new DB.
+const DefaultPlanCacheCapacity = 256
+
 // OpenMemory creates an in-memory database (no WAL durability).
 func OpenMemory() *DB {
 	return &DB{
 		cat:         catalog.New(),
 		txm:         txn.NewManager(nil),
 		buf:         bufmgr.New(0, nil),
+		plans:       plancache.New(DefaultPlanCacheCapacity),
 		Parallelism: runtime.GOMAXPROCS(0),
 	}
 }
@@ -127,6 +145,7 @@ func Open(dir string) (*DB, error) {
 		buf:         bufmgr.New(0, nil),
 		log:         log,
 		dir:         dir,
+		plans:       plancache.New(DefaultPlanCacheCapacity),
 		Parallelism: runtime.GOMAXPROCS(0),
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.vwt"))
@@ -213,94 +232,403 @@ func (db *DB) registerTableLocked(t *storage.Table) {
 	db.txm.Register(t)
 }
 
+// stmtKind classifies a cached statement for dispatch without re-parsing.
+type stmtKind uint8
+
+const (
+	stmtSelect stmtKind = iota
+	stmtExec            // DDL/DML
+	stmtTx              // BEGIN/COMMIT/ROLLBACK
+)
+
+// cachedStmt is one plan-cache artifact: the reusable compilation of a
+// statement under one (schema epoch, parallelism). SELECTs carry an
+// optimized plan template (with algebra.Param slots where the SQL had
+// placeholders); other statements carry the parsed AST, which exec
+// lowers against live values. Both are immutable after construction and
+// shared by concurrent executions.
+type cachedStmt struct {
+	kind      stmtKind
+	numParams int
+	plan      algebra.Node // SELECT only
+	ast       sql.Stmt     // non-SELECT only
+}
+
+// classifyStmt wraps a parsed statement as a cache artifact. SELECTs
+// come back without a plan — the SELECT path fills it in before the
+// artifact is cached (an unplanned SELECT artifact must never be Put).
+func classifyStmt(stmt sql.Stmt, numParams int) *cachedStmt {
+	cs := &cachedStmt{numParams: numParams}
+	switch stmt.(type) {
+	case *sql.SelectStmt:
+		cs.kind = stmtSelect
+	case *sql.TxStmt:
+		cs.kind = stmtTx
+		cs.ast = stmt
+	default:
+		cs.kind = stmtExec
+		cs.ast = stmt
+	}
+	return cs
+}
+
+// getStmtLocked returns the cached compilation of normalized statement
+// text under the current schema epoch, parsing and planning on miss.
+// Callers hold db.mu (read suffices: planning only reads the catalog,
+// and the cache is internally synchronized).
+func (db *DB) getStmtLocked(norm string) (*cachedStmt, error) {
+	key := plancache.Key{SQL: norm, Epoch: db.cat.Epoch(), Parallelism: db.Parallelism}
+	if v, ok := db.plans.Get(key); ok {
+		return v.(*cachedStmt), nil
+	}
+	stmt, numParams, err := sql.ParseWithParams(norm)
+	if err != nil {
+		return nil, err
+	}
+	cs := classifyStmt(stmt, numParams)
+	if s, ok := stmt.(*sql.SelectStmt); ok {
+		planner := &sql.Planner{Cat: db.cat}
+		plan, err := planner.PlanSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		plan = rewriter.SimplifyPlan(plan)
+		if db.Parallelism > 1 {
+			plan = rewriter.Parallelize(plan, db.cat, db.Parallelism)
+		}
+		cs.plan = plan
+	}
+	db.plans.Put(key, cs)
+	return cs, nil
+}
+
+// bindArgs boxes Go argument values for parameter binding.
+func bindArgs(args []any) ([]vtypes.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]vtypes.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case nil:
+			out[i] = vtypes.Value{Null: true}
+		case int:
+			out[i] = vtypes.I64Value(int64(v))
+		case int32:
+			out[i] = vtypes.I64Value(int64(v))
+		case int64:
+			out[i] = vtypes.I64Value(v)
+		case uint:
+			if uint64(v) > math.MaxInt64 {
+				return nil, fmt.Errorf("vectorwise: parameter $%d overflows BIGINT", i+1)
+			}
+			out[i] = vtypes.I64Value(int64(v))
+		case uint32:
+			out[i] = vtypes.I64Value(int64(v))
+		case uint64:
+			if v > math.MaxInt64 {
+				return nil, fmt.Errorf("vectorwise: parameter $%d overflows BIGINT", i+1)
+			}
+			out[i] = vtypes.I64Value(int64(v))
+		case float32:
+			out[i] = vtypes.F64Value(float64(v))
+		case float64:
+			out[i] = vtypes.F64Value(v)
+		case string:
+			out[i] = vtypes.StrValue(v)
+		case bool:
+			out[i] = vtypes.BoolValue(v)
+		case vtypes.Value:
+			out[i] = v
+		default:
+			return nil, fmt.Errorf("vectorwise: unsupported parameter type %T for $%d", a, i+1)
+		}
+	}
+	return out, nil
+}
+
 // Exec runs a DDL/DML statement and returns the affected row count.
 // Exec serializes under the DB write lock: one DDL/DML statement runs
 // at a time, and never concurrently with a SELECT. Each DML statement
 // is a single PDT transaction committed (or aborted) before Exec
 // returns.
 func (db *DB) Exec(sqlText string) (int64, error) {
-	stmt, err := sql.Parse(sqlText)
+	return db.ExecArgs(sqlText)
+}
+
+// ExecArgs is Exec with `?` / `$N` placeholders bound from args
+// (args[0] binds $1). Parsed statements are cached, so repeated
+// parametrized DML skips the parser.
+func (db *DB) ExecArgs(sqlText string, args ...any) (int64, error) {
+	vals, err := bindArgs(args)
 	if err != nil {
 		return 0, err
 	}
+	norm := plancache.Normalize(sqlText)
+	// Fast path: a cached compilation (read lock only).
+	db.mu.RLock()
+	v, ok := db.plans.Get(plancache.Key{SQL: norm, Epoch: db.cat.Epoch(), Parallelism: db.Parallelism})
+	db.mu.RUnlock()
+	var cs *cachedStmt
+	if ok {
+		cs = v.(*cachedStmt)
+	} else {
+		// Cold: lex and parse before taking the exclusive lock, so a
+		// one-off DML text (bulk INSERT strings, say) never stalls
+		// concurrent readers on front-end work.
+		stmt, numParams, err := sql.ParseWithParams(norm)
+		if err != nil {
+			return 0, err
+		}
+		cs = classifyStmt(stmt, numParams)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	switch s := stmt.(type) {
+	if !ok && cs.kind == stmtExec {
+		db.plans.Put(plancache.Key{SQL: norm, Epoch: db.cat.Epoch(), Parallelism: db.Parallelism}, cs)
+	}
+	return db.execCachedLocked(cs, vals)
+}
+
+// execCachedLocked dispatches a cached DDL/DML compilation under the
+// write lock.
+func (db *DB) execCachedLocked(cs *cachedStmt, vals []vtypes.Value) (int64, error) {
+	if len(vals) != cs.numParams {
+		return 0, fmt.Errorf("vectorwise: statement takes %d parameters, got %d", cs.numParams, len(vals))
+	}
+	switch s := cs.ast.(type) {
 	case *sql.CreateStmt:
 		return 0, db.execCreate(s)
 	case *sql.InsertStmt:
-		return db.execInsert(s)
+		return db.execInsert(s, vals)
 	case *sql.UpdateStmt:
-		return db.execUpdate(s)
+		return db.execUpdate(s, vals)
 	case *sql.DeleteStmt:
-		return db.execDelete(s)
-	case *sql.SelectStmt:
+		return db.execDelete(s, vals)
+	case nil: // SELECT caches a plan, not an AST
 		return 0, fmt.Errorf("vectorwise: use Query for SELECT")
 	case *sql.TxStmt:
 		return 0, fmt.Errorf("vectorwise: explicit transactions use Begin()")
 	default:
-		return 0, fmt.Errorf("vectorwise: unsupported statement %T", stmt)
+		return 0, fmt.Errorf("vectorwise: unsupported statement %T", cs.ast)
 	}
 }
 
 // Query runs a SELECT through the full stack: parse → plan → simplify →
-// parallelize → cross-compile → vectorized execution. Queries run under
-// a shared read lock: any number run concurrently with each other, and
-// each observes a consistent committed snapshot (DDL/DML waits for
-// in-flight queries before mutating shared state).
+// parallelize → cross-compile → vectorized execution, with the front
+// half (parse through parallelize) served from the plan cache on
+// repeated statements. Queries run under a shared read lock: any number
+// run concurrently with each other, and each observes a consistent
+// committed snapshot (DDL/DML waits for in-flight queries before
+// mutating shared state).
 func (db *DB) Query(sqlText string) (*Result, error) {
-	stmt, err := sql.Parse(sqlText)
+	return db.QueryArgs(sqlText)
+}
+
+// QueryArgs is Query with `?` / `$N` placeholders bound from args
+// (args[0] binds $1). The first execution plans a template; repeated
+// executions bind typed literals into the cached template and go
+// straight to the cross-compiler — no lexing, parsing, or rewriting.
+func (db *DB) QueryArgs(sqlText string, args ...any) (*Result, error) {
+	vals, err := bindArgs(args)
 	if err != nil {
 		return nil, err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	sel, ok := stmt.(*sql.SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("vectorwise: Query requires SELECT")
-	}
-	planner := &sql.Planner{Cat: db.cat}
-	plan, err := planner.PlanSelect(sel)
+	return db.queryLocked(plancache.Normalize(sqlText), vals)
+}
+
+// queryLocked executes a (possibly cached) SELECT under the read lock.
+func (db *DB) queryLocked(norm string, vals []vtypes.Value) (*Result, error) {
+	cs, err := db.getStmtLocked(norm)
 	if err != nil {
 		return nil, err
 	}
-	plan = rewriter.SimplifyPlan(plan)
-	ordered := len(sel.OrderBy) > 0
-	if db.Parallelism > 1 && !ordered {
-		plan = rewriter.Parallelize(plan, db.cat, db.Parallelism)
-	} else if db.Parallelism > 1 {
-		// Sorted plans parallelize beneath the sort.
-		plan = rewriter.Parallelize(plan, db.cat, db.Parallelism)
+	return db.queryCachedLocked(cs, vals)
+}
+
+// queryCachedLocked binds and runs a cached SELECT compilation under
+// the read lock.
+func (db *DB) queryCachedLocked(cs *cachedStmt, vals []vtypes.Value) (*Result, error) {
+	if cs.kind != stmtSelect {
+		return nil, fmt.Errorf("vectorwise: Query requires SELECT")
+	}
+	if len(vals) != cs.numParams {
+		return nil, fmt.Errorf("vectorwise: statement takes %d parameters, got %d", cs.numParams, len(vals))
+	}
+	plan := cs.plan
+	if cs.numParams > 0 {
+		var err error
+		if plan, err = algebra.BindParams(plan, vals); err != nil {
+			return nil, err
+		}
 	}
 	return db.runPlan(plan)
 }
 
 // Explain returns the optimized plan tree of a SELECT: the planner
 // output after simplification and — when Parallelism > 1 — the
-// on-the-fly Xchange parallelization rewrite, rendered one operator per
-// line. Like Query it runs under the shared read lock.
+// Xchange parallelization rewrite, rendered one operator per line.
+// Unbound placeholders render as `$N`. Like Query it runs under the
+// shared read lock and shares the plan cache.
 func (db *DB) Explain(sqlText string) (string, error) {
-	stmt, err := sql.Parse(sqlText)
-	if err != nil {
-		return "", err
-	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	sel, ok := stmt.(*sql.SelectStmt)
-	if !ok {
-		return "", fmt.Errorf("vectorwise: Explain requires SELECT")
-	}
-	planner := &sql.Planner{Cat: db.cat}
-	plan, err := planner.PlanSelect(sel)
+	cs, err := db.getStmtLocked(plancache.Normalize(sqlText))
 	if err != nil {
 		return "", err
 	}
-	plan = rewriter.SimplifyPlan(plan)
-	if db.Parallelism > 1 {
-		plan = rewriter.Parallelize(plan, db.cat, db.Parallelism)
+	if cs.kind != stmtSelect {
+		return "", fmt.Errorf("vectorwise: Explain requires SELECT")
 	}
-	return algebra.Explain(plan), nil
+	return algebra.Explain(cs.plan), nil
 }
+
+// Prepare validates and compiles a statement once, returning a handle
+// that executes it with bound placeholder values:
+//
+//	stmt, _ := db.Prepare(`SELECT v FROM t WHERE k = ?`)
+//	res, _ := stmt.Query(int64(42))
+//
+// The compilation lives in the DB's plan cache, so the handle stays
+// valid across DDL — a schema-epoch bump simply makes the next
+// execution re-plan. Stmt is safe for concurrent use.
+func (db *DB) Prepare(sqlText string) (*Stmt, error) {
+	norm := plancache.Normalize(sqlText)
+	db.mu.RLock()
+	epoch, par := db.cat.Epoch(), db.Parallelism
+	cs, err := db.getStmtLocked(norm)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if cs.kind == stmtTx {
+		return nil, fmt.Errorf("vectorwise: cannot prepare transaction control statements")
+	}
+	s := &Stmt{db: db, sql: norm, kind: cs.kind, numParams: cs.numParams}
+	s.cached, s.epoch, s.par = cs, epoch, par
+	return s, nil
+}
+
+// LookupPrepared returns a prepared handle for sqlText only when its
+// compilation is already cached under the current schema epoch — no
+// lexing, parsing, or planning happens on a miss. Serving layers use it
+// as the pre-admission fast path: warm statements resolve for free,
+// cold ones defer compilation until the request holds an execution
+// slot.
+func (db *DB) LookupPrepared(sqlText string) (*Stmt, bool) {
+	norm := plancache.Normalize(sqlText)
+	db.mu.RLock()
+	epoch, par := db.cat.Epoch(), db.Parallelism
+	v, ok := db.plans.Peek(plancache.Key{SQL: norm, Epoch: epoch, Parallelism: par})
+	db.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	cs := v.(*cachedStmt)
+	if cs.kind == stmtTx {
+		return nil, false
+	}
+	s := &Stmt{db: db, sql: norm, kind: cs.kind, numParams: cs.numParams}
+	s.cached, s.epoch, s.par = cs, epoch, par
+	return s, true
+}
+
+// Stmt is a prepared statement bound to a DB. It memoizes the compiled
+// form together with the schema epoch and parallelism it was resolved
+// under: while those are unchanged, executions bind directly with no
+// text normalization or cache lookup at all; after a schema change the
+// next execution transparently re-resolves through the plan cache.
+type Stmt struct {
+	db        *DB
+	sql       string
+	kind      stmtKind
+	numParams int
+
+	// mu guards the memoized resolution below.
+	mu     sync.Mutex
+	cached *cachedStmt
+	epoch  uint64
+	par    int
+}
+
+// resolveLocked returns the statement's compilation. The caller holds
+// the DB lock (read or write), which pins epoch and parallelism for the
+// duration of the execution that follows.
+func (s *Stmt) resolveLocked() (*cachedStmt, error) {
+	epoch, par := s.db.cat.Epoch(), s.db.Parallelism
+	s.mu.Lock()
+	cs := s.cached
+	valid := cs != nil && s.epoch == epoch && s.par == par
+	s.mu.Unlock()
+	if valid {
+		return cs, nil
+	}
+	cs, err := s.db.getStmtLocked(s.sql)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cached, s.epoch, s.par = cs, epoch, par
+	s.mu.Unlock()
+	return cs, nil
+}
+
+// NumParams reports how many placeholder values the statement takes.
+func (s *Stmt) NumParams() int { return s.numParams }
+
+// SQL returns the normalized statement text the handle executes.
+func (s *Stmt) SQL() string { return s.sql }
+
+// IsSelect reports whether the statement is a SELECT (execute with
+// Query) as opposed to DDL/DML (execute with Exec).
+func (s *Stmt) IsSelect() bool { return s.kind == stmtSelect }
+
+// Query executes a prepared SELECT with args bound to its placeholders.
+func (s *Stmt) Query(args ...any) (*Result, error) {
+	if s.kind != stmtSelect {
+		return nil, fmt.Errorf("vectorwise: prepared statement is not a SELECT; use Exec")
+	}
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	cs, err := s.resolveLocked()
+	if err != nil {
+		return nil, err
+	}
+	return s.db.queryCachedLocked(cs, vals)
+}
+
+// Exec executes a prepared DDL/DML statement with args bound to its
+// placeholders, returning the affected row count.
+func (s *Stmt) Exec(args ...any) (int64, error) {
+	if s.kind == stmtSelect {
+		return 0, fmt.Errorf("vectorwise: prepared statement is a SELECT; use Query")
+	}
+	vals, err := bindArgs(args)
+	if err != nil {
+		return 0, err
+	}
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	cs, err := s.resolveLocked()
+	if err != nil {
+		return 0, err
+	}
+	return s.db.execCachedLocked(cs, vals)
+}
+
+// PlanCacheStats snapshots the plan cache's hit/miss/eviction counters.
+func (db *DB) PlanCacheStats() plancache.Stats { return db.plans.Stats() }
+
+// SetPlanCacheCapacity resizes the plan cache; 0 disables caching so
+// every statement re-plans (the configuration BenchmarkPreparedVsAdHoc
+// measures against). Safe to call concurrently with queries.
+func (db *DB) SetPlanCacheCapacity(n int) { db.plans.Resize(n) }
 
 // runPlan executes an algebra plan on the vectorized engine.
 func (db *DB) runPlan(plan algebra.Node) (*Result, error) {
@@ -352,15 +680,14 @@ func (db *DB) execCreate(s *sql.CreateStmt) error {
 	return db.persistTable(s.Table)
 }
 
-func (db *DB) execInsert(s *sql.InsertStmt) (int64, error) {
+func (db *DB) execInsert(s *sql.InsertStmt, params []vtypes.Value) (int64, error) {
 	ent, err := db.cat.Get(s.Table)
 	if err != nil {
 		return 0, err
 	}
 	schema := ent.Table.Schema()
 	tx := db.txm.Begin()
-	planner := &sql.Planner{Cat: db.cat}
-	_ = planner
+	planner := &sql.Planner{Cat: db.cat, Params: params}
 	for _, rowExprs := range s.Rows {
 		if len(rowExprs) != schema.Len() {
 			tx.Abort()
@@ -368,7 +695,7 @@ func (db *DB) execInsert(s *sql.InsertStmt) (int64, error) {
 		}
 		row := make(vtypes.Row, schema.Len())
 		for c, e := range rowExprs {
-			v, err := literalValue(e, schema.Col(c).Kind)
+			v, err := planner.LowerLiteral(e, schema.Col(c).Kind)
 			if err != nil {
 				tx.Abort()
 				return 0, err
@@ -387,17 +714,6 @@ func (db *DB) execInsert(s *sql.InsertStmt) (int64, error) {
 		return 0, err
 	}
 	return int64(len(s.Rows)), nil
-}
-
-// literalValue evaluates a literal-only AST expression to a value of the
-// wanted kind.
-func literalValue(e sql.Expr, want vtypes.Kind) (vtypes.Value, error) {
-	planner := &sql.Planner{}
-	lo, err := planner.LowerLiteral(e, want)
-	if err != nil {
-		return vtypes.Value{}, err
-	}
-	return lo, nil
 }
 
 // matchingRIDs scans a table in a transaction and returns the RIDs whose
@@ -440,13 +756,13 @@ func (db *DB) matchingRIDs(tx *txn.Txn, table string, pred algebra.Scalar) ([]in
 	}
 }
 
-func (db *DB) execUpdate(s *sql.UpdateStmt) (int64, error) {
+func (db *DB) execUpdate(s *sql.UpdateStmt, params []vtypes.Value) (int64, error) {
 	ent, err := db.cat.Get(s.Table)
 	if err != nil {
 		return 0, err
 	}
 	schema := ent.Table.Schema()
-	planner := &sql.Planner{Cat: db.cat}
+	planner := &sql.Planner{Cat: db.cat, Params: params}
 	var pred algebra.Scalar
 	if s.Where != nil {
 		pred, err = planner.LowerOnTable(s.Where, schema)
@@ -468,7 +784,7 @@ func (db *DB) execUpdate(s *sql.UpdateStmt) (int64, error) {
 				return 0, fmt.Errorf("vectorwise: unknown column %q", colName)
 			}
 			// SET expressions may reference the current row.
-			valExpr, err := planner.LowerOnTable(s.Set[colName], schema)
+			valExpr, err := planner.LowerSet(s.Set[colName], schema, schema.Col(ci).Kind)
 			if err != nil {
 				tx.Abort()
 				return 0, err
@@ -483,7 +799,10 @@ func (db *DB) execUpdate(s *sql.UpdateStmt) (int64, error) {
 				tx.Abort()
 				return 0, err
 			}
-			v.Kind = schema.Col(ci).Kind
+			if v, err = algebra.CoerceValue(v, schema.Col(ci).Kind); err != nil {
+				tx.Abort()
+				return 0, err
+			}
 			if err := tx.Update(s.Table, rid, ci, v); err != nil {
 				tx.Abort()
 				return 0, err
@@ -499,13 +818,13 @@ func (db *DB) execUpdate(s *sql.UpdateStmt) (int64, error) {
 	return int64(len(rids)), nil
 }
 
-func (db *DB) execDelete(s *sql.DeleteStmt) (int64, error) {
+func (db *DB) execDelete(s *sql.DeleteStmt, params []vtypes.Value) (int64, error) {
 	ent, err := db.cat.Get(s.Table)
 	if err != nil {
 		return 0, err
 	}
 	schema := ent.Table.Schema()
-	planner := &sql.Planner{Cat: db.cat}
+	planner := &sql.Planner{Cat: db.cat, Params: params}
 	var pred algebra.Scalar
 	if s.Where != nil {
 		pred, err = planner.LowerOnTable(s.Where, schema)

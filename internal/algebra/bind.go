@@ -1,0 +1,265 @@
+package algebra
+
+import (
+	"fmt"
+
+	"vectorwise/internal/vtypes"
+)
+
+// BindParams returns a copy of a plan template with every Param scalar
+// replaced by a literal from args (args[0] binds $1). The input plan is
+// never mutated, so a cached template can be bound by any number of
+// concurrent executions. Values are coerced to the parameter's resolved
+// kind with the same rules the planner applies to literals (ints widen
+// to float, floats truncate to int, strings parse as dates).
+func BindParams(n Node, args []vtypes.Value) (Node, error) {
+	return bindNode(n, args)
+}
+
+func bindNode(n Node, args []vtypes.Value) (Node, error) {
+	switch t := n.(type) {
+	case *ScanNode:
+		// Scans carry no scalars; they are immutable during execution
+		// and safe to share between the template and its bindings.
+		return t, nil
+	case *SelectNode:
+		in, err := bindNode(t.Input, args)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := bindScalar(t.Pred, args)
+		if err != nil {
+			return nil, err
+		}
+		return &SelectNode{Input: in, Pred: pred}, nil
+	case *ProjectNode:
+		in, err := bindNode(t.Input, args)
+		if err != nil {
+			return nil, err
+		}
+		exprs, err := bindScalars(t.Exprs, args)
+		if err != nil {
+			return nil, err
+		}
+		return &ProjectNode{Input: in, Exprs: exprs, Names: t.Names}, nil
+	case *AggNode:
+		in, err := bindNode(t.Input, args)
+		if err != nil {
+			return nil, err
+		}
+		groups, err := bindScalars(t.GroupBy, args)
+		if err != nil {
+			return nil, err
+		}
+		aggs := make([]AggExpr, len(t.Aggs))
+		for i, a := range t.Aggs {
+			aggs[i] = a
+			if a.Arg != nil {
+				arg, err := bindScalar(a.Arg, args)
+				if err != nil {
+					return nil, err
+				}
+				aggs[i].Arg = arg
+			}
+		}
+		return &AggNode{Input: in, GroupBy: groups, Aggs: aggs, Names: t.Names}, nil
+	case *JoinNode:
+		left, err := bindNode(t.Left, args)
+		if err != nil {
+			return nil, err
+		}
+		right, err := bindNode(t.Right, args)
+		if err != nil {
+			return nil, err
+		}
+		lk, err := bindScalars(t.LeftKeys, args)
+		if err != nil {
+			return nil, err
+		}
+		rk, err := bindScalars(t.RightKeys, args)
+		if err != nil {
+			return nil, err
+		}
+		return &JoinNode{Left: left, Right: right, LeftKeys: lk, RightKeys: rk, Type: t.Type}, nil
+	case *SortNode:
+		in, err := bindNode(t.Input, args)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]SortKey, len(t.Keys))
+		for i, k := range t.Keys {
+			e, err := bindScalar(k.Expr, args)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = SortKey{Expr: e, Desc: k.Desc}
+		}
+		return &SortNode{Input: in, Keys: keys}, nil
+	case *LimitNode:
+		in, err := bindNode(t.Input, args)
+		if err != nil {
+			return nil, err
+		}
+		return &LimitNode{Input: in, N: t.N}, nil
+	case *UnionAllNode:
+		inputs := make([]Node, len(t.Inputs))
+		for i, c := range t.Inputs {
+			in, err := bindNode(c, args)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = in
+		}
+		return &UnionAllNode{Inputs: inputs}, nil
+	default:
+		return nil, fmt.Errorf("algebra: cannot bind parameters in %T", n)
+	}
+}
+
+func bindScalars(ss []Scalar, args []vtypes.Value) ([]Scalar, error) {
+	out := make([]Scalar, len(ss))
+	for i, s := range ss {
+		e, err := bindScalar(s, args)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+func bindScalar(s Scalar, args []vtypes.Value) (Scalar, error) {
+	switch t := s.(type) {
+	case *Param:
+		if t.Idx < 1 || t.Idx > len(args) {
+			return nil, fmt.Errorf("algebra: parameter $%d not bound (%d args)", t.Idx, len(args))
+		}
+		v, err := CoerceValue(args[t.Idx-1], t.K)
+		if err != nil {
+			return nil, fmt.Errorf("algebra: parameter $%d: %w", t.Idx, err)
+		}
+		return &Lit{Val: v}, nil
+	case *ColRef, *Lit:
+		return s, nil
+	case *Arith:
+		l, err := bindScalar(t.L, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindScalar(t.R, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Arith{Op: t.Op, L: l, R: r, K: t.K}, nil
+	case *Cmp:
+		l, err := bindScalar(t.L, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindScalar(t.R, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Cmp{Op: t.Op, L: l, R: r}, nil
+	case *Between:
+		in, err := bindScalar(t.In, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Between{In: in, Lo: t.Lo, Hi: t.Hi}, nil
+	case *Like:
+		in, err := bindScalar(t.In, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Like{In: in, Pattern: t.Pattern, Negate: t.Negate}, nil
+	case *In:
+		in, err := bindScalar(t.In, args)
+		if err != nil {
+			return nil, err
+		}
+		return &In{In: in, List: t.List}, nil
+	case *And:
+		preds, err := bindScalars(t.Preds, args)
+		if err != nil {
+			return nil, err
+		}
+		return &And{Preds: preds}, nil
+	case *Or:
+		preds, err := bindScalars(t.Preds, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Or{Preds: preds}, nil
+	case *Not:
+		in, err := bindScalar(t.In, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{In: in}, nil
+	case *Case:
+		cond, err := bindScalar(t.Cond, args)
+		if err != nil {
+			return nil, err
+		}
+		then, err := bindScalar(t.Then, args)
+		if err != nil {
+			return nil, err
+		}
+		el, err := bindScalar(t.Else, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Case{Cond: cond, Then: then, Else: el, K: t.K}, nil
+	case *YearOf:
+		in, err := bindScalar(t.In, args)
+		if err != nil {
+			return nil, err
+		}
+		return &YearOf{In: in}, nil
+	case *IsNull:
+		in, err := bindScalar(t.In, args)
+		if err != nil {
+			return nil, err
+		}
+		return &IsNull{In: in, Negate: t.Negate}, nil
+	case *Cast:
+		in, err := bindScalar(t.In, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Cast{In: in, To: t.To}, nil
+	default:
+		return nil, fmt.Errorf("algebra: cannot bind parameters in scalar %T", s)
+	}
+}
+
+// CoerceValue converts a bound argument to the kind a parameter slot
+// resolved to: same storage class re-tags, ints widen to float, floats
+// truncate to int, strings parse as dates. NULL adopts the slot kind.
+func CoerceValue(v vtypes.Value, want vtypes.Kind) (vtypes.Value, error) {
+	if want == vtypes.KindInvalid {
+		return v, nil
+	}
+	if v.Null {
+		return vtypes.NullValue(want), nil
+	}
+	if v.Kind.StorageClass() == want.StorageClass() {
+		v.Kind = want
+		return v, nil
+	}
+	switch {
+	case want.StorageClass() == vtypes.ClassF64 && v.Kind.StorageClass() == vtypes.ClassI64:
+		return vtypes.F64Value(float64(v.I64)), nil
+	case want.StorageClass() == vtypes.ClassI64 && v.Kind.StorageClass() == vtypes.ClassF64:
+		return vtypes.Value{Kind: want, I64: int64(v.F64)}, nil
+	case want == vtypes.KindDate && v.Kind == vtypes.KindStr:
+		d, err := vtypes.ParseDate(v.Str)
+		if err != nil {
+			return vtypes.Value{}, err
+		}
+		return vtypes.DateValue(d), nil
+	default:
+		return vtypes.Value{}, fmt.Errorf("value %v incompatible with %v", v, want)
+	}
+}

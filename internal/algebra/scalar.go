@@ -30,6 +30,22 @@ type Lit struct{ Val vtypes.Value }
 func (l *Lit) Kind() vtypes.Kind { return l.Val.Kind }
 func (l *Lit) String() string    { return l.Val.String() }
 
+// Param is an unbound statement parameter (`?` / `$N` in SQL). The
+// planner resolves K from the surrounding expression (a parameter
+// compared with or added to a typed scalar adopts its kind), so a plan
+// holding Params is a reusable template: BindParams substitutes typed
+// literals without re-planning. A Param must not reach the
+// cross-compiler unbound.
+type Param struct {
+	// Idx is the 1-based parameter ordinal.
+	Idx int
+	K   vtypes.Kind
+}
+
+// Kind implements Scalar.
+func (p *Param) Kind() vtypes.Kind { return p.K }
+func (p *Param) String() string    { return fmt.Sprintf("$%d", p.Idx) }
+
 // ArithOp mirrors expr.ArithOp.
 type ArithOp uint8
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vectorwise/internal/pdt"
 	"vectorwise/internal/storage"
@@ -36,6 +37,15 @@ type Entry struct {
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Entry
+	// epoch is the schema epoch: a monotonic counter bumped whenever
+	// cached plans may have gone stale — DDL and table (re)registration
+	// (Put, including the fresh stable image a checkpoint installs) and
+	// statistics refresh (AnalyzeAll). Plan caches include the epoch in
+	// their key, so a bump makes every older plan structurally
+	// unreachable rather than relying on best-effort purging. Routine
+	// DML (SetLayers) does not bump: plans reference tables by name and
+	// re-resolve PDT layers at execution, so they stay valid.
+	epoch atomic.Uint64
 }
 
 // ErrUnknownTable tags lookups of unregistered tables so callers can
@@ -46,12 +56,22 @@ var ErrUnknownTable = errors.New("unknown table")
 // New creates an empty catalog.
 func New() *Catalog { return &Catalog{tables: make(map[string]*Entry)} }
 
-// Put registers or replaces a table.
+// Put registers or replaces a table and bumps the schema epoch.
 func (c *Catalog) Put(t *storage.Table) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.tables[t.Meta.Name] = &Entry{Table: t}
+	c.mu.Unlock()
+	c.epoch.Add(1)
 }
+
+// Epoch returns the current schema epoch.
+func (c *Catalog) Epoch() uint64 { return c.epoch.Load() }
+
+// BumpEpoch advances the schema epoch, invalidating every plan cached
+// under earlier epochs. Catalog mutators that affect plans call it
+// internally; it is exported for layers that change planning inputs the
+// catalog cannot see.
+func (c *Catalog) BumpEpoch() { c.epoch.Add(1) }
 
 // Get returns the entry for name.
 func (c *Catalog) Get(name string) (*Entry, error) {
@@ -272,8 +292,12 @@ func (cs *ColStats) SelectivityEq() float64 {
 	return 1 / float64(cs.NDistinct)
 }
 
-// AnalyzeAll computes statistics for every cataloged table.
+// AnalyzeAll computes statistics for every cataloged table. Fresh
+// statistics change what the planner would produce, so it bumps the
+// schema epoch — deferred, so the bump also covers a partial refresh
+// when a later table errors mid-loop (some tables' stats did change).
 func (c *Catalog) AnalyzeAll() error {
+	defer c.epoch.Add(1)
 	for _, name := range c.Names() {
 		e, err := c.Get(name)
 		if err != nil {

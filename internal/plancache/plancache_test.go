@@ -1,0 +1,98 @@
+package plancache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(2)
+	k1 := Key{SQL: "select 1", Epoch: 0}
+	k2 := Key{SQL: "select 2", Epoch: 0}
+	k3 := Key{SQL: "select 3", Epoch: 0}
+
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k1, "one")
+	c.Put(k2, "two")
+	if v, ok := c.Get(k1); !ok || v.(string) != "one" {
+		t.Fatalf("k1: %v %v", v, ok)
+	}
+	// k2 is now least recently used; inserting k3 evicts it.
+	c.Put(k3, "three")
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("k2 survived eviction")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Fatal("k1 evicted out of LRU order")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("hit/miss: %+v", st)
+	}
+}
+
+func TestEpochPartitionsKeys(t *testing.T) {
+	c := New(8)
+	c.Put(Key{SQL: "select v from t", Epoch: 1}, "plan@1")
+	if _, ok := c.Get(Key{SQL: "select v from t", Epoch: 2}); ok {
+		t.Fatal("plan cached under epoch 1 reachable from epoch 2")
+	}
+	if v, ok := c.Get(Key{SQL: "select v from t", Epoch: 1}); !ok || v.(string) != "plan@1" {
+		t.Fatal("same-epoch lookup missed")
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New(0)
+	k := Key{SQL: "select 1"}
+	c.Put(k, "x")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestResize(t *testing.T) {
+	c := New(4)
+	for i := 0; i < 4; i++ {
+		c.Put(Key{SQL: fmt.Sprintf("q%d", i)}, i)
+	}
+	c.Resize(1)
+	st := c.Stats()
+	if st.Entries != 1 || st.Capacity != 1 || st.Evictions != 3 {
+		t.Fatalf("after shrink: %+v", st)
+	}
+	// The survivor is the most recently used entry.
+	if _, ok := c.Get(Key{SQL: "q3"}); !ok {
+		t.Fatal("most recent entry evicted by resize")
+	}
+	c.Resize(0)
+	if c.Stats().Entries != 0 {
+		t.Fatal("resize(0) did not empty the cache")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT  V FROM T;", "select v from t"},
+		{"select v\n\tfrom t", "select v from t"},
+		{"select 'A  B' from t", "select 'A  B' from t"},
+		{"select 'it''s  ok' from t", "select 'it''s  ok' from t"},
+		{"select v -- trailing comment\nfrom t", "select v from t"},
+		{"  select 1  ", "select 1"},
+		{"select v from t where k = ?", "select v from t where k = ?"},
+		{"SELECT v FROM t WHERE k = $1", "select v from t where k = $1"},
+	}
+	for _, tc := range cases {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if Normalize("SELECT  V FROM T;") != Normalize("select v from t") {
+		t.Fatal("equivalent statements normalize differently")
+	}
+}

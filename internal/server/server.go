@@ -7,11 +7,20 @@
 //
 // Endpoints (all JSON):
 //
-//	POST   /v1/query          {"sql": "...", "session": "?", "timeout_ms": ?}
+//	POST   /v1/query          {"sql"|"stmt": "...", "params": [...], "explain": ?,
+//	                           "session": "?", "timeout_ms": ?}
+//	POST   /v1/prepare        {"session": "...", "name": "...", "sql": "..."}
+//	DELETE /v1/prepare/{name} ?session=...
 //	POST   /v1/session        → {"id": "...", "created": "..."}
 //	DELETE /v1/session/{id}
-//	GET    /v1/stats          admission + session counters
+//	GET    /v1/stats          admission + session + plan-cache counters
 //	GET    /v1/healthz
+//
+// Repeated statements should carry placeholders (`?` / `$N`) and
+// params: the engine's plan cache then serves every request after the
+// first without re-entering the lexer, parser, or rewriter — either
+// transparently (same SQL text) or explicitly via per-session named
+// prepared statements ("prepare once, execute by name").
 //
 // Concurrency: SELECTs run concurrently inside the engine (shared read
 // lock on vectorwise.DB); DDL/DML serializes under the engine's write
@@ -32,6 +41,7 @@ import (
 
 	vectorwise "vectorwise"
 	"vectorwise/internal/catalog"
+	"vectorwise/internal/plancache"
 	"vectorwise/internal/sql"
 	"vectorwise/internal/txn"
 	"vectorwise/internal/vtypes"
@@ -110,6 +120,8 @@ func New(db *vectorwise.DB, cfg Config) *Server {
 		stop:     make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
+	s.mux.HandleFunc("DELETE /v1/prepare/{name}", s.handlePrepareDelete)
 	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -142,9 +154,19 @@ func (s *Server) reap() {
 	}
 }
 
-// QueryRequest is the /v1/query request body.
+// QueryRequest is the /v1/query request body. Exactly one of SQL or
+// Stmt must be set.
 type QueryRequest struct {
-	SQL string `json:"sql"`
+	SQL string `json:"sql,omitempty"`
+	// Stmt names a prepared statement registered on the session via
+	// POST /v1/prepare; requires Session.
+	Stmt string `json:"stmt,omitempty"`
+	// Params bind the statement's `?` / `$N` placeholders in order
+	// (Params[0] binds $1).
+	Params []any `json:"params,omitempty"`
+	// Explain returns the optimized plan text instead of executing
+	// (SELECT only); unbound placeholders render as $N.
+	Explain bool `json:"explain,omitempty"`
 	// Session is an optional session id from POST /v1/session.
 	Session string `json:"session,omitempty"`
 	// TimeoutMs optionally shortens the server's QueryTimeout for this
@@ -158,8 +180,29 @@ type QueryResponse struct {
 	Columns []string `json:"columns,omitempty"`
 	Rows    [][]any  `json:"rows,omitempty"`
 	// RowsAffected is set for DDL/DML.
-	RowsAffected *int64  `json:"rows_affected,omitempty"`
-	ElapsedMs    float64 `json:"elapsed_ms"`
+	RowsAffected *int64 `json:"rows_affected,omitempty"`
+	// Plan is set for explain requests.
+	Plan      string  `json:"plan,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// PrepareRequest is the /v1/prepare request body.
+type PrepareRequest struct {
+	// Session is the owning session id (required: prepared statements
+	// are per-session state).
+	Session string `json:"session"`
+	// Name is the handle later requests execute via "stmt".
+	Name string `json:"name"`
+	SQL  string `json:"sql"`
+}
+
+// PrepareResponse is the /v1/prepare success body.
+type PrepareResponse struct {
+	Name string `json:"name"`
+	// NumParams is how many placeholder values the statement takes.
+	NumParams int `json:"num_params"`
+	// Select reports whether the statement is a SELECT.
+	Select bool `json:"select"`
 }
 
 // ErrorBody is the structured error payload.
@@ -178,8 +221,11 @@ type ErrorResponse struct {
 // StatsResponse is the /v1/stats body.
 type StatsResponse struct {
 	Admission AdmissionStats `json:"admission"`
-	Sessions  int            `json:"sessions"`
-	UptimeMs  int64          `json:"uptime_ms"`
+	// PlanCache exposes the engine's statement-cache counters; a
+	// healthy parametrized workload shows hits ≫ misses.
+	PlanCache plancache.Stats `json:"plan_cache"`
+	Sessions  int             `json:"sessions"`
+	UptimeMs  int64           `json:"uptime_ms"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -207,42 +253,142 @@ func writeEngineError(w http.ResponseWriter, err error) {
 // maxBodyBytes bounds /v1/query request bodies.
 const maxBodyBytes = 1 << 20
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req QueryRequest
+// decodeBody decodes a JSON request body with numbers preserved as
+// json.Number (so int64 parameters survive without float rounding),
+// mapping size and syntax failures to structured errors. It reports
+// whether decoding succeeded.
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(into); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
-			return
+			return false
 		}
 		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// convertParams unboxes JSON parameter values for the engine:
+// json.Number becomes int64 when integral (float64 otherwise), and
+// strings, bools and nulls pass through.
+func convertParams(in []any) ([]any, error) {
+	if len(in) == 0 {
+		return nil, nil
+	}
+	out := make([]any, len(in))
+	for i, p := range in {
+		switch v := p.(type) {
+		case json.Number:
+			if n, err := v.Int64(); err == nil {
+				out[i] = n
+				continue
+			}
+			f, err := v.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("param %d: bad number %q", i+1, v.String())
+			}
+			out[i] = f
+		case string, bool, nil:
+			out[i] = v
+		default:
+			return nil, fmt.Errorf("param %d: unsupported JSON value %T (arrays/objects cannot bind)", i+1, p)
+		}
+	}
+	return out, nil
+}
+
+// writePrepareError maps a Prepare failure: planner references to
+// unknown tables are 404, anything else (syntax, typing, transaction
+// control) is the client's fault.
+func writePrepareError(w http.ResponseWriter, err error) {
+	if errors.Is(err, catalog.ErrUnknownTable) {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
 		return
 	}
-	if req.SQL == "" {
-		writeError(w, http.StatusBadRequest, "bad_request", `missing "sql" field`)
+	writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
 		return
 	}
+	if (req.SQL == "") == (req.Stmt == "") {
+		writeError(w, http.StatusBadRequest, "bad_request", `provide exactly one of "sql" or "stmt"`)
+		return
+	}
+	var sess *Session
 	if req.Session != "" {
-		sess, err := s.sessions.get(req.Session)
-		if err != nil {
+		var err error
+		if sess, err = s.sessions.get(req.Session); err != nil {
 			writeError(w, http.StatusNotFound, "not_found", err.Error())
 			return
 		}
 		sess.touch(time.Now())
 	}
 
-	// Parse up front: syntax errors are the client's fault (400) and
-	// should not consume an execution slot.
-	stmt, err := sql.Parse(req.SQL)
+	// Resolve the statement up front: syntax errors are the client's
+	// fault (400) and must not consume an execution slot. Session
+	// statements and warm texts resolve straight from the plan cache
+	// with no parsing; a cold text gets a parse-only validation here,
+	// and its planning runs after admission — so the controller's cap
+	// bounds planner work exactly like execution work.
+	var stmt *vectorwise.Stmt // nil for a cold text
+	var isSelect bool
+	var numParams int
+	if req.Stmt != "" {
+		if sess == nil {
+			writeError(w, http.StatusBadRequest, "bad_request", `executing by "stmt" requires a "session"`)
+			return
+		}
+		st, ok := sess.stmt(req.Stmt)
+		if !ok {
+			writeError(w, http.StatusNotFound, "not_found",
+				fmt.Sprintf("no prepared statement %q on this session", req.Stmt))
+			return
+		}
+		stmt, isSelect, numParams = st, st.IsSelect(), st.NumParams()
+	} else if st, ok := s.db.LookupPrepared(req.SQL); ok {
+		stmt, isSelect, numParams = st, st.IsSelect(), st.NumParams()
+	} else {
+		// Deliberate trade-off: a cold text is parsed here for the
+		// 400-vs-slot classification and parsed again by the engine on
+		// execution. Folding the two would mean garbage statements
+		// consume admission slots; parse is the cheap half of the
+		// front end, and warm texts skip both parses entirely.
+		parsed, n, err := sql.ParseWithParams(req.SQL)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		if _, ok := parsed.(*sql.TxStmt); ok {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				"explicit transactions are not supported over HTTP; each statement commits atomically")
+			return
+		}
+		_, isSelect = parsed.(*sql.SelectStmt)
+		numParams = n
+	}
+	if req.Explain && !isSelect {
+		writeError(w, http.StatusBadRequest, "bad_request", "explain supports SELECT only")
+		return
+	}
+	params, err := convertParams(req.Params)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	if _, ok := stmt.(*sql.TxStmt); ok {
+	// Explain ignores params (the plan renders unbound $N slots); for
+	// execution the binding arity must match.
+	if !req.Explain && len(params) != numParams {
 		writeError(w, http.StatusBadRequest, "bad_request",
-			"explicit transactions are not supported over HTTP; each statement commits atomically")
+			fmt.Sprintf("statement takes %d parameters, got %d", numParams, len(params)))
 		return
 	}
 
@@ -283,17 +429,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// HTTP reply.
 		func() {
 			defer s.adm.release()
-			switch stmt.(type) {
-			case *sql.SelectStmt:
-				res, err := s.db.Query(req.SQL)
+			// Explain plans (on a cold text) but does not execute; it
+			// runs inside the admission slot so a burst of distinct
+			// explain texts is bounded like any other planner work.
+			if req.Explain {
+				sqlText := req.SQL
+				if stmt != nil {
+					sqlText = stmt.SQL()
+				}
+				plan, err := s.db.Explain(sqlText)
+				if err != nil {
+					o.err = err
+					return
+				}
+				o.resp.Plan = plan
+				return
+			}
+			if isSelect {
+				var res *vectorwise.Result
+				var err error
+				if stmt != nil {
+					res, err = stmt.Query(params...)
+				} else {
+					res, err = s.db.QueryArgs(req.SQL, params...)
+				}
 				if err != nil {
 					o.err = err
 					return
 				}
 				o.resp.Columns = res.Columns
 				o.resp.Rows = encodeRows(res.Rows)
-			default:
-				n, err := s.db.Exec(req.SQL)
+			} else {
+				var n int64
+				var err error
+				if stmt != nil {
+					n, err = stmt.Exec(params...)
+				} else {
+					n, err = s.db.ExecArgs(req.SQL, params...)
+				}
 				if err != nil {
 					o.err = err
 					return
@@ -352,6 +525,78 @@ func encodeValue(v vtypes.Value) any {
 	}
 }
 
+// maxSessionStmts bounds named prepared statements per session so a
+// client cannot grow server memory without bound.
+const maxSessionStmts = 64
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req PrepareRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Session == "" || req.Name == "" || req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", `"session", "name" and "sql" are all required`)
+		return
+	}
+	sess, err := s.sessions.get(req.Session)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	sess.touch(time.Now())
+	// Prepare plans the statement, so it takes an admission slot like
+	// any other planner work — a flood of distinct prepares sheds with
+	// 429 instead of running unbounded concurrent planning.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
+		} else {
+			writeError(w, http.StatusGatewayTimeout, "timeout",
+				"timed out waiting for an execution slot")
+		}
+		return
+	}
+	stmt, err := s.db.Prepare(req.SQL)
+	s.adm.release()
+	if err != nil {
+		writePrepareError(w, err)
+		return
+	}
+	if !sess.setStmt(req.Name, stmt, maxSessionStmts) {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("session holds %d prepared statements; deallocate one first", maxSessionStmts))
+		return
+	}
+	writeJSON(w, http.StatusOK, PrepareResponse{
+		Name:      req.Name,
+		NumParams: stmt.NumParams(),
+		Select:    stmt.IsSelect(),
+	})
+}
+
+func (s *Server) handlePrepareDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sid := r.URL.Query().Get("session")
+	if sid == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "session" query parameter`)
+		return
+	}
+	sess, err := s.sessions.get(sid)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	sess.touch(time.Now())
+	if !sess.removeStmt(name) {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no prepared statement %q on this session", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	sess := s.sessions.create(time.Now())
 	writeJSON(w, http.StatusOK, sess)
@@ -370,6 +615,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Admission: s.adm.snapshot(),
+		PlanCache: s.db.PlanCacheStats(),
 		Sessions:  s.sessions.count(),
 		UptimeMs:  time.Since(s.started).Milliseconds(),
 	})

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -314,6 +315,197 @@ func TestHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// planCacheStats fetches the engine plan-cache counters via /v1/stats.
+func planCacheStats(t *testing.T, ts *httptest.Server) (hits, misses uint64) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.PlanCache.Hits, st.PlanCache.Misses
+}
+
+// TestRepeatedParametrizedSelectSkipsPlanning is the acceptance check
+// for the plan cache: after the first request, repeated parametrized
+// SELECTs over HTTP are served entirely from the cached template — the
+// counters show hits with zero fresh misses, i.e. the parser and
+// rewriter never ran again.
+func TestRepeatedParametrizedSelectSkipsPlanning(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := QueryRequest{SQL: `SELECT v FROM kv WHERE k = ?`}
+
+	req.Params = []any{1}
+	var got QueryResponse
+	if code := postQuery(t, ts, req, &got); code != http.StatusOK {
+		t.Fatalf("first request: %d", code)
+	}
+	if len(got.Rows) != 1 || got.Rows[0][0].(string) != "a" {
+		t.Fatalf("first rows: %v", got.Rows)
+	}
+
+	hits0, misses0 := planCacheStats(t, ts)
+	for i, want := range []string{"b", "c"} {
+		req.Params = []any{i + 2}
+		var res QueryResponse
+		if code := postQuery(t, ts, req, &res); code != http.StatusOK {
+			t.Fatalf("repeat %d: %d", i, code)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].(string) != want {
+			t.Fatalf("repeat %d rows: %v", i, res.Rows)
+		}
+	}
+	hits1, misses1 := planCacheStats(t, ts)
+	if misses1 != misses0 {
+		t.Fatalf("repeated requests re-planned: misses %d → %d", misses0, misses1)
+	}
+	if hits1 <= hits0 {
+		t.Fatalf("repeated requests did not hit the cache: hits %d → %d", hits0, hits1)
+	}
+}
+
+func TestNamedPreparedStatements(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/session", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess Session
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Prepare a named statement on the session.
+	body := fmt.Sprintf(`{"session": %q, "name": "get", "sql": "SELECT v FROM kv WHERE k = $1"}`, sess.ID)
+	presp, err := http.Post(ts.URL+"/v1/prepare", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prep PrepareResponse
+	if err := json.NewDecoder(presp.Body).Decode(&prep); err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK || prep.NumParams != 1 || !prep.Select {
+		t.Fatalf("prepare: %d %+v", presp.StatusCode, prep)
+	}
+
+	// Execute by name.
+	var got QueryResponse
+	if code := postQuery(t, ts, QueryRequest{Stmt: "get", Session: sess.ID, Params: []any{3}}, &got); code != http.StatusOK {
+		t.Fatalf("execute by name: %d", code)
+	}
+	if len(got.Rows) != 1 || got.Rows[0][0].(string) != "c" {
+		t.Fatalf("rows: %v", got.Rows)
+	}
+
+	// stmt without a session is a client error; unknown names are 404.
+	if code := postQuery(t, ts, QueryRequest{Stmt: "get"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("stmt without session: %d", code)
+	}
+	if code := postQuery(t, ts, QueryRequest{Stmt: "nope", Session: sess.ID}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown stmt: %d", code)
+	}
+	// Both sql and stmt is ambiguous.
+	if code := postQuery(t, ts, QueryRequest{SQL: "SELECT 1", Stmt: "get", Session: sess.ID}, nil); code != http.StatusBadRequest {
+		t.Fatalf("sql+stmt: %d", code)
+	}
+
+	// Deallocate, then the name is gone.
+	dreq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/prepare/get?session="+sess.ID, nil)
+	dresp, err := http.DefaultClient.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("deallocate: %d", dresp.StatusCode)
+	}
+	if code := postQuery(t, ts, QueryRequest{Stmt: "get", Session: sess.ID, Params: []any{3}}, nil); code != http.StatusNotFound {
+		t.Fatalf("deallocated stmt still executes: %d", code)
+	}
+}
+
+func TestPreparedDMLOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/session", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess Session
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	body := fmt.Sprintf(`{"session": %q, "name": "ins", "sql": "INSERT INTO kv VALUES (?, ?)"}`, sess.ID)
+	presp, err := http.Post(ts.URL+"/v1/prepare", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prep PrepareResponse
+	json.NewDecoder(presp.Body).Decode(&prep)
+	presp.Body.Close()
+	if prep.Select || prep.NumParams != 2 {
+		t.Fatalf("prepare DML: %+v", prep)
+	}
+	var got QueryResponse
+	if code := postQuery(t, ts, QueryRequest{Stmt: "ins", Session: sess.ID, Params: []any{9, "i"}}, &got); code != http.StatusOK {
+		t.Fatalf("insert by name: %d", code)
+	}
+	if got.RowsAffected == nil || *got.RowsAffected != 1 {
+		t.Fatalf("rows_affected: %v", got.RowsAffected)
+	}
+	var sel QueryResponse
+	postQuery(t, ts, QueryRequest{SQL: `SELECT v FROM kv WHERE k = ?`, Params: []any{9}}, &sel)
+	if len(sel.Rows) != 1 || sel.Rows[0][0].(string) != "i" {
+		t.Fatalf("insert not visible: %v", sel.Rows)
+	}
+}
+
+func TestExplainOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var got QueryResponse
+	code := postQuery(t, ts, QueryRequest{SQL: `SELECT v FROM kv WHERE k = ?`, Explain: true}, &got)
+	if code != http.StatusOK {
+		t.Fatalf("explain: %d", code)
+	}
+	if !strings.Contains(got.Plan, "Scan kv") || !strings.Contains(got.Plan, "$1") {
+		t.Fatalf("plan text:\n%s", got.Plan)
+	}
+	if got.Rows != nil {
+		t.Fatal("explain must not execute")
+	}
+	// Explain of DML is a client error.
+	if code := postQuery(t, ts, QueryRequest{SQL: `DELETE FROM kv`, Explain: true}, nil); code != http.StatusBadRequest {
+		t.Fatalf("explain DML: %d", code)
+	}
+}
+
+func TestParamErrorsOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Arity mismatch is caught before execution: client error.
+	var e ErrorResponse
+	if code := postQuery(t, ts, QueryRequest{SQL: `SELECT v FROM kv WHERE k = ?`}, &e); code != http.StatusBadRequest {
+		t.Fatalf("missing params: %d, want 400", code)
+	}
+	// Structured params cannot bind.
+	body := `{"sql": "SELECT v FROM kv WHERE k = ?", "params": [[1,2]]}`
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("array param: %d", resp.StatusCode)
 	}
 }
 

@@ -6,12 +6,16 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	vectorwise "vectorwise"
 )
 
 // Session is one client session. Sessions carry client identity across
-// requests: per-session counters for observability and an idle TTL so
-// abandoned clients are reaped. (Per-session transactions layer on top
-// of this in a later PR; the engine commits per statement today.)
+// requests: per-session counters for observability, an idle TTL so
+// abandoned clients are reaped, and named prepared statements (POST
+// /v1/prepare) so a client prepares once and executes by name with
+// bound parameters. (Per-session transactions layer on top of this in a
+// later PR; the engine commits per statement today.)
 type Session struct {
 	ID      string    `json:"id"`
 	Created time.Time `json:"created"`
@@ -19,6 +23,43 @@ type Session struct {
 	mu       sync.Mutex
 	lastUsed time.Time
 	queries  int64
+	stmts    map[string]*vectorwise.Stmt
+}
+
+// setStmt registers (or replaces) a named prepared statement. The cap
+// on new names is enforced under the same lock hold as the insert, so
+// concurrent prepares cannot overshoot it; it reports whether the
+// statement was stored.
+func (s *Session) setStmt(name string, st *vectorwise.Stmt, maxStmts int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stmts == nil {
+		s.stmts = make(map[string]*vectorwise.Stmt)
+	}
+	if _, replacing := s.stmts[name]; !replacing && len(s.stmts) >= maxStmts {
+		return false
+	}
+	s.stmts[name] = st
+	return true
+}
+
+// stmt resolves a named prepared statement.
+func (s *Session) stmt(name string) (*vectorwise.Stmt, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stmts[name]
+	return st, ok
+}
+
+// removeStmt deallocates a named statement, reporting whether it existed.
+func (s *Session) removeStmt(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.stmts[name]; !ok {
+		return false
+	}
+	delete(s.stmts, name)
+	return true
 }
 
 // touch marks the session used now and bumps its statement count.

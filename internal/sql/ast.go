@@ -117,6 +117,12 @@ type BoolLit struct{ Val bool }
 // NullLit is NULL.
 type NullLit struct{}
 
+// ParamExpr is a `?` or `$N` placeholder. Idx is the 1-based parameter
+// ordinal: `?` placeholders number left to right, `$N` names an ordinal
+// explicitly (both styles may mix; the statement's parameter count is
+// the highest ordinal seen).
+type ParamExpr struct{ Idx int }
+
 // BinExpr is a binary operation (arithmetic, comparison, AND, OR).
 type BinExpr struct {
 	Op   string
@@ -165,6 +171,7 @@ type FuncCall struct {
 
 func (*Ident) expr()       {}
 func (*NumLit) expr()      {}
+func (*ParamExpr) expr()   {}
 func (*StrLit) expr()      {}
 func (*DateLit) expr()     {}
 func (*BoolLit) expr()     {}

@@ -15,7 +15,9 @@
 //
 // Scalar grammar: arithmetic, comparisons, AND/OR/NOT, BETWEEN, IN,
 // [NOT] LIKE, IS [NOT] NULL, CASE WHEN ... THEN ... ELSE ... END,
-// SUM/COUNT/AVG/MIN/MAX aggregates, YEAR(d), DATE 'YYYY-MM-DD' literals.
+// SUM/COUNT/AVG/MIN/MAX aggregates, YEAR(d), DATE 'YYYY-MM-DD' literals,
+// and `?` / `$N` placeholders for prepared statements (see
+// ParseWithParams).
 package sql
 
 import (
@@ -33,6 +35,7 @@ const (
 	tokString
 	tokSymbol  // punctuation and operators
 	tokKeyword // recognized keyword (upper-cased)
+	tokParam   // placeholder: `?` (text empty) or `$N` (text = digits)
 )
 
 type token struct {
@@ -100,6 +103,16 @@ func lex(input string) ([]token, error) {
 			sb.WriteString(input[start:i])
 			i++
 			out = append(out, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '?':
+			out = append(out, token{kind: tokParam, pos: i})
+			i++
+		case c == '$' && i+1 < n && isDigit(input[i+1]):
+			start := i
+			i++
+			for i < n && isDigit(input[i]) {
+				i++
+			}
+			out = append(out, token{kind: tokParam, text: input[start+1 : i], pos: start})
 		case isIdentStart(c):
 			start := i
 			for i < n && isIdentChar(input[i]) {

@@ -1,0 +1,65 @@
+package sql
+
+import "testing"
+
+func TestParsePlaceholders(t *testing.T) {
+	stmt, n, err := ParseWithParams(`SELECT v FROM t WHERE k = ? AND v > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("params = %d, want 2", n)
+	}
+	s := stmt.(*SelectStmt)
+	cmp := s.Where.(*BinExpr) // AND
+	if p, ok := cmp.L.(*BinExpr).R.(*ParamExpr); !ok || p.Idx != 1 {
+		t.Fatalf("first ? not ordinal 1: %+v", cmp.L)
+	}
+	if p, ok := cmp.R.(*BinExpr).R.(*ParamExpr); !ok || p.Idx != 2 {
+		t.Fatalf("second ? not ordinal 2: %+v", cmp.R)
+	}
+}
+
+func TestParseDollarPlaceholders(t *testing.T) {
+	// $N names ordinals explicitly and may repeat and mix with ?.
+	_, n, err := ParseWithParams(`SELECT v FROM t WHERE k = $2 OR k = $1 OR k = $2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("params = %d, want 2", n)
+	}
+	// A ? after $3 takes the next ordinal (4).
+	stmt, n, err := ParseWithParams(`SELECT v FROM t WHERE k = $3 AND v = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("params = %d, want 4", n)
+	}
+	_ = stmt
+	if _, _, err := ParseWithParams(`SELECT v FROM t WHERE k = $0`); err == nil {
+		t.Fatal("$0 must be rejected")
+	}
+}
+
+func TestParsePlaceholderPositions(t *testing.T) {
+	good := []string{
+		`INSERT INTO t VALUES (?, ?), (?, ?)`,
+		`UPDATE t SET v = ? WHERE k = ?`,
+		`DELETE FROM t WHERE k = ?`,
+		`SELECT v FROM t WHERE k BETWEEN ? AND ?`,
+		`SELECT v FROM t WHERE k IN (?, ?, 3)`,
+		`SELECT v + ? FROM t`,
+		`SELECT v FROM t WHERE k = ? ORDER BY v LIMIT 3`,
+	}
+	for _, q := range good {
+		if _, _, err := ParseWithParams(q); err != nil {
+			t.Errorf("%s: %v", q, err)
+		}
+	}
+	// `$` not followed by a digit is not a placeholder.
+	if _, err := Parse(`SELECT $ FROM t`); err == nil {
+		t.Fatal("lone $ must be rejected")
+	}
+}

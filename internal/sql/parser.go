@@ -7,25 +7,36 @@ import (
 
 // Parse parses one SQL statement.
 func Parse(input string) (Stmt, error) {
+	stmt, _, err := ParseWithParams(input)
+	return stmt, err
+}
+
+// ParseWithParams parses one SQL statement and reports how many `?` /
+// `$N` placeholders it contains (the highest ordinal). Prepared
+// statements use the count to validate bound arguments.
+func ParseWithParams(input string) (Stmt, int, error) {
 	toks, err := lex(input)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p := &parser{toks: toks}
 	stmt, err := p.statement()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.accept(tokSymbol, ";")
 	if !p.at(tokEOF, "") {
-		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+		return nil, 0, fmt.Errorf("sql: trailing input at %q", p.cur().text)
 	}
-	return stmt, nil
+	return stmt, p.params, nil
 }
 
 type parser struct {
 	toks []token
 	pos  int
+	// params is the highest placeholder ordinal seen so far: `?`
+	// placeholders allocate the next ordinal, `$N` raises it to N.
+	params int
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -584,6 +595,20 @@ func (p *parser) primary() (Expr, error) {
 	case t.kind == tokNumber:
 		p.next()
 		return &NumLit{Text: t.text}, nil
+	case t.kind == tokParam:
+		p.next()
+		if t.text == "" { // `?`: next ordinal
+			p.params++
+			return &ParamExpr{Idx: p.params}, nil
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sql: bad parameter $%s", t.text)
+		}
+		if n > p.params {
+			p.params = n
+		}
+		return &ParamExpr{Idx: n}, nil
 	case t.kind == tokString:
 		p.next()
 		return &StrLit{Val: t.text}, nil

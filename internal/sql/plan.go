@@ -17,6 +17,13 @@ import (
 // the estimates; see internal/catalog).
 type Planner struct {
 	Cat *catalog.Catalog
+	// Params, when non-nil, substitutes bound values for `?` / `$N`
+	// placeholders during lowering (Params[0] binds $1) — the direct
+	// execution path DML uses. When nil, placeholders lower to
+	// algebra.Param template slots whose kind is inferred from the
+	// surrounding expression; algebra.BindParams fills them later
+	// without re-planning.
+	Params []vtypes.Value
 }
 
 // scopeEntry is one table visible in the FROM clause.
@@ -410,6 +417,14 @@ func (p *Planner) lower(e Expr, sc *scope) (algebra.Scalar, error) {
 			return nil, err
 		}
 		return &algebra.ColRef{Idx: ix, K: kind}, nil
+	case *ParamExpr:
+		// A placeholder always lowers to a typeless Param slot first;
+		// the surrounding expression resolves its kind
+		// (resolveParamPair, lowerLit, lowerBound), and — on the direct
+		// execution path (Params set) — the same site materializes the
+		// coerced literal, so bound DML sees exactly the values a bound
+		// SELECT template would.
+		return &algebra.Param{Idx: t.Idx}, nil
 	case *NumLit:
 		if strings.Contains(t.Text, ".") {
 			f, err := strconv.ParseFloat(t.Text, 64)
@@ -444,6 +459,9 @@ func (p *Planner) lower(e Expr, sc *scope) (algebra.Scalar, error) {
 		if err != nil {
 			return nil, err
 		}
+		if l, r, err = p.resolveParamPair(l, r); err != nil {
+			return nil, err
+		}
 		switch t.Op {
 		case "AND":
 			return &algebra.And{Preds: []algebra.Scalar{l, r}}, nil
@@ -470,6 +488,24 @@ func (p *Planner) lower(e Expr, sc *scope) (algebra.Scalar, error) {
 		if err != nil {
 			return nil, err
 		}
+		// A placeholder bound (template path only) turns the Between
+		// fast path into a pair of comparisons so the slots survive in
+		// the plan; the cross-compiler's Cmp-vs-literal kernels fire
+		// once they are bound.
+		if p.Params == nil && (isParamExpr(t.Lo) || isParamExpr(t.Hi)) {
+			lo, err := p.lowerBound(t.Lo, sc, in.Kind())
+			if err != nil {
+				return nil, err
+			}
+			hi, err := p.lowerBound(t.Hi, sc, in.Kind())
+			if err != nil {
+				return nil, err
+			}
+			return &algebra.And{Preds: []algebra.Scalar{
+				&algebra.Cmp{Op: algebra.CmpGe, L: in, R: lo},
+				&algebra.Cmp{Op: algebra.CmpLe, L: in, R: hi},
+			}}, nil
+		}
 		lo, err := p.lowerLit(t.Lo, sc, in.Kind())
 		if err != nil {
 			return nil, err
@@ -483,6 +519,22 @@ func (p *Planner) lower(e Expr, sc *scope) (algebra.Scalar, error) {
 		in, err := p.lower(t.In, sc)
 		if err != nil {
 			return nil, err
+		}
+		// Same template treatment for IN lists holding placeholders:
+		// decompose into an OR of equalities so each slot binds later.
+		if p.Params == nil && anyParamExpr(t.List) {
+			var preds []algebra.Scalar
+			for _, le := range t.List {
+				m, err := p.lowerBound(le, sc, in.Kind())
+				if err != nil {
+					return nil, err
+				}
+				preds = append(preds, &algebra.Cmp{Op: algebra.CmpEq, L: in, R: m})
+			}
+			if len(preds) == 1 {
+				return preds[0], nil
+			}
+			return &algebra.Or{Preds: preds}, nil
 		}
 		var list []vtypes.Value
 		for _, le := range t.List {
@@ -535,29 +587,102 @@ func (p *Planner) lower(e Expr, sc *scope) (algebra.Scalar, error) {
 	}
 }
 
+// resolveParamPair types unresolved parameter slots from their sibling
+// operand: in `k = ?` the placeholder adopts k's kind, so binding can
+// coerce the argument and the kernels see one storage class. Two
+// placeholders compared with each other have no kind source and fail.
+// On the direct execution path the typed slot is materialized
+// immediately (see materializeParam).
+func (p *Planner) resolveParamPair(l, r algebra.Scalar) (algebra.Scalar, algebra.Scalar, error) {
+	lp, lok := l.(*algebra.Param)
+	rp, rok := r.(*algebra.Param)
+	lu := lok && lp.K == vtypes.KindInvalid
+	ru := rok && rp.K == vtypes.KindInvalid
+	switch {
+	case lu && ru:
+		return nil, nil, fmt.Errorf("sql: cannot infer types of $%d and $%d compared with each other", lp.Idx, rp.Idx)
+	case lu:
+		l = &algebra.Param{Idx: lp.Idx, K: r.Kind()}
+	case ru:
+		r = &algebra.Param{Idx: rp.Idx, K: l.Kind()}
+	}
+	var err error
+	if l, err = p.materializeParam(l); err != nil {
+		return nil, nil, err
+	}
+	if r, err = p.materializeParam(r); err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// materializeParam substitutes the bound value for a typed Param slot
+// when the planner is on the direct execution path (Params set),
+// applying the same coercion BindParams applies to templates. Template
+// planning (Params nil) and non-Param scalars pass through.
+func (p *Planner) materializeParam(s algebra.Scalar) (algebra.Scalar, error) {
+	prm, ok := s.(*algebra.Param)
+	if !ok || p.Params == nil {
+		return s, nil
+	}
+	if prm.Idx < 1 || prm.Idx > len(p.Params) {
+		return nil, fmt.Errorf("sql: parameter $%d not bound (%d args)", prm.Idx, len(p.Params))
+	}
+	v, err := algebra.CoerceValue(p.Params[prm.Idx-1], prm.K)
+	if err != nil {
+		return nil, fmt.Errorf("sql: parameter $%d: %w", prm.Idx, err)
+	}
+	return &algebra.Lit{Val: v}, nil
+}
+
+func isParamExpr(e Expr) bool {
+	_, ok := e.(*ParamExpr)
+	return ok
+}
+
+func anyParamExpr(es []Expr) bool {
+	for _, e := range es {
+		if isParamExpr(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// lowerBound lowers a BETWEEN bound or IN member on the template path,
+// giving placeholder slots the kind of the probed expression.
+func (p *Planner) lowerBound(e Expr, sc *scope, want vtypes.Kind) (algebra.Scalar, error) {
+	if pe, ok := e.(*ParamExpr); ok && p.Params == nil {
+		return &algebra.Param{Idx: pe.Idx, K: want}, nil
+	}
+	v, err := p.lowerLit(e, sc, want)
+	if err != nil {
+		return nil, err
+	}
+	return &algebra.Lit{Val: v}, nil
+}
+
 // lowerLit lowers an expression that must fold to a literal, coercing
-// its kind class to match `want`.
+// its kind class to match `want`. Bound placeholders fold to their
+// argument value.
 func (p *Planner) lowerLit(e Expr, sc *scope, want vtypes.Kind) (vtypes.Value, error) {
 	lo, err := p.lower(e, sc)
 	if err != nil {
 		return vtypes.Value{}, err
 	}
+	if prm, ok := lo.(*algebra.Param); ok {
+		lo, err = p.materializeParam(&algebra.Param{Idx: prm.Idx, K: want})
+		if err != nil {
+			return vtypes.Value{}, err
+		}
+	}
 	lit, ok := lo.(*algebra.Lit)
 	if !ok {
 		return vtypes.Value{}, fmt.Errorf("sql: literal required")
 	}
-	v := lit.Val
-	if v.Kind.StorageClass() != want.StorageClass() {
-		switch {
-		case want.StorageClass() == vtypes.ClassF64 && v.Kind.StorageClass() == vtypes.ClassI64:
-			v = vtypes.F64Value(float64(v.I64))
-		case want.StorageClass() == vtypes.ClassI64 && v.Kind.StorageClass() == vtypes.ClassF64:
-			v = vtypes.Value{Kind: want, I64: int64(v.F64)}
-		default:
-			return vtypes.Value{}, fmt.Errorf("sql: literal %v incompatible with %v", v, want)
-		}
-	} else if v.Kind != want {
-		v.Kind = want
+	v, err := algebra.CoerceValue(lit.Val, want)
+	if err != nil {
+		return vtypes.Value{}, fmt.Errorf("sql: literal %w", err)
 	}
 	return v, nil
 }
@@ -686,6 +811,8 @@ func renderExpr(e Expr) string {
 		return qualName(t.Qualifier, t.Name)
 	case *NumLit:
 		return t.Text
+	case *ParamExpr:
+		return fmt.Sprintf("$%d", t.Idx)
 	case *StrLit:
 		return "'" + t.Val + "'"
 	case *DateLit:
@@ -719,6 +846,19 @@ func itemName(item SelectItem) string {
 // (UPDATE/DELETE predicates and SET expressions).
 func (p *Planner) LowerOnTable(e Expr, schema *vtypes.Schema) (algebra.Scalar, error) {
 	return p.lower(e, schemaScope(schema))
+}
+
+// LowerSet lowers an UPDATE SET expression against a table schema; a
+// bare placeholder (`SET col = ?`) adopts the target column's kind.
+func (p *Planner) LowerSet(e Expr, schema *vtypes.Schema, want vtypes.Kind) (algebra.Scalar, error) {
+	lo, err := p.lower(e, schemaScope(schema))
+	if err != nil {
+		return nil, err
+	}
+	if prm, ok := lo.(*algebra.Param); ok {
+		return p.materializeParam(&algebra.Param{Idx: prm.Idx, K: want})
+	}
+	return lo, nil
 }
 
 // LowerLiteral folds a literal-only expression to a value of the wanted

@@ -196,6 +196,10 @@ func (c *compiler) scalar(s algebra.Scalar, in *vtypes.Schema) (expr.Expr, error
 		return expr.NewCol(t.Idx, t.K), nil
 	case *algebra.Lit:
 		return expr.NewConst(t.Val), nil
+	case *algebra.Param:
+		// Plans holding Params are templates; algebra.BindParams must
+		// substitute literals before the plan is executable.
+		return nil, fmt.Errorf("xcompile: unbound parameter $%d (bind before execution)", t.Idx)
 	case *algebra.Arith:
 		l, err := c.scalar(t.L, in)
 		if err != nil {
