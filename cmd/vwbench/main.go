@@ -3,9 +3,18 @@
 //
 //	vwbench            # everything (SF 0.01 default)
 //	vwbench -exp t1    # just the TPC-H power/throughput table
+//	vwbench -exp sql   # TPC-H through the public SQL surface → BENCH_tpch.json
 //	vwbench -sf 0.05   # bigger scale factor
 //
-// Experiment ids follow DESIGN.md: t1 c1 c2 f1 t2 t3 t4 t5 t6 f2.
+// Experiment ids follow DESIGN.md: t1 c1 c2 f1 t2 t3 t4 t5 t6 f2, plus
+// `sql`, the end-to-end benchmark over the public API (SQL text, plan
+// cache, bulk-loaded storage). `sql` writes a machine-readable
+// BENCH_tpch.json (-out) and, given -baseline, prints a markdown
+// comparison that warns on per-query warm-time regressions above 25%.
+//
+// The TPC-H database itself is built through the public ingest surface
+// (CREATE TABLE + DB.LoadBatch via internal/tpchdb), so every
+// experiment measures tables a user could actually load.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	vectorwise "vectorwise"
 	"vectorwise/internal/bufmgr"
 	"vectorwise/internal/catalog"
 	"vectorwise/internal/compress"
@@ -25,22 +35,29 @@ import (
 	"vectorwise/internal/pdt"
 	"vectorwise/internal/storage"
 	"vectorwise/internal/tpch"
+	"vectorwise/internal/tpchdb"
 	"vectorwise/internal/vtypes"
 )
 
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
-	exp := flag.String("exp", "all", "experiment id (t1 c1 c2 f1 t2 t3 t4 t5 t6 f2 or all)")
+	exp := flag.String("exp", "all", "experiment id (sql t1 c1 c2 f1 t2 t3 t4 t5 t6 f2 or all)")
+	out := flag.String("out", "BENCH_tpch.json", "output path for the sql experiment's JSON artifact")
+	baseline := flag.String("baseline", "", "baseline JSON to compare the sql experiment against")
+	warmRuns := flag.Int("warm", 5, "warm executions per query in the sql experiment")
 	flag.Parse()
 
 	fmt.Printf("vectorwise experiment harness — SF=%g, GOMAXPROCS=%d\n\n", *sf, runtime.GOMAXPROCS(0))
-	fmt.Println("generating TPC-H data ...")
-	start := time.Now()
-	cat, err := tpch.Generate(*sf, 0)
+	fmt.Println("loading TPC-H through the public ingest path (CREATE TABLE + LoadBatch) ...")
+	db := vectorwise.OpenMemory()
+	loadStats, err := tpchdb.Load(db, *sf)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("generated in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("loaded %d rows in %v (%.0f rows/s)\n", loadStats.Rows,
+		loadStats.Elapsed.Round(time.Millisecond),
+		float64(loadStats.Rows)/loadStats.Elapsed.Seconds())
+	cat := db.Catalog()
 	fmt.Println("validating query suite across engines ...")
 	if err := tpch.Validate(cat); err != nil {
 		fatal(err)
@@ -48,6 +65,9 @@ func main() {
 	fmt.Print("validation OK: vectorized = tuple = materialized = parallel\n\n")
 
 	want := func(id string) bool { return *exp == "all" || strings.EqualFold(*exp, id) }
+	if want("sql") {
+		expSQL(db, *sf, loadStats, *out, *baseline, *warmRuns)
+	}
 	if want("t1") {
 		expT1(cat, *sf)
 	}

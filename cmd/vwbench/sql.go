@@ -1,0 +1,197 @@
+package main
+
+// The `sql` experiment: TPC-H end-to-end through the public surface.
+// Where t1/c1/c2 hand the engines pre-built algebra plans, this one
+// submits the SQL text of every suite query to DB.Query — lexer, parser,
+// planner, rewriter, plan cache, cross-compiler, vectorized execution —
+// and separates the cold cost (empty plan cache, the whole front end on
+// the critical path) from the warm cost (cached template, bind and run).
+// The results land in a JSON artifact that CI archives per commit and
+// compares against a checked-in baseline, which is what turns the suite
+// into a regression instrument rather than a one-off table.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	vectorwise "vectorwise"
+	"vectorwise/internal/tpch"
+	"vectorwise/internal/tpchdb"
+)
+
+// benchSchemaVersion guards artifact compatibility in CI comparisons.
+const benchSchemaVersion = 1
+
+// regressionThreshold is the warm-time growth that triggers a warning.
+const regressionThreshold = 0.25
+
+// queryResult is one (query, parallelism) measurement.
+type queryResult struct {
+	Query       string `json:"query"`
+	Parallelism int    `json:"parallelism"`
+	// ColdNs times the first execution after emptying the plan cache
+	// (parse + plan + rewrite + compile + run).
+	ColdNs int64 `json:"cold_ns"`
+	// WarmNs is the best of -warm cached executions.
+	WarmNs int64 `json:"warm_ns"`
+	Rows   int   `json:"rows"`
+	// CacheHits/CacheMisses are the plan-cache counter deltas across the
+	// query's executions (expected: 1 miss, cold+warm-1 hits).
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// benchFile is the BENCH_tpch.json artifact.
+type benchFile struct {
+	SchemaVersion int     `json:"schema_version"`
+	SF            float64 `json:"sf"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	// Ingest covers tpchdb.Load: data generation + CREATE TABLE +
+	// LoadBatch through the public bulk path.
+	IngestRows int64         `json:"ingest_rows"`
+	IngestNs   int64         `json:"ingest_ns"`
+	Results    []queryResult `json:"results"`
+}
+
+func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, baselinePath string, warmRuns int) {
+	fmt.Println("== SQL: TPC-H through the public SQL surface (cold vs warm plan cache) ==")
+	if warmRuns < 1 {
+		warmRuns = 1
+	}
+	pars := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pars = append(pars, n)
+	}
+	bf := benchFile{
+		SchemaVersion: benchSchemaVersion,
+		SF:            sf,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		IngestRows:    load.Rows,
+		IngestNs:      load.Elapsed.Nanoseconds(),
+	}
+	fmt.Printf("%-6s %4s %12s %12s %7s %6s\n", "query", "par", "cold", "warm", "rows", "h/m")
+	for _, par := range pars {
+		db.SetParallelism(par)
+		for _, q := range tpch.SQLSuite() {
+			// Cold: empty the plan cache so the whole front end runs.
+			db.SetPlanCacheCapacity(0)
+			db.SetPlanCacheCapacity(vectorwise.DefaultPlanCacheCapacity)
+			before := db.PlanCacheStats()
+			start := time.Now()
+			res, err := db.Query(q.SQL)
+			if err != nil {
+				fatal(fmt.Errorf("sql %s: %w", q.Name, err))
+			}
+			cold := time.Since(start)
+			warm := time.Duration(1<<62 - 1)
+			for i := 0; i < warmRuns; i++ {
+				start = time.Now()
+				if _, err := db.Query(q.SQL); err != nil {
+					fatal(fmt.Errorf("sql %s (warm): %w", q.Name, err))
+				}
+				if d := time.Since(start); d < warm {
+					warm = d
+				}
+			}
+			after := db.PlanCacheStats()
+			r := queryResult{
+				Query:       q.Name,
+				Parallelism: par,
+				ColdNs:      cold.Nanoseconds(),
+				WarmNs:      warm.Nanoseconds(),
+				Rows:        len(res.Rows),
+				CacheHits:   after.Hits - before.Hits,
+				CacheMisses: after.Misses - before.Misses,
+			}
+			bf.Results = append(bf.Results, r)
+			fmt.Printf("%-6s %4d %12v %12v %7d %3d/%d\n", q.Name, par,
+				cold.Round(time.Microsecond), warm.Round(time.Microsecond),
+				r.Rows, r.CacheHits, r.CacheMisses)
+		}
+	}
+	fmt.Println()
+	if err := writeBenchFile(outPath, bf); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+	if baselinePath != "" {
+		compareBaseline(bf, baselinePath)
+	}
+}
+
+func writeBenchFile(path string, bf benchFile) error {
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compareBaseline prints a markdown comparison of warm times against a
+// checked-in baseline and emits GitHub warning annotations for
+// regressions beyond the threshold. Advisory only: CI runners differ, so
+// it never fails the build.
+func compareBaseline(cur benchFile, path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("no baseline at %s (%v) — skipping comparison\n", path, err)
+		return
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Printf("unreadable baseline %s: %v — skipping comparison\n", path, err)
+		return
+	}
+	if base.SchemaVersion != cur.SchemaVersion {
+		fmt.Printf("baseline schema v%d != current v%d — skipping comparison\n",
+			base.SchemaVersion, cur.SchemaVersion)
+		return
+	}
+	type key struct {
+		q   string
+		par int
+	}
+	baseBy := map[key]queryResult{}
+	for _, r := range base.Results {
+		baseBy[key{r.Query, r.Parallelism}] = r
+	}
+	fmt.Println("### TPC-H SQL benchmark vs baseline")
+	fmt.Println()
+	fmt.Println("| query | par | baseline warm | current warm | delta |")
+	fmt.Println("|-------|-----|---------------|--------------|-------|")
+	regressions := 0
+	for _, r := range cur.Results {
+		b, ok := baseBy[key{r.Query, r.Parallelism}]
+		if !ok || b.WarmNs == 0 {
+			fmt.Printf("| %s | %d | — | %v | new |\n", r.Query, r.Parallelism, time.Duration(r.WarmNs).Round(time.Microsecond))
+			continue
+		}
+		delta := float64(r.WarmNs-b.WarmNs) / float64(b.WarmNs)
+		mark := ""
+		if delta > regressionThreshold {
+			mark = " ⚠️"
+			regressions++
+			fmt.Printf("::warning title=TPC-H %s regression::%s (par %d) warm time %+.0f%% vs baseline (%v → %v)\n",
+				r.Query, r.Query, r.Parallelism, delta*100,
+				time.Duration(b.WarmNs).Round(time.Microsecond),
+				time.Duration(r.WarmNs).Round(time.Microsecond))
+		}
+		fmt.Printf("| %s | %d | %v | %v | %+.0f%%%s |\n", r.Query, r.Parallelism,
+			time.Duration(b.WarmNs).Round(time.Microsecond),
+			time.Duration(r.WarmNs).Round(time.Microsecond), delta*100, mark)
+	}
+	fmt.Println()
+	if regressions == 0 {
+		fmt.Println("No per-query warm regressions beyond 25%.")
+	} else {
+		fmt.Printf("%d per-query warm regression(s) beyond 25%% (advisory — runners vary).\n", regressions)
+	}
+	fmt.Println()
+}

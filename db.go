@@ -861,6 +861,12 @@ func (db *DB) execDelete(s *sql.DeleteStmt, params []vtypes.Value) (int64, error
 func (db *DB) Checkpoint(table string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.checkpointLocked(table)
+}
+
+// checkpointLocked is Checkpoint for callers already holding the write
+// lock (the bulk loader folds sibling tables before resetting the WAL).
+func (db *DB) checkpointLocked(table string) error {
 	if err := db.txm.Checkpoint(table); err != nil {
 		return err
 	}

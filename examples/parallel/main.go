@@ -1,6 +1,7 @@
 // Parallel: shows the Volcano-style multi-core rewrite on a TPC-H
-// workload — the same plan runs serially and with the Xchange-injecting
-// parallelizer, printing per-core speedup (paper §I-B).
+// workload through the public surface — the database is bulk-loaded with
+// DB.LoadBatch, the same SQL text runs at increasing parallelism via
+// DB.SetParallelism, and the table prints per-core speedup (paper §I-B).
 package main
 
 import (
@@ -9,37 +10,44 @@ import (
 	"runtime"
 	"time"
 
+	vectorwise "vectorwise"
 	"vectorwise/internal/tpch"
+	"vectorwise/internal/tpchdb"
 )
 
 func main() {
 	sf := 0.01
-	fmt.Printf("generating TPC-H SF %g ...\n", sf)
-	cat, err := tpch.Generate(sf, 0)
+	fmt.Printf("loading TPC-H SF %g through the bulk-ingest path ...\n", sf)
+	db := vectorwise.OpenMemory()
+	st, err := tpchdb.Load(db, sf)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("loaded %d rows in %v\n", st.Rows, st.Elapsed.Round(time.Millisecond))
 
-	q1 := tpch.Suite()[0] // Q1: the scan-heavy aggregation
+	q1, ok := tpch.FindSQL("Q1") // Q1: the scan-heavy aggregation
+	if !ok {
+		log.Fatal("Q1 missing from the SQL suite")
+	}
 	maxw := runtime.GOMAXPROCS(0)
 	var serial time.Duration
 	fmt.Printf("%-8s %12s %9s\n", "workers", "Q1 runtime", "speedup")
 	for w := 1; w <= maxw; w *= 2 {
+		db.SetParallelism(w)
 		best := time.Duration(1 << 62)
 		for rep := 0; rep < 5; rep++ {
-			_, d, err := tpch.RunQuery(cat, q1, tpch.RunOptions{
-				Engine: tpch.EngineVectorized, Parallel: w,
-			})
-			if err != nil {
+			start := time.Now()
+			if _, err := db.Query(q1.SQL); err != nil {
 				log.Fatal(err)
 			}
-			if d < best {
+			if d := time.Since(start); d < best {
 				best = d
 			}
 		}
 		if w == 1 {
 			serial = best
 		}
-		fmt.Printf("%-8d %12v %8.2fx\n", w, best.Round(time.Microsecond), serial.Seconds()/best.Seconds())
+		fmt.Printf("%-8d %12v %8.2fx\n", w, best.Round(time.Microsecond),
+			serial.Seconds()/best.Seconds())
 	}
 }

@@ -153,9 +153,9 @@ func (t JoinType) String() string {
 
 // JoinNode is an equi-join; key lists align pairwise.
 type JoinNode struct {
-	Left, Right        Node
+	Left, Right         Node
 	LeftKeys, RightKeys []Scalar
-	Type               JoinType
+	Type                JoinType
 }
 
 // Schema implements Node.

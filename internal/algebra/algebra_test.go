@@ -64,7 +64,7 @@ func TestNodeSchemas(t *testing.T) {
 		t.Fatal("project schema wrong")
 	}
 	agg := &AggNode{Input: scan, GroupBy: []Scalar{c(1, vtypes.KindStr)},
-		Aggs: []AggExpr{{Fn: AggSum, Arg: c(0, vtypes.KindI64)}, {Fn: AggAvg, Arg: c(0, vtypes.KindI64)}, {Fn: AggCountStar}},
+		Aggs:  []AggExpr{{Fn: AggSum, Arg: c(0, vtypes.KindI64)}, {Fn: AggAvg, Arg: c(0, vtypes.KindI64)}, {Fn: AggCountStar}},
 		Names: []string{"g", "s", "a", "n"}}
 	sch := agg.Schema()
 	if sch.Col(1).Kind != vtypes.KindI64 || sch.Col(2).Kind != vtypes.KindF64 || sch.Col(3).Kind != vtypes.KindI64 {

@@ -96,6 +96,21 @@ func (c *Catalog) SetLayers(name string, layers []*pdt.PDT) error {
 	return nil
 }
 
+// SetStats installs freshly computed optimizer statistics for a table
+// (the bulk loader refreshes them at the end of a load; callers that
+// also changed planning inputs are expected to have bumped the epoch,
+// as Put does).
+func (c *Catalog) SetStats(name string, st *TableStats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("catalog: %w %q", ErrUnknownTable, name)
+	}
+	e.Stats = st
+	return nil
+}
+
 // Names lists cataloged tables in sorted order.
 func (c *Catalog) Names() []string {
 	c.mu.RLock()

@@ -40,9 +40,9 @@ func buildOrders(t testing.TB, n, groupRows int) *storage.Table {
 	return tbl
 }
 
-func col(i int, k vtypes.Kind) Expr       { return expr.NewCol(i, k) }
-func i64c(v int64) Expr                   { return expr.NewConst(vtypes.I64Value(v)) }
-func f64c(v float64) Expr                 { return expr.NewConst(vtypes.F64Value(v)) }
+func col(i int, k vtypes.Kind) Expr { return expr.NewCol(i, k) }
+func i64c(v int64) Expr             { return expr.NewConst(vtypes.I64Value(v)) }
+func f64c(v float64) Expr           { return expr.NewConst(vtypes.F64Value(v)) }
 func mustPred(p expr.Pred, err error) Pred {
 	if err != nil {
 		panic(err)

@@ -154,7 +154,7 @@ func (c *Cache) Stats() Stats {
 // string literals it lower-cases, strips `--` comments, collapses
 // whitespace runs to one space, and drops a trailing semicolon — so
 // `SELECT  V FROM T;` and `select v from t` share one entry. Inside
-// quotes the text is preserved byte for byte (including '' escapes).
+// quotes the text is preserved byte for byte, escaped quotes included.
 func Normalize(sql string) string {
 	var b strings.Builder
 	b.Grow(len(sql))

@@ -216,7 +216,7 @@ func TestSessionExpiry(t *testing.T) {
 	tbl := newSessionTable(50 * time.Millisecond)
 	now := time.Now()
 	s := tbl.create(now)
-	if tbl.sweep(now.Add(10 * time.Millisecond)) != 0 {
+	if tbl.sweep(now.Add(10*time.Millisecond)) != 0 {
 		t.Fatal("fresh session swept")
 	}
 	if n := tbl.sweep(now.Add(time.Second)); n != 1 {

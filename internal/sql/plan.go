@@ -148,7 +148,7 @@ func (p *Planner) PlanSelect(s *SelectStmt) (algebra.Node, error) {
 	}
 
 	// Aggregation?
-	hasAgg := len(s.GroupBy) > 0
+	hasAgg := len(s.GroupBy) > 0 || containsAgg(s.Having)
 	for _, item := range s.Items {
 		if !item.Star && containsAgg(item.Expr) {
 			hasAgg = true
@@ -156,6 +156,9 @@ func (p *Planner) PlanSelect(s *SelectStmt) (algebra.Node, error) {
 	}
 	if hasAgg {
 		return p.planAggregate(s, node, sc)
+	}
+	if s.Having != nil {
+		return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
 	}
 
 	// Plain projection.
@@ -282,7 +285,13 @@ func (p *Planner) resolveOn(on OnEq, left, right *scope) (algebra.Scalar, algebr
 	return l2, r2, nil
 }
 
-// planAggregate lowers GROUP BY queries.
+// planAggregate lowers GROUP BY / aggregate queries. Select items and
+// HAVING may be arbitrary expressions over group-by expressions and
+// aggregate calls — e.g. `100.0 * SUM(a) / SUM(b)` — lowered in two
+// steps: one AggNode computes the group keys and the distinct aggregates
+// of the whole statement under internal names, then every output
+// expression is rewritten to reference those columns and lowered as an
+// ordinary projection (HAVING becomes a selection between the two).
 func (p *Planner) planAggregate(s *SelectStmt, input algebra.Node, sc *scope) (algebra.Node, error) {
 	var groupBy []algebra.Scalar
 	for _, g := range s.GroupBy {
@@ -292,69 +301,140 @@ func (p *Planner) planAggregate(s *SelectStmt, input algebra.Node, sc *scope) (a
 		}
 		groupBy = append(groupBy, lo)
 	}
-	// Collect aggregates and map select items onto agg output columns.
+
+	// Collect the distinct aggregate calls across select list and HAVING
+	// (dedup by rendered text, so Q14's repeated SUM computes once).
+	aggCols := map[string]int{}
 	var aggs []algebra.AggExpr
-	var names []string
-	type outCol struct {
-		isGroup bool
-		idx     int
-	}
-	var outs []outCol
-	groupNames := make([]string, len(groupBy))
-	for i := range groupNames {
-		groupNames[i] = fmt.Sprintf("g%d", i)
+	collect := func(e Expr) error {
+		var firstErr error
+		walkExprs(e, func(x Expr) {
+			a, ok := x.(*AggCall)
+			if !ok {
+				return
+			}
+			key := renderExpr(a)
+			if _, seen := aggCols[key]; seen {
+				return
+			}
+			ax, err := p.lowerAgg(a, sc)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			aggCols[key] = len(aggs)
+			aggs = append(aggs, ax)
+		})
+		return firstErr
 	}
 	for _, item := range s.Items {
 		if item.Star {
 			return nil, fmt.Errorf("sql: * not allowed with GROUP BY")
 		}
-		if g := matchGroupExpr(item.Expr, s.GroupBy); g >= 0 {
-			outs = append(outs, outCol{isGroup: true, idx: g})
-			groupNames[g] = itemName(item)
-			names = append(names, itemName(item))
-			continue
-		}
-		agg, ok := item.Expr.(*AggCall)
-		if !ok {
-			return nil, fmt.Errorf("sql: non-aggregate select item must appear in GROUP BY")
-		}
-		ax, err := p.lowerAgg(agg, sc)
-		if err != nil {
+		if err := collect(item.Expr); err != nil {
 			return nil, err
 		}
-		outs = append(outs, outCol{idx: len(aggs)})
-		aggs = append(aggs, ax)
-		names = append(names, itemName(item))
 	}
-	aggNames := append([]string{}, groupNames...)
-	for i, o := range outs {
-		if !o.isGroup {
-			aggNames = append(aggNames, names[i])
-		}
-	}
-	node := algebra.Node(&algebra.AggNode{Input: input, GroupBy: groupBy, Aggs: aggs, Names: aggNames})
-	aggSchema := node.Schema()
-
-	// Re-project into select order.
-	var exprs []algebra.Scalar
-	for _, o := range outs {
-		if o.isGroup {
-			exprs = append(exprs, &algebra.ColRef{Idx: o.idx, K: aggSchema.Col(o.idx).Kind})
-		} else {
-			ix := len(groupBy) + o.idx
-			exprs = append(exprs, &algebra.ColRef{Idx: ix, K: aggSchema.Col(ix).Kind})
-		}
-	}
-	node = &algebra.ProjectNode{Input: node, Exprs: exprs, Names: names}
-
 	if s.Having != nil {
-		outSc := schemaScope(node.Schema())
-		pred, err := p.lower(s.Having, outSc)
+		if err := collect(s.Having); err != nil {
+			return nil, err
+		}
+	}
+
+	// Internal column names ('#' cannot appear in a lexed identifier, so
+	// they can never collide with user names).
+	names := make([]string, 0, len(groupBy)+len(aggs))
+	for i := range groupBy {
+		names = append(names, fmt.Sprintf("#g%d", i))
+	}
+	for i := range aggs {
+		names = append(names, fmt.Sprintf("#a%d", i))
+	}
+	node := algebra.Node(&algebra.AggNode{Input: input, GroupBy: groupBy, Aggs: aggs, Names: names})
+	aggSc := schemaScope(node.Schema())
+
+	// rewrite maps an AST expression onto the AggNode output: group-by
+	// expressions and aggregate calls become references to the internal
+	// columns; select aliases (HAVING may name them) substitute the
+	// aliased expression. Aggregate arguments are never descended into —
+	// they were already lowered against the input scope. expanding
+	// tracks alias substitutions in flight so a self-referential alias
+	// (`a + 1 AS a`) falls through to normal resolution instead of
+	// recursing forever.
+	expanding := map[string]bool{}
+	var rewrite func(e Expr) Expr
+	rewrite = func(e Expr) Expr {
+		if g := matchGroupExpr(e, s.GroupBy); g >= 0 {
+			return &Ident{Name: names[g]}
+		}
+		if a, ok := e.(*AggCall); ok {
+			if ix, ok := aggCols[renderExpr(a)]; ok {
+				return &Ident{Name: names[len(groupBy)+ix]}
+			}
+			return a
+		}
+		switch t := e.(type) {
+		case *Ident:
+			if t.Qualifier == "" && !expanding[t.Name] {
+				for _, item := range s.Items {
+					if !item.Star && item.Alias == t.Name {
+						expanding[t.Name] = true
+						out := rewrite(item.Expr)
+						delete(expanding, t.Name)
+						return out
+					}
+				}
+			}
+			return t
+		case *BinExpr:
+			return &BinExpr{Op: t.Op, L: rewrite(t.L), R: rewrite(t.R)}
+		case *NotExpr:
+			return &NotExpr{In: rewrite(t.In)}
+		case *BetweenExpr:
+			return &BetweenExpr{In: rewrite(t.In), Lo: rewrite(t.Lo), Hi: rewrite(t.Hi)}
+		case *InExpr:
+			list := make([]Expr, len(t.List))
+			for i, m := range t.List {
+				list[i] = rewrite(m)
+			}
+			return &InExpr{In: rewrite(t.In), List: list}
+		case *LikeExpr:
+			return &LikeExpr{In: rewrite(t.In), Pattern: t.Pattern, Negate: t.Negate}
+		case *IsNullExpr:
+			return &IsNullExpr{In: rewrite(t.In), Negate: t.Negate}
+		case *CaseExpr:
+			return &CaseExpr{Cond: rewrite(t.Cond), Then: rewrite(t.Then), Else: rewrite(t.Else)}
+		case *FuncCall:
+			return &FuncCall{Fn: t.Fn, Arg: rewrite(t.Arg)}
+		}
+		return e
+	}
+
+	// HAVING filters the aggregate output before the projection renames
+	// and reorders it (equivalent, and it may reference aggregates that
+	// the select list drops).
+	if s.Having != nil {
+		pred, err := p.lower(rewrite(s.Having), aggSc)
 		if err != nil {
 			return nil, err
 		}
 		node = &algebra.SelectNode{Input: node, Pred: pred}
 	}
+
+	// Re-project into select order under the output names.
+	var exprs []algebra.Scalar
+	var outNames []string
+	for _, item := range s.Items {
+		lo, err := p.lower(rewrite(item.Expr), aggSc)
+		if err != nil {
+			return nil, fmt.Errorf("%w (select items must be built from GROUP BY expressions and aggregates)", err)
+		}
+		exprs = append(exprs, lo)
+		outNames = append(outNames, itemName(item))
+	}
+	node = &algebra.ProjectNode{Input: node, Exprs: exprs, Names: outNames}
 	return p.finishOrderLimit(s, node)
 }
 
@@ -420,7 +500,7 @@ func (p *Planner) lower(e Expr, sc *scope) (algebra.Scalar, error) {
 	case *ParamExpr:
 		// A placeholder always lowers to a typeless Param slot first;
 		// the surrounding expression resolves its kind
-		// (resolveParamPair, lowerLit, lowerBound), and — on the direct
+		// (resolveParamPair, lowerLit, lowerBoundScalar), and — on the direct
 		// execution path (Params set) — the same site materializes the
 		// coerced literal, so bound DML sees exactly the values a bound
 		// SELECT template would.
@@ -488,63 +568,62 @@ func (p *Planner) lower(e Expr, sc *scope) (algebra.Scalar, error) {
 		if err != nil {
 			return nil, err
 		}
-		// A placeholder bound (template path only) turns the Between
-		// fast path into a pair of comparisons so the slots survive in
-		// the plan; the cross-compiler's Cmp-vs-literal kernels fire
-		// once they are bound.
-		if p.Params == nil && (isParamExpr(t.Lo) || isParamExpr(t.Hi)) {
-			lo, err := p.lowerBound(t.Lo, sc, in.Kind())
-			if err != nil {
-				return nil, err
-			}
-			hi, err := p.lowerBound(t.Hi, sc, in.Kind())
-			if err != nil {
-				return nil, err
-			}
-			return &algebra.And{Preds: []algebra.Scalar{
-				&algebra.Cmp{Op: algebra.CmpGe, L: in, R: lo},
-				&algebra.Cmp{Op: algebra.CmpLe, L: in, R: hi},
-			}}, nil
-		}
-		lo, err := p.lowerLit(t.Lo, sc, in.Kind())
+		lo, err := p.lowerBoundScalar(t.Lo, sc, in.Kind())
 		if err != nil {
 			return nil, err
 		}
-		hi, err := p.lowerLit(t.Hi, sc, in.Kind())
+		hi, err := p.lowerBoundScalar(t.Hi, sc, in.Kind())
 		if err != nil {
 			return nil, err
 		}
-		return &algebra.Between{In: in, Lo: lo, Hi: hi}, nil
+		// Literal bounds take the Between fast path. Anything else —
+		// unbound placeholder slots (template path), columns, aggregate
+		// outputs — decomposes into a pair of comparisons, which binds
+		// and evaluates positionally.
+		if loLit, ok := lo.(*algebra.Lit); ok {
+			if hiLit, ok := hi.(*algebra.Lit); ok {
+				return &algebra.Between{In: in, Lo: loLit.Val, Hi: hiLit.Val}, nil
+			}
+		}
+		return &algebra.And{Preds: []algebra.Scalar{
+			&algebra.Cmp{Op: algebra.CmpGe, L: in, R: lo},
+			&algebra.Cmp{Op: algebra.CmpLe, L: in, R: hi},
+		}}, nil
 	case *InExpr:
 		in, err := p.lower(t.In, sc)
 		if err != nil {
 			return nil, err
 		}
-		// Same template treatment for IN lists holding placeholders:
-		// decompose into an OR of equalities so each slot binds later.
-		if p.Params == nil && anyParamExpr(t.List) {
-			var preds []algebra.Scalar
-			for _, le := range t.List {
-				m, err := p.lowerBound(le, sc, in.Kind())
-				if err != nil {
-					return nil, err
-				}
-				preds = append(preds, &algebra.Cmp{Op: algebra.CmpEq, L: in, R: m})
-			}
-			if len(preds) == 1 {
-				return preds[0], nil
-			}
-			return &algebra.Or{Preds: preds}, nil
-		}
-		var list []vtypes.Value
-		for _, le := range t.List {
-			v, err := p.lowerLit(le, sc, in.Kind())
+		members := make([]algebra.Scalar, len(t.List))
+		allLit := true
+		for i, le := range t.List {
+			m, err := p.lowerBoundScalar(le, sc, in.Kind())
 			if err != nil {
 				return nil, err
 			}
-			list = append(list, v)
+			members[i] = m
+			if _, ok := m.(*algebra.Lit); !ok {
+				allLit = false
+			}
 		}
-		return &algebra.In{In: in, List: list}, nil
+		if allLit {
+			list := make([]vtypes.Value, len(members))
+			for i, m := range members {
+				list[i] = m.(*algebra.Lit).Val
+			}
+			return &algebra.In{In: in, List: list}, nil
+		}
+		// Non-literal members (placeholder slots, columns, aggregates):
+		// decompose into an OR of equalities so each one binds or
+		// evaluates positionally.
+		preds := make([]algebra.Scalar, len(members))
+		for i, m := range members {
+			preds[i] = &algebra.Cmp{Op: algebra.CmpEq, L: in, R: m}
+		}
+		if len(preds) == 1 {
+			return preds[0], nil
+		}
+		return &algebra.Or{Preds: preds}, nil
 	case *LikeExpr:
 		in, err := p.lower(t.In, sc)
 		if err != nil {
@@ -570,6 +649,9 @@ func (p *Planner) lower(e Expr, sc *scope) (algebra.Scalar, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Widen int literal arms beside float arms so both arms share a
+		// storage class (`THEN price ELSE 0`).
+		then, el = widenPair(then, el)
 		return algebra.NewCase(cond, then, el)
 	case *FuncCall:
 		arg, err := p.lower(t.Arg, sc)
@@ -635,31 +717,31 @@ func (p *Planner) materializeParam(s algebra.Scalar) (algebra.Scalar, error) {
 	return &algebra.Lit{Val: v}, nil
 }
 
-func isParamExpr(e Expr) bool {
-	_, ok := e.(*ParamExpr)
-	return ok
-}
-
-func anyParamExpr(es []Expr) bool {
-	for _, e := range es {
-		if isParamExpr(e) {
-			return true
-		}
-	}
-	return false
-}
-
-// lowerBound lowers a BETWEEN bound or IN member on the template path,
-// giving placeholder slots the kind of the probed expression.
-func (p *Planner) lowerBound(e Expr, sc *scope, want vtypes.Kind) (algebra.Scalar, error) {
-	if pe, ok := e.(*ParamExpr); ok && p.Params == nil {
-		return &algebra.Param{Idx: pe.Idx, K: want}, nil
-	}
-	v, err := p.lowerLit(e, sc, want)
+// lowerBoundScalar lowers a BETWEEN bound or IN member. Placeholder
+// slots adopt the probed expression's kind (and bind immediately on the
+// direct execution path); literals coerce to it; other scalars —
+// columns, aggregate outputs — pass through for the caller's comparison
+// decomposition.
+func (p *Planner) lowerBoundScalar(e Expr, sc *scope, want vtypes.Kind) (algebra.Scalar, error) {
+	lo, err := p.lower(e, sc)
 	if err != nil {
 		return nil, err
 	}
-	return &algebra.Lit{Val: v}, nil
+	switch t := lo.(type) {
+	case *algebra.Param:
+		k := t.K
+		if k == vtypes.KindInvalid {
+			k = want
+		}
+		return p.materializeParam(&algebra.Param{Idx: t.Idx, K: k})
+	case *algebra.Lit:
+		v, err := algebra.CoerceValue(t.Val, want)
+		if err != nil {
+			return nil, fmt.Errorf("sql: literal %w", err)
+		}
+		return &algebra.Lit{Val: v}, nil
+	}
+	return lo, nil
 }
 
 // lowerLit lowers an expression that must fold to a literal, coercing
@@ -715,7 +797,9 @@ func splitConjuncts(e Expr) []Expr {
 }
 
 // onlyReferences reports whether every column in e resolves inside the
-// single alias.
+// single alias — the test for pushing a WHERE conjunct below a join. A
+// column that resolves in another table, or that does not resolve in the
+// scope at all (it belongs to a table joined later), blocks the push.
 func onlyReferences(e Expr, alias string, sc *scope) bool {
 	ok := true
 	walkIdents(e, func(id *Ident) {
@@ -725,70 +809,75 @@ func onlyReferences(e Expr, alias string, sc *scope) bool {
 			}
 			return
 		}
-		// Unqualified: resolve; only accept if it binds to alias's table.
+		resolved := false
 		for _, ent := range sc.entries {
-			if ent.schema.ColIndex(id.Name) >= 0 && ent.alias != alias {
-				ok = false
+			if ent.schema.ColIndex(id.Name) >= 0 {
+				resolved = true
+				if ent.alias != alias {
+					ok = false
+				}
 			}
+		}
+		if !resolved {
+			ok = false
 		}
 	})
 	return ok
 }
 
-func walkIdents(e Expr, fn func(*Ident)) {
-	switch t := e.(type) {
-	case *Ident:
-		fn(t)
-	case *BinExpr:
-		walkIdents(t.L, fn)
-		walkIdents(t.R, fn)
-	case *NotExpr:
-		walkIdents(t.In, fn)
-	case *BetweenExpr:
-		walkIdents(t.In, fn)
-		walkIdents(t.Lo, fn)
-		walkIdents(t.Hi, fn)
-	case *InExpr:
-		walkIdents(t.In, fn)
-	case *LikeExpr:
-		walkIdents(t.In, fn)
-	case *IsNullExpr:
-		walkIdents(t.In, fn)
-	case *CaseExpr:
-		walkIdents(t.Cond, fn)
-		walkIdents(t.Then, fn)
-		walkIdents(t.Else, fn)
-	case *AggCall:
-		if t.Arg != nil {
-			walkIdents(t.Arg, fn)
-		}
-	case *FuncCall:
-		walkIdents(t.Arg, fn)
+// walkExprs visits e and every sub-expression, including aggregate
+// arguments and IN-list members. A nil e is a no-op.
+func walkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
 	}
+	fn(e)
+	switch t := e.(type) {
+	case *BinExpr:
+		walkExprs(t.L, fn)
+		walkExprs(t.R, fn)
+	case *NotExpr:
+		walkExprs(t.In, fn)
+	case *BetweenExpr:
+		walkExprs(t.In, fn)
+		walkExprs(t.Lo, fn)
+		walkExprs(t.Hi, fn)
+	case *InExpr:
+		walkExprs(t.In, fn)
+		for _, m := range t.List {
+			walkExprs(m, fn)
+		}
+	case *LikeExpr:
+		walkExprs(t.In, fn)
+	case *IsNullExpr:
+		walkExprs(t.In, fn)
+	case *CaseExpr:
+		walkExprs(t.Cond, fn)
+		walkExprs(t.Then, fn)
+		walkExprs(t.Else, fn)
+	case *AggCall:
+		walkExprs(t.Arg, fn)
+	case *FuncCall:
+		walkExprs(t.Arg, fn)
+	}
+}
+
+func walkIdents(e Expr, fn func(*Ident)) {
+	walkExprs(e, func(x Expr) {
+		if id, ok := x.(*Ident); ok {
+			fn(id)
+		}
+	})
 }
 
 // containsAgg reports whether an expression contains an aggregate call.
 func containsAgg(e Expr) bool {
 	found := false
-	var walk func(Expr)
-	walk = func(e Expr) {
-		switch t := e.(type) {
-		case *AggCall:
+	walkExprs(e, func(x Expr) {
+		if _, ok := x.(*AggCall); ok {
 			found = true
-		case *BinExpr:
-			walk(t.L)
-			walk(t.R)
-		case *NotExpr:
-			walk(t.In)
-		case *CaseExpr:
-			walk(t.Cond)
-			walk(t.Then)
-			walk(t.Else)
-		case *FuncCall:
-			walk(t.Arg)
 		}
-	}
-	walk(e)
+	})
 	return found
 }
 
@@ -817,8 +906,31 @@ func renderExpr(e Expr) string {
 		return "'" + t.Val + "'"
 	case *DateLit:
 		return "date'" + t.Val + "'"
+	case *BoolLit:
+		return fmt.Sprintf("%v", t.Val)
+	case *NullLit:
+		return "null"
 	case *BinExpr:
 		return "(" + renderExpr(t.L) + t.Op + renderExpr(t.R) + ")"
+	case *NotExpr:
+		return "not(" + renderExpr(t.In) + ")"
+	case *BetweenExpr:
+		return "between(" + renderExpr(t.In) + "," + renderExpr(t.Lo) + "," + renderExpr(t.Hi) + ")"
+	case *InExpr:
+		out := "in(" + renderExpr(t.In)
+		for _, m := range t.List {
+			out += "," + renderExpr(m)
+		}
+		return out + ")"
+	case *LikeExpr:
+		return fmt.Sprintf("like(%s,%q,%v)", renderExpr(t.In), t.Pattern, t.Negate)
+	case *IsNullExpr:
+		return fmt.Sprintf("isnull(%s,%v)", renderExpr(t.In), t.Negate)
+	case *AggCall:
+		if t.Arg == nil {
+			return t.Fn + "(*)"
+		}
+		return t.Fn + "(" + renderExpr(t.Arg) + ")"
 	case *FuncCall:
 		return t.Fn + "(" + renderExpr(t.Arg) + ")"
 	case *CaseExpr:

@@ -240,64 +240,159 @@ func minMaxStr(vals []string) (mn, mx string) {
 	return mn, mx
 }
 
+// colLen returns the length of a raw column slice, or -1 for an
+// unsupported slice type.
+func colLen(c any) int {
+	switch s := c.(type) {
+	case []int64:
+		return len(s)
+	case []float64:
+		return len(s)
+	case []string:
+		return len(s)
+	case []bool:
+		return len(s)
+	}
+	return -1
+}
+
+// AppendColumns bulk-appends complete column slices — []int64 (BIGINT,
+// DATE), []float64, []string, []bool — without boxing values into rows:
+// the columnar fast path of the bulk loader. All slices must have equal
+// length and match their schema column's storage class; nulls may be nil
+// (no NULLs anywhere), or hold a nil or row-length slice per column.
+// Rows are accumulated chunk-at-a-time, so each full group still flushes
+// with its own codec choice and min/max statistics.
+func (b *Builder) AppendColumns(cols []any, nulls [][]bool) (int64, error) {
+	if len(cols) != b.schema.Len() {
+		return 0, fmt.Errorf("storage: %d column slices for %d schema columns", len(cols), b.schema.Len())
+	}
+	if nulls != nil && len(nulls) != b.schema.Len() {
+		return 0, fmt.Errorf("storage: %d null slices for %d schema columns", len(nulls), b.schema.Len())
+	}
+	rows := -1
+	for i, c := range cols {
+		l := colLen(c)
+		if l < 0 {
+			return 0, fmt.Errorf("storage: column %d has unsupported slice type %T", i, c)
+		}
+		if rows == -1 {
+			rows = l
+		} else if rows != l {
+			return 0, fmt.Errorf("storage: column %d has %d rows, want %d", i, l, rows)
+		}
+		col := b.schema.Col(i)
+		okType := false
+		switch col.Kind.StorageClass() {
+		case vtypes.ClassI64:
+			_, okType = c.([]int64)
+		case vtypes.ClassF64:
+			_, okType = c.([]float64)
+		case vtypes.ClassStr:
+			_, okType = c.([]string)
+		case vtypes.ClassBool:
+			_, okType = c.([]bool)
+		}
+		if !okType {
+			return 0, fmt.Errorf("storage: column %q: slice type %T incompatible with %v", col.Name, c, col.Kind)
+		}
+		if nulls != nil && nulls[i] != nil {
+			if len(nulls[i]) != rows {
+				return 0, fmt.Errorf("storage: column %q: %d null flags for %d rows", col.Name, len(nulls[i]), rows)
+			}
+			if !col.Nullable {
+				for r, isNull := range nulls[i] {
+					if isNull {
+						return 0, fmt.Errorf("storage: row %d: NULL in non-nullable column %q", r+1, col.Name)
+					}
+				}
+			}
+		}
+	}
+	if rows <= 0 {
+		return 0, nil
+	}
+	for r := 0; r < rows; r++ {
+		for c, col := range b.schema.Cols {
+			isNull := nulls != nil && nulls[c] != nil && nulls[c][r]
+			if col.Nullable {
+				b.nulls[c] = append(b.nulls[c], isNull)
+			}
+			switch s := cols[c].(type) {
+			case []int64:
+				b.i64s[c] = append(b.i64s[c], s[r])
+			case []float64:
+				b.f64s[c] = append(b.f64s[c], s[r])
+			case []string:
+				b.strs[c] = append(b.strs[c], s[r])
+			case []bool:
+				b.bools[c] = append(b.bools[c], s[r])
+			}
+		}
+		b.n++
+		if b.n >= b.groupRows {
+			if err := b.flushGroup(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return int64(rows), nil
+}
+
+// AppendTable adopts another table's row groups wholesale: the raw
+// compressed chunks are copied byte-for-byte with their offsets
+// rebased, so no decompression, boxing or re-encoding happens. This is
+// how the bulk loader carries an existing clean table into a rebuild in
+// O(bytes) instead of O(rows × columns). The source schema must match,
+// and no partial group may be buffered (adopted groups keep their
+// original row ranges).
+func (b *Builder) AppendTable(t *Table) error {
+	if b.n != 0 {
+		return fmt.Errorf("storage: AppendTable with %d buffered rows (flush boundary required)", b.n)
+	}
+	src := t.Schema()
+	if src.Len() != b.schema.Len() {
+		return fmt.Errorf("storage: AppendTable schema arity %d != %d", src.Len(), b.schema.Len())
+	}
+	for i, col := range b.schema.Cols {
+		sc := src.Col(i)
+		if sc.Name != col.Name || sc.Kind != col.Kind || sc.Nullable != col.Nullable {
+			return fmt.Errorf("storage: AppendTable column %d: %+v != %+v", i, sc, col)
+		}
+	}
+	base := int64(len(b.data))
+	b.data = append(b.data, t.data...)
+	shift := func(cm ChunkMeta) ChunkMeta {
+		if cm.Len > 0 {
+			cm.Offset += base
+		}
+		return cm
+	}
+	for _, g := range t.Meta.Groups {
+		ng := GroupMeta{Rows: g.Rows, Cols: make([]ChunkMeta, len(g.Cols))}
+		for i, cm := range g.Cols {
+			ng.Cols[i] = shift(cm)
+		}
+		if g.NullCols != nil {
+			ng.NullCols = make([]ChunkMeta, len(g.NullCols))
+			for i, cm := range g.NullCols {
+				ng.NullCols[i] = shift(cm)
+			}
+		}
+		b.meta.Groups = append(b.meta.Groups, ng)
+	}
+	b.meta.Rows += t.Meta.Rows
+	return nil
+}
+
 // BuildFromColumns constructs a table directly from complete column
 // slices (bulk load path used by the TPC-H generator). All value slices
 // must have equal length; nulls may be nil (meaning no NULLs) or a
 // per-column slice matching the row count.
 func BuildFromColumns(name string, schema *vtypes.Schema, groupRows int, cols []any, nulls [][]bool) (*Table, error) {
-	if len(cols) != schema.Len() {
-		return nil, fmt.Errorf("storage: %d column slices for %d schema columns", len(cols), schema.Len())
-	}
-	rows := -1
-	colLen := func(c any) int {
-		switch s := c.(type) {
-		case []int64:
-			return len(s)
-		case []float64:
-			return len(s)
-		case []string:
-			return len(s)
-		case []bool:
-			return len(s)
-		}
-		return -1
-	}
-	for i, c := range cols {
-		l := colLen(c)
-		if l < 0 {
-			return nil, fmt.Errorf("storage: column %d has unsupported slice type %T", i, c)
-		}
-		if rows == -1 {
-			rows = l
-		} else if rows != l {
-			return nil, fmt.Errorf("storage: column %d has %d rows, want %d", i, l, rows)
-		}
-	}
-	if rows == -1 {
-		rows = 0
-	}
 	b := NewBuilder(name, schema, groupRows)
-	row := make(vtypes.Row, schema.Len())
-	for r := 0; r < rows; r++ {
-		for c, col := range schema.Cols {
-			if nulls != nil && nulls[c] != nil && nulls[c][r] {
-				row[c] = vtypes.NullValue(col.Kind)
-				continue
-			}
-			switch s := cols[c].(type) {
-			case []int64:
-				row[c] = vtypes.Value{Kind: col.Kind, I64: s[r]}
-			case []float64:
-				row[c] = vtypes.Value{Kind: col.Kind, F64: s[r]}
-			case []string:
-				row[c] = vtypes.Value{Kind: col.Kind, Str: s[r]}
-			case []bool:
-				row[c] = vtypes.Value{Kind: col.Kind, B: s[r]}
-			}
-		}
-		if err := b.AppendRow(row); err != nil {
-			return nil, err
-		}
+	if _, err := b.AppendColumns(cols, nulls); err != nil {
+		return nil, err
 	}
 	return b.Finish()
 }

@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"vectorwise/internal/vtypes"
+)
+
+func bulkSchema() *vtypes.Schema {
+	return vtypes.NewSchema(
+		vtypes.Column{Name: "k", Kind: vtypes.KindI64},
+		vtypes.Column{Name: "v", Kind: vtypes.KindF64, Nullable: true},
+		vtypes.Column{Name: "s", Kind: vtypes.KindStr},
+	)
+}
+
+// AppendColumns must interleave with AppendRow, flush groups at the
+// group boundary, and read back losslessly.
+func TestAppendColumnsGroupsAndReadback(t *testing.T) {
+	const rows = 1000
+	b := NewBuilder("bulk", bulkSchema(), 256)
+	ks := make([]int64, rows)
+	vs := make([]float64, rows)
+	ss := make([]string, rows)
+	vnull := make([]bool, rows)
+	for i := range ks {
+		ks[i] = int64(i)
+		vs[i] = float64(i) / 2
+		ss[i] = "row"
+		vnull[i] = i%10 == 0
+	}
+	n, err := b.AppendColumns([]any{ks, vs, ss}, [][]bool{nil, vnull, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != rows {
+		t.Fatalf("appended %d rows, want %d", n, rows)
+	}
+	if err := b.AppendRow(vtypes.Row{
+		vtypes.I64Value(rows), vtypes.NullValue(vtypes.KindF64), vtypes.StrValue("tail"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != rows+1 {
+		t.Fatalf("table rows = %d", tbl.Rows())
+	}
+	if tbl.Groups() < 4 {
+		t.Fatalf("expected multiple row groups, got %d", tbl.Groups())
+	}
+	col, err := tbl.ReadAllColumn(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if got := col.Nulls[i]; got != vnull[i] {
+			t.Fatalf("row %d null flag = %v", i, got)
+		}
+		if !vnull[i] && col.F64[i] != vs[i] {
+			t.Fatalf("row %d value = %v, want %v", i, col.F64[i], vs[i])
+		}
+	}
+	if !col.Nulls[rows] {
+		t.Fatal("tail row must be NULL")
+	}
+}
+
+// AppendTable must adopt compressed groups losslessly and rebase chunk
+// offsets so both the adopted and the freshly built rows read back.
+func TestAppendTableAdoptsGroups(t *testing.T) {
+	mkTable := func(lo, hi int64) *Table {
+		b := NewBuilder("bulk", bulkSchema(), 128)
+		for i := lo; i < hi; i++ {
+			if err := b.AppendRow(vtypes.Row{
+				vtypes.I64Value(i), vtypes.F64Value(float64(i)), vtypes.StrValue("s"),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tbl, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	first := mkTable(0, 300)
+	b := NewBuilder("bulk", bulkSchema(), 128)
+	if err := b.AppendTable(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AppendColumns([]any{
+		[]int64{300, 301}, []float64{300, 301}, []string{"s", "s"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 302 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	col, err := tbl.ReadAllColumn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 302; i++ {
+		if col.I64[i] != i {
+			t.Fatalf("row %d = %d", i, col.I64[i])
+		}
+	}
+	// Adoption mid-group is rejected (row order would interleave).
+	b2 := NewBuilder("bulk", bulkSchema(), 128)
+	if err := b2.AppendRow(vtypes.Row{
+		vtypes.I64Value(0), vtypes.F64Value(0), vtypes.StrValue("s"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.AppendTable(first); err == nil {
+		t.Fatal("AppendTable with buffered rows must error")
+	}
+}
+
+func TestAppendColumnsRejectsBadInput(t *testing.T) {
+	mk := func() *Builder { return NewBuilder("bulk", bulkSchema(), 0) }
+	// Ragged column lengths.
+	if _, err := mk().AppendColumns([]any{[]int64{1, 2}, []float64{1}, []string{"a", "b"}}, nil); err == nil {
+		t.Fatal("ragged columns must error")
+	}
+	// Wrong storage class.
+	if _, err := mk().AppendColumns([]any{[]float64{1}, []float64{1}, []string{"a"}}, nil); err == nil {
+		t.Fatal("class mismatch must error")
+	}
+	// Arity mismatch.
+	if _, err := mk().AppendColumns([]any{[]int64{1}}, nil); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+	// NULL in a non-nullable column, with the offending row reported.
+	_, err := mk().AppendColumns(
+		[]any{[]int64{1, 2}, []float64{1, 2}, []string{"a", "b"}},
+		[][]bool{{false, true}, nil, nil})
+	if err == nil || !strings.Contains(err.Error(), "row 2") {
+		t.Fatalf("want non-nullable NULL error naming row 2, got %v", err)
+	}
+	// Empty load is a no-op, not an error.
+	b := mk()
+	if n, err := b.AppendColumns([]any{[]int64{}, []float64{}, []string{}}, nil); err != nil || n != 0 {
+		t.Fatalf("empty load: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,62 @@
+// Package testutil holds comparison helpers shared by the differential
+// test suites, so every suite enforces the same notion of row equality.
+package testutil
+
+import (
+	"math"
+	"testing"
+
+	"vectorwise/internal/vtypes"
+)
+
+// MatchRows asserts that two result sets are equal as multisets under
+// CloseValue (sort ties may permute rows; parallel partial sums reorder
+// float addition). Quadratic matching — intended for the small result
+// sets of the TPC-H suite.
+func MatchRows(t testing.TB, label string, want, got []vtypes.Row) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: row counts differ: %d vs %d", label, len(want), len(got))
+	}
+	used := make([]bool, len(got))
+outer:
+	for i := range want {
+		for j := range got {
+			if used[j] {
+				continue
+			}
+			if len(want[i]) != len(got[j]) {
+				t.Fatalf("%s: column counts differ: %d vs %d", label, len(want[i]), len(got[j]))
+			}
+			match := true
+			for c := range want[i] {
+				if !CloseValue(want[i][c], got[j][c]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				used[j] = true
+				continue outer
+			}
+		}
+		t.Fatalf("%s: row %d (%v) has no match", label, i, want[i])
+	}
+}
+
+// CloseValue compares two values with a relative tolerance on floats.
+func CloseValue(a, b vtypes.Value) bool {
+	if a.Null != b.Null {
+		return false
+	}
+	if a.Null {
+		return true
+	}
+	if a.Kind == vtypes.KindF64 || b.Kind == vtypes.KindF64 {
+		af, bf := a.AsFloat(), b.AsFloat()
+		diff := math.Abs(af - bf)
+		scale := math.Max(math.Abs(af), math.Abs(bf))
+		return diff <= 1e-6*math.Max(scale, 1)
+	}
+	return a.Equal(b)
+}

@@ -23,10 +23,10 @@ type Query struct {
 	Build func() algebra.Node
 }
 
-func cI64(i int) algebra.Scalar   { return &algebra.ColRef{Idx: i, K: vtypes.KindI64} }
-func cF64(i int) algebra.Scalar   { return &algebra.ColRef{Idx: i, K: vtypes.KindF64} }
-func cStr(i int) algebra.Scalar   { return &algebra.ColRef{Idx: i, K: vtypes.KindStr} }
-func cDate(i int) algebra.Scalar  { return &algebra.ColRef{Idx: i, K: vtypes.KindDate} }
+func cI64(i int) algebra.Scalar     { return &algebra.ColRef{Idx: i, K: vtypes.KindI64} }
+func cF64(i int) algebra.Scalar     { return &algebra.ColRef{Idx: i, K: vtypes.KindF64} }
+func cStr(i int) algebra.Scalar     { return &algebra.ColRef{Idx: i, K: vtypes.KindStr} }
+func cDate(i int) algebra.Scalar    { return &algebra.ColRef{Idx: i, K: vtypes.KindDate} }
 func litF(v float64) algebra.Scalar { return &algebra.Lit{Val: vtypes.F64Value(v)} }
 func litS(s string) algebra.Scalar  { return &algebra.Lit{Val: vtypes.StrValue(s)} }
 func litD(s string) algebra.Scalar {
@@ -61,7 +61,7 @@ func Q1() algebra.Node {
 	in := scan("lineitem", ls, LReturnFlag, LLineStatus, LQuantity, LExtendedPrice, LDiscount, LTax)
 	filtered := &algebra.SelectNode{
 		Input: in,
-		Pred: &algebra.Cmp{Op: algebra.CmpLe, L: cDate(6), R: litD("1998-09-02")},
+		Pred:  &algebra.Cmp{Op: algebra.CmpLe, L: cDate(6), R: litD("1998-09-02")},
 	}
 	// Need shipdate too: re-project scan with shipdate as col 6.
 	in.Cols = []int{LReturnFlag, LLineStatus, LQuantity, LExtendedPrice, LDiscount, LTax, LShipDate}

@@ -1,0 +1,57 @@
+package tpchdb
+
+import (
+	"testing"
+
+	vectorwise "vectorwise"
+	"vectorwise/internal/testutil"
+	"vectorwise/internal/tpch"
+)
+
+// The DB-level differential: a database populated purely through the
+// public surface (DDL + LoadBatch) must answer every suite query from
+// SQL text with the same rows the hand-built algebra plan produces on
+// the DB's own catalog — at parallelism 1 and N, warm and cold.
+func TestSQLSuiteThroughDB(t *testing.T) {
+	db := vectorwise.OpenMemory()
+	db.SetParallelism(1)
+	st, err := Load(db, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows < 10000 {
+		t.Fatalf("suspiciously small load: %d rows", st.Rows)
+	}
+	for _, par := range []int{1, 4} {
+		db.SetParallelism(par)
+		for _, sq := range tpch.SQLSuite() {
+			handRows, _, err := tpch.RunQuery(db.Catalog(), findQuery(t, sq.Name), tpch.RunOptions{Engine: tpch.EngineVectorized})
+			if err != nil {
+				t.Fatalf("%s hand-built: %v", sq.Name, err)
+			}
+			for rep := 0; rep < 2; rep++ { // cold then plan-cache warm
+				res, err := db.Query(sq.SQL)
+				if err != nil {
+					t.Fatalf("%s par=%d: %v", sq.Name, par, err)
+				}
+				testutil.MatchRows(t, sq.Name, handRows, res.Rows)
+			}
+		}
+	}
+	// The front end was actually amortized: repeated statements hit the
+	// plan cache.
+	if s := db.PlanCacheStats(); s.Hits == 0 {
+		t.Fatalf("plan cache never hit: %+v", s)
+	}
+}
+
+func findQuery(t *testing.T, name string) tpch.Query {
+	t.Helper()
+	for _, q := range tpch.Suite() {
+		if q.Name == name {
+			return q
+		}
+	}
+	t.Fatalf("unknown query %s", name)
+	return tpch.Query{}
+}

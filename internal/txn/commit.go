@@ -164,6 +164,32 @@ func (t *Txn) Commit() error {
 	return nil
 }
 
+// MergeIntoBuilder streams a table's visible rows — stable image merged
+// with the given PDT — into b. Checkpoints and the bulk loader share it
+// so there is exactly one definition of the rebuild merge.
+func MergeIntoBuilder(b *storage.Builder, stable *storage.Table, master *pdt.PDT) error {
+	schema := stable.Schema()
+	cols := make([]int, schema.Len())
+	for i := range cols {
+		cols[i] = i
+	}
+	merged := pdt.NewMergeScan(&scanSource{sc: storage.NewScanner(stable, cols, nil, nil, 0)}, master, 0)
+	for {
+		vecs, n, err := merged.Next()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if err := b.AppendRow(rowFromVecs(vecs, i)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
 // rowFromVecs boxes row i of a set of aligned vectors.
 func rowFromVecs(vecs []*vector.Vector, i int) vtypes.Row {
 	row := make(vtypes.Row, len(vecs))
@@ -222,26 +248,9 @@ func (m *Manager) Checkpoint(table string) error {
 	}
 	// Rebuild the stable image through a merge scan.
 	schema := stable.Schema()
-	cols := make([]int, schema.Len())
-	for i := range cols {
-		cols[i] = i
-	}
-	src := &scanSource{sc: storage.NewScanner(stable, cols, nil, nil, 0)}
-	merged := pdt.NewMergeScan(src, master, 0)
 	nb := storage.NewBuilder(stable.Meta.Name, schema, 0)
-	for {
-		vecs, n, err := merged.Next()
-		if err != nil {
-			return err
-		}
-		if n == 0 {
-			break
-		}
-		for i := 0; i < n; i++ {
-			if err := nb.AppendRow(rowFromVecs(vecs, i)); err != nil {
-				return err
-			}
-		}
+	if err := MergeIntoBuilder(nb, stable, master); err != nil {
+		return err
 	}
 	newStable, err := nb.Finish()
 	if err != nil {
