@@ -11,6 +11,7 @@ package main
 // into a regression instrument rather than a one-off table.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -37,9 +38,20 @@ type queryResult struct {
 	ColdNs int64 `json:"cold_ns"`
 	// WarmNs is the best of -warm cached executions.
 	WarmNs int64 `json:"warm_ns"`
-	Rows   int   `json:"rows"`
+	// StreamNs is the best warm execution through the streaming cursor
+	// (QueryContext + NextBatch): the same cached plan, consumed
+	// columnar with no row boxing.
+	StreamNs int64 `json:"stream_ns"`
+	Rows     int   `json:"rows"`
+	// CollectAllocBytes/StreamAllocBytes are heap bytes allocated by
+	// one warm execution of each result path (runtime TotalAlloc
+	// delta) — the boxing overhead the cursor API eliminates, tracked
+	// per commit alongside the timings.
+	CollectAllocBytes uint64 `json:"collect_alloc_bytes"`
+	StreamAllocBytes  uint64 `json:"stream_alloc_bytes"`
 	// CacheHits/CacheMisses are the plan-cache counter deltas across the
-	// query's executions (expected: 1 miss, cold+warm-1 hits).
+	// query's executions (expected: 1 miss on the cold run, every later
+	// execution a hit).
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
 }
@@ -76,7 +88,8 @@ func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, basel
 		IngestRows:    load.Rows,
 		IngestNs:      load.Elapsed.Nanoseconds(),
 	}
-	fmt.Printf("%-6s %4s %12s %12s %7s %6s\n", "query", "par", "cold", "warm", "rows", "h/m")
+	fmt.Printf("%-6s %4s %12s %12s %12s %7s %12s %6s\n",
+		"query", "par", "cold", "warm", "stream", "rows", "boxing-B", "h/m")
 	for _, par := range pars {
 		db.SetParallelism(par)
 		for _, q := range tpch.SQLSuite() {
@@ -100,20 +113,53 @@ func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, basel
 					warm = d
 				}
 			}
+			// Streaming: same cached plan, consumed through the cursor
+			// (NextBatch) with no result boxing.
+			stream := time.Duration(1<<62 - 1)
+			var streamRows int
+			for i := 0; i < warmRuns; i++ {
+				start = time.Now()
+				n, err := drainCursor(db, q.SQL)
+				if err != nil {
+					fatal(fmt.Errorf("sql %s (stream): %w", q.Name, err))
+				}
+				if d := time.Since(start); d < stream {
+					stream = d
+				}
+				streamRows = n
+			}
+			if streamRows != len(res.Rows) {
+				fatal(fmt.Errorf("sql %s: cursor yielded %d rows, Query %d", q.Name, streamRows, len(res.Rows)))
+			}
+			collectAlloc := allocBytes(func() {
+				if _, err := db.Query(q.SQL); err != nil {
+					fatal(err)
+				}
+			})
+			streamAlloc := allocBytes(func() {
+				if _, err := drainCursor(db, q.SQL); err != nil {
+					fatal(err)
+				}
+			})
 			after := db.PlanCacheStats()
 			r := queryResult{
-				Query:       q.Name,
-				Parallelism: par,
-				ColdNs:      cold.Nanoseconds(),
-				WarmNs:      warm.Nanoseconds(),
-				Rows:        len(res.Rows),
-				CacheHits:   after.Hits - before.Hits,
-				CacheMisses: after.Misses - before.Misses,
+				Query:             q.Name,
+				Parallelism:       par,
+				ColdNs:            cold.Nanoseconds(),
+				WarmNs:            warm.Nanoseconds(),
+				StreamNs:          stream.Nanoseconds(),
+				Rows:              len(res.Rows),
+				CollectAllocBytes: collectAlloc,
+				StreamAllocBytes:  streamAlloc,
+				CacheHits:         after.Hits - before.Hits,
+				CacheMisses:       after.Misses - before.Misses,
 			}
 			bf.Results = append(bf.Results, r)
-			fmt.Printf("%-6s %4d %12v %12v %7d %3d/%d\n", q.Name, par,
+			boxing := int64(collectAlloc) - int64(streamAlloc)
+			fmt.Printf("%-6s %4d %12v %12v %12v %7d %12d %3d/%d\n", q.Name, par,
 				cold.Round(time.Microsecond), warm.Round(time.Microsecond),
-				r.Rows, r.CacheHits, r.CacheMisses)
+				stream.Round(time.Microsecond), r.Rows, boxing,
+				r.CacheHits, r.CacheMisses)
 		}
 	}
 	fmt.Println()
@@ -124,6 +170,37 @@ func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, basel
 	if baselinePath != "" {
 		compareBaseline(bf, baselinePath)
 	}
+}
+
+// drainCursor runs sql through the streaming cursor, counting rows
+// without boxing any.
+func drainCursor(db *vectorwise.DB, sql string) (int, error) {
+	rows, err := db.QueryContext(context.Background(), sql)
+	if err != nil {
+		return 0, err
+	}
+	defer rows.Close()
+	n := 0
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			return 0, err
+		}
+		if b == nil {
+			return n, nil
+		}
+		n += b.N
+	}
+}
+
+// allocBytes reports heap bytes allocated by fn (TotalAlloc delta —
+// monotonic, so GC timing does not skew it).
+func allocBytes(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
 }
 
 func writeBenchFile(path string, bf benchFile) error {

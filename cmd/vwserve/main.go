@@ -5,6 +5,13 @@
 //	vwserve -db ./mydb -addr :8080
 //	curl -s localhost:8080/v1/query -d '{"sql":"SELECT k, SUM(v) s FROM t GROUP BY k"}'
 //
+// Large SELECTs should stream: ?stream=1 returns chunked NDJSON — one
+// line of column names, one {"rows":[...]} line per engine vector
+// batch, then a {"done":true,...} trailer — in O(vector) server memory,
+// and a timeout or dropped connection cancels the statement mid-flight:
+//
+//	curl -sN 'localhost:8080/v1/query?stream=1' -d '{"sql":"SELECT * FROM t"}'
+//
 // Flags:
 //
 //	-addr            listen address (default :8080)

@@ -21,6 +21,19 @@
 //	stmt, _ := db.Prepare(`SELECT v FROM t WHERE k = ?`)
 //	res, _ = stmt.Query(int64(2)) // planned once, bound per call
 //
+// Large or latency-sensitive results should stream through a cursor
+// instead of collecting: DB.QueryContext returns a Rows whose NextBatch
+// hands out the engine's own vector batches (no boxing) and whose
+// context cancels the statement between batches:
+//
+//	rows, _ := db.QueryContext(ctx, `SELECT k, v FROM t`)
+//	defer rows.Close()
+//	for {
+//		b, err := rows.NextBatch()
+//		if err != nil || b == nil { break }
+//		_ = b.Vecs[1].F64 // typed columnar access, zero copies
+//	}
+//
 // DB is safe for concurrent use (see the DB type for the reader/writer
 // contract). To serve a database over the network, see cmd/vwserve —
 // an HTTP/JSON front end with sessions, timeouts, and admission
@@ -28,6 +41,7 @@
 package vectorwise
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -36,11 +50,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"vectorwise/internal/algebra"
 	"vectorwise/internal/bufmgr"
 	"vectorwise/internal/catalog"
-	"vectorwise/internal/core"
 	"vectorwise/internal/pdt"
 	"vectorwise/internal/plancache"
 	"vectorwise/internal/rewriter"
@@ -50,7 +64,6 @@ import (
 	"vectorwise/internal/txn"
 	"vectorwise/internal/vtypes"
 	"vectorwise/internal/wal"
-	"vectorwise/internal/xcompile"
 )
 
 // DB is a database instance. All exported methods are safe for
@@ -61,11 +74,15 @@ import (
 // DB follows a reader/writer discipline enforced by an internal
 // RWMutex:
 //
-//   - Read paths — [DB.Query], [DB.Explain] — run under a shared read
-//     lock. Any number of SELECTs execute concurrently; scans merge
-//     the stable column store with the committed master PDT, both of
-//     which are immutable once published, so readers observe a
-//     consistent snapshot for the duration of the statement.
+//   - Read paths — [DB.Query], [DB.QueryContext], [DB.Explain] — run
+//     under a shared read lock. Any number of SELECTs execute
+//     concurrently; scans merge the stable column store with the
+//     committed master PDT, both of which are immutable once published,
+//     so readers observe a consistent snapshot for the duration of the
+//     statement. A streaming cursor ([Rows]) extends that tenure: the
+//     read lock is held from QueryContext until the cursor closes, so
+//     an open cursor delays writers, and its snapshot stays stable for
+//     as long as it is open.
 //   - Write paths — [DB.Exec] (CREATE/INSERT/UPDATE/DELETE),
 //     [DB.Checkpoint], [DB.Analyze], [DB.RegisterTable],
 //     [DB.SetParallelism], [DB.Close] — serialize under the exclusive
@@ -338,6 +355,12 @@ func bindArgs(args []any) ([]vtypes.Value, error) {
 			out[i] = vtypes.StrValue(v)
 		case bool:
 			out[i] = vtypes.BoolValue(v)
+		case time.Time:
+			// DATE parameters bind from time.Time directly (the civil
+			// date in the value's own location), so TPC-H-style date
+			// predicates need no pre-formatted strings.
+			y, m, d := v.Date()
+			out[i] = vtypes.Value{Kind: vtypes.KindDate, I64: vtypes.DaysFromCivil(y, int(m), d)}
 		case vtypes.Value:
 			out[i] = v
 		default:
@@ -421,6 +444,10 @@ func (db *DB) execCachedLocked(cs *cachedStmt, vals []vtypes.Value) (int64, erro
 // run concurrently with each other, and each observes a consistent
 // committed snapshot (DDL/DML waits for in-flight queries before
 // mutating shared state).
+//
+// Query is a collect-all convenience over [DB.QueryContext]: it drains
+// the streaming cursor into boxed rows. Large results and cancellable
+// statements should use QueryContext directly.
 func (db *DB) Query(sqlText string) (*Result, error) {
 	return db.QueryArgs(sqlText)
 }
@@ -430,27 +457,46 @@ func (db *DB) Query(sqlText string) (*Result, error) {
 // executions bind typed literals into the cached template and go
 // straight to the cross-compiler — no lexing, parsing, or rewriting.
 func (db *DB) QueryArgs(sqlText string, args ...any) (*Result, error) {
+	rows, err := db.QueryContext(context.Background(), sqlText, args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.collect()
+}
+
+// QueryContext runs a SELECT and returns a lazily-executed streaming
+// cursor instead of a materialized result: no operator pulls a batch
+// until the cursor is consumed, and nothing is ever boxed on the
+// NextBatch path. The cursor holds the DB's shared read lock until
+// [Rows.Close] — see the Rows type for lock tenure and the cancellation
+// contract (ctx stops scans, joins, aggregates and exchange workers at
+// the next vector boundary). args bind `?` / `$N` placeholders.
+func (db *DB) QueryContext(ctx context.Context, sqlText string, args ...any) (*Rows, error) {
 	vals, err := bindArgs(args)
 	if err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.queryLocked(plancache.Normalize(sqlText), vals)
-}
-
-// queryLocked executes a (possibly cached) SELECT under the read lock.
-func (db *DB) queryLocked(norm string, vals []vtypes.Value) (*Result, error) {
-	cs, err := db.getStmtLocked(norm)
+	cs, err := db.getStmtLocked(plancache.Normalize(sqlText))
 	if err != nil {
+		db.mu.RUnlock()
 		return nil, err
 	}
-	return db.queryCachedLocked(cs, vals)
+	rows, err := db.rowsCachedLocked(ctx, cs, vals)
+	if err != nil {
+		db.mu.RUnlock()
+		return nil, err
+	}
+	return rows, nil
 }
 
-// queryCachedLocked binds and runs a cached SELECT compilation under
-// the read lock.
-func (db *DB) queryCachedLocked(cs *cachedStmt, vals []vtypes.Value) (*Result, error) {
+// rowsCachedLocked binds a cached SELECT compilation and opens a cursor
+// over it. The caller holds db.mu.RLock; on success the cursor owns the
+// lock, on error the caller still does.
+func (db *DB) rowsCachedLocked(ctx context.Context, cs *cachedStmt, vals []vtypes.Value) (*Rows, error) {
 	if cs.kind != stmtSelect {
 		return nil, fmt.Errorf("vectorwise: Query requires SELECT")
 	}
@@ -464,7 +510,7 @@ func (db *DB) queryCachedLocked(cs *cachedStmt, vals []vtypes.Value) (*Result, e
 			return nil, err
 		}
 	}
-	return db.runPlan(plan)
+	return db.openRowsLocked(ctx, plan)
 }
 
 // Explain returns the optimized plan tree of a SELECT: the planner
@@ -585,8 +631,22 @@ func (s *Stmt) SQL() string { return s.sql }
 // Query) as opposed to DDL/DML (execute with Exec).
 func (s *Stmt) IsSelect() bool { return s.kind == stmtSelect }
 
-// Query executes a prepared SELECT with args bound to its placeholders.
+// Query executes a prepared SELECT with args bound to its placeholders,
+// collecting the whole result (see Stmt.QueryContext for the streaming
+// cursor form).
 func (s *Stmt) Query(args ...any) (*Result, error) {
+	rows, err := s.QueryContext(context.Background(), args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.collect()
+}
+
+// QueryContext executes a prepared SELECT as a streaming cursor: the
+// cached plan template is bound and compiled, and the returned Rows
+// holds the DB read lock until Close. ctx cancels the statement between
+// vector batches exactly as in [DB.QueryContext].
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 	if s.kind != stmtSelect {
 		return nil, fmt.Errorf("vectorwise: prepared statement is not a SELECT; use Exec")
 	}
@@ -594,13 +654,21 @@ func (s *Stmt) Query(args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
 	cs, err := s.resolveLocked()
 	if err != nil {
+		s.db.mu.RUnlock()
 		return nil, err
 	}
-	return s.db.queryCachedLocked(cs, vals)
+	rows, err := s.db.rowsCachedLocked(ctx, cs, vals)
+	if err != nil {
+		s.db.mu.RUnlock()
+		return nil, err
+	}
+	return rows, nil
 }
 
 // Exec executes a prepared DDL/DML statement with args bound to its
@@ -629,24 +697,6 @@ func (db *DB) PlanCacheStats() plancache.Stats { return db.plans.Stats() }
 // every statement re-plans (the configuration BenchmarkPreparedVsAdHoc
 // measures against). Safe to call concurrently with queries.
 func (db *DB) SetPlanCacheCapacity(n int) { db.plans.Resize(n) }
-
-// runPlan executes an algebra plan on the vectorized engine.
-func (db *DB) runPlan(plan algebra.Node) (*Result, error) {
-	op, err := xcompile.Compile(plan, db.cat, xcompile.Options{Fetch: db.buf})
-	if err != nil {
-		return nil, err
-	}
-	rows, err := core.Collect(op)
-	if err != nil {
-		return nil, err
-	}
-	schema := plan.Schema()
-	cols := make([]string, schema.Len())
-	for i := range cols {
-		cols[i] = schema.Col(i).Name
-	}
-	return &Result{Columns: cols, Rows: rows}, nil
-}
 
 func (db *DB) execCreate(s *sql.CreateStmt) error {
 	if _, err := db.cat.Get(s.Table); err == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vectorwise/internal/primitives"
@@ -145,6 +146,7 @@ type HashAggregate struct {
 	groups []uint32
 	built  bool
 	outPos int
+	ctx    context.Context
 }
 
 // NewHashAggregate builds the operator; names labels group columns then
@@ -167,6 +169,9 @@ func NewHashAggregate(child Operator, groupBy []Expr, aggs []AggSpec, names []st
 
 // Schema implements Operator.
 func (h *HashAggregate) Schema() *vtypes.Schema { return h.schema }
+
+// SetContext implements ContextSetter.
+func (h *HashAggregate) SetContext(ctx context.Context) { h.ctx = ctx }
 
 // Open implements Operator.
 func (h *HashAggregate) Open() error {
@@ -199,6 +204,12 @@ func (h *HashAggregate) consume() error {
 		}
 	}
 	for {
+		// Cancellation point inside the build phase: a canceled context
+		// stops the aggregation while it is still consuming input, not
+		// only once groups start streaming out.
+		if err := ctxErr(h.ctx); err != nil {
+			return err
+		}
 		b, err := h.child.Next()
 		if err != nil {
 			return err
@@ -432,6 +443,9 @@ func rehashVec(dst []uint64, v *vector.Vector, sel []int32, n int) {
 // Next implements Operator: first call drains the child, then groups
 // stream out in insertion order.
 func (h *HashAggregate) Next() (*vector.Batch, error) {
+	if err := ctxErr(h.ctx); err != nil {
+		return nil, err
+	}
 	if !h.built {
 		if err := h.consume(); err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vectorwise/internal/vector"
@@ -47,6 +48,7 @@ type HashJoin struct {
 	hashes []uint64
 	pend   *vector.Batch // overflow output
 	done   bool
+	ctx    context.Context
 }
 
 // NewHashJoin constructs the join. probeKeys and buildKeys must align in
@@ -82,6 +84,9 @@ func NewHashJoin(probe, build Operator, probeKeys, buildKeys []Expr, typ JoinTyp
 // Schema implements Operator.
 func (j *HashJoin) Schema() *vtypes.Schema { return j.schema }
 
+// SetContext implements ContextSetter.
+func (j *HashJoin) SetContext(ctx context.Context) { j.ctx = ctx }
+
 // Open implements Operator.
 func (j *HashJoin) Open() error {
 	if err := j.probe.Open(); err != nil {
@@ -103,6 +108,10 @@ func (j *HashJoin) buildTable() error {
 	}
 	var hashAll []uint64
 	for {
+		// Cancellation point in the build phase, before probing starts.
+		if err := ctxErr(j.ctx); err != nil {
+			return err
+		}
 		b, err := j.build.Next()
 		if err != nil {
 			return err
@@ -193,6 +202,9 @@ func (j *HashJoin) Next() (*vector.Batch, error) {
 		return nil, nil
 	}
 	for {
+		if err := ctxErr(j.ctx); err != nil {
+			return nil, err
+		}
 		b, err := j.probe.Next()
 		if err != nil {
 			return nil, err

@@ -11,6 +11,8 @@
 package core
 
 import (
+	"context"
+
 	"vectorwise/internal/vector"
 	"vectorwise/internal/vtypes"
 )
@@ -26,6 +28,37 @@ type Operator interface {
 	Next() (*vector.Batch, error)
 	// Close releases resources; the operator cannot be reused.
 	Close() error
+}
+
+// ContextSetter is implemented by operators that honor a cancellation
+// context: once ctx is done, Next returns ctx.Err() at the next batch
+// boundary instead of producing more data. Stop-and-go operators (hash
+// build, sort, aggregation) also check between input batches while
+// materializing, so cancellation interrupts their build phase, not just
+// their output phase. The cross-compiler installs the statement context
+// on every node it builds; a nil context disables the checks.
+type ContextSetter interface {
+	SetContext(ctx context.Context)
+}
+
+// SetTreeContext installs ctx on op and, via the compiler's per-node
+// application, is the hook hand-built trees can use on a single node.
+// It is a no-op for operators predating cancellation support.
+func SetTreeContext(op Operator, ctx context.Context) {
+	if cs, ok := op.(ContextSetter); ok {
+		cs.SetContext(ctx)
+	}
+}
+
+// ctxErr is the per-batch cancellation check: nil context never
+// cancels; otherwise it reports ctx.Err() once the context is done.
+// Amortized over a ~1K-row vector the check is noise, which is why the
+// engine can afford it on every Next.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Collect drains an operator into boxed rows — the boundary where

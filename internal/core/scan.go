@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"vectorwise/internal/pdt"
 	"vectorwise/internal/storage"
 	"vectorwise/internal/vector"
@@ -26,6 +28,7 @@ type Scan struct {
 	sc     *storage.Scanner
 	merged pdt.RowSource
 	batch  *vector.Batch
+	ctx    context.Context
 }
 
 // ScanOpts configures a Scan.
@@ -72,6 +75,9 @@ func NewScan(t *storage.Table, cols []int, opts ScanOpts) *Scan {
 // Schema implements Operator.
 func (s *Scan) Schema() *vtypes.Schema { return s.schema }
 
+// SetContext implements ContextSetter.
+func (s *Scan) SetContext(ctx context.Context) { s.ctx = ctx }
+
 // hasDeltas reports whether any PDT layer carries entries.
 func (s *Scan) hasDeltas() bool {
 	for _, p := range s.layers {
@@ -107,6 +113,9 @@ func (s *Scan) Open() error {
 
 // Next implements Operator.
 func (s *Scan) Next() (*vector.Batch, error) {
+	if err := ctxErr(s.ctx); err != nil {
+		return nil, err
+	}
 	if s.merged != nil {
 		vecs, n, err := s.merged.Next()
 		if err != nil || n == 0 {
@@ -148,6 +157,7 @@ func (a *scanSource) Next() ([]*vector.Vector, int, error) {
 type Select struct {
 	child Operator
 	pred  Pred
+	ctx   context.Context
 }
 
 // Pred re-exports expr.Pred to avoid an import cycle in operator users.
@@ -163,12 +173,18 @@ func NewSelect(child Operator, pred Pred) *Select {
 // Schema implements Operator.
 func (s *Select) Schema() *vtypes.Schema { return s.child.Schema() }
 
+// SetContext implements ContextSetter.
+func (s *Select) SetContext(ctx context.Context) { s.ctx = ctx }
+
 // Open implements Operator.
 func (s *Select) Open() error { return s.child.Open() }
 
 // Next implements Operator.
 func (s *Select) Next() (*vector.Batch, error) {
 	for {
+		if err := ctxErr(s.ctx); err != nil {
+			return nil, err
+		}
 		b, err := s.child.Next()
 		if err != nil || b == nil {
 			return nil, err
@@ -200,6 +216,7 @@ type Project struct {
 	exprs  []Expr
 	schema *vtypes.Schema
 	out    vector.Batch
+	ctx    context.Context
 }
 
 // NewProject builds a projection; names label the output columns.
@@ -214,11 +231,17 @@ func NewProject(child Operator, exprs []Expr, names []string) *Project {
 // Schema implements Operator.
 func (p *Project) Schema() *vtypes.Schema { return p.schema }
 
+// SetContext implements ContextSetter.
+func (p *Project) SetContext(ctx context.Context) { p.ctx = ctx }
+
 // Open implements Operator.
 func (p *Project) Open() error { return p.child.Open() }
 
 // Next implements Operator.
 func (p *Project) Next() (*vector.Batch, error) {
+	if err := ctxErr(p.ctx); err != nil {
+		return nil, err
+	}
 	b, err := p.child.Next()
 	if err != nil || b == nil {
 		return nil, err
@@ -246,6 +269,7 @@ type Limit struct {
 	child Operator
 	n     int64
 	seen  int64
+	ctx   context.Context
 }
 
 // NewLimit caps the stream at n rows.
@@ -253,6 +277,9 @@ func NewLimit(child Operator, n int64) *Limit { return &Limit{child: child, n: n
 
 // Schema implements Operator.
 func (l *Limit) Schema() *vtypes.Schema { return l.child.Schema() }
+
+// SetContext implements ContextSetter.
+func (l *Limit) SetContext(ctx context.Context) { l.ctx = ctx }
 
 // Open implements Operator.
 func (l *Limit) Open() error {
@@ -262,6 +289,9 @@ func (l *Limit) Open() error {
 
 // Next implements Operator.
 func (l *Limit) Next() (*vector.Batch, error) {
+	if err := ctxErr(l.ctx); err != nil {
+		return nil, err
+	}
 	if l.seen >= l.n {
 		return nil, nil
 	}

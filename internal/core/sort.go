@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"vectorwise/internal/vector"
@@ -28,6 +29,7 @@ type Sort struct {
 	perm   []int
 	built  bool
 	outPos int
+	ctx    context.Context
 }
 
 // NewSort builds the operator.
@@ -37,6 +39,9 @@ func NewSort(child Operator, keys []SortKey) *Sort {
 
 // Schema implements Operator.
 func (s *Sort) Schema() *vtypes.Schema { return s.child.Schema() }
+
+// SetContext implements ContextSetter.
+func (s *Sort) SetContext(ctx context.Context) { s.ctx = ctx }
 
 // Open implements Operator.
 func (s *Sort) Open() error { return s.child.Open() }
@@ -54,6 +59,10 @@ func (s *Sort) consume() error {
 		s.keysC[i] = &keyCol{kind: k.Expr.Kind()}
 	}
 	for {
+		// Cancellation point while materializing the input.
+		if err := ctxErr(s.ctx); err != nil {
+			return err
+		}
 		b, err := s.child.Next()
 		if err != nil {
 			return err
@@ -160,6 +169,9 @@ func (k *keyCol) compare(a, b int) int {
 
 // Next implements Operator.
 func (s *Sort) Next() (*vector.Batch, error) {
+	if err := ctxErr(s.ctx); err != nil {
+		return nil, err
+	}
 	if !s.built {
 		if err := s.consume(); err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -23,6 +24,7 @@ type XchgUnion struct {
 	opened   bool
 	firstErr error
 	done     int
+	ctx      context.Context
 }
 
 // NewXchgUnion merges the outputs of the children, which must share a
@@ -37,10 +39,21 @@ func NewXchgUnion(children []Operator) (*XchgUnion, error) {
 // Schema implements Operator.
 func (x *XchgUnion) Schema() *vtypes.Schema { return x.schema }
 
+// SetContext implements ContextSetter. The context reaches the workers
+// two ways: their own per-batch check below (covering subtrees built
+// without contexts of their own) and the select on the ownership-
+// transfer send, which unblocks a producer whose consumer stopped
+// pulling after cancellation.
+func (x *XchgUnion) SetContext(ctx context.Context) { x.ctx = ctx }
+
 // Open implements Operator: launches one producer goroutine per child.
 func (x *XchgUnion) Open() error {
 	x.ch = make(chan *vector.Batch, len(x.children)*2)
 	x.errCh = make(chan error, len(x.children))
+	var done <-chan struct{} // nil channel: never ready
+	if x.ctx != nil {
+		done = x.ctx.Done()
+	}
 	for _, c := range x.children {
 		c := c
 		x.wg.Add(1)
@@ -51,6 +64,10 @@ func (x *XchgUnion) Open() error {
 				return
 			}
 			for {
+				if err := ctxErr(x.ctx); err != nil {
+					x.errCh <- err
+					return
+				}
 				b, err := c.Next()
 				if err != nil {
 					x.errCh <- err
@@ -66,7 +83,12 @@ func (x *XchgUnion) Open() error {
 				// Transfer ownership: the producer's batch buffers are
 				// reused on its next Next(), so compact-copy first.
 				owned := copyBatch(b)
-				x.ch <- owned
+				select {
+				case x.ch <- owned:
+				case <-done:
+					x.errCh <- x.ctx.Err()
+					return
+				}
 			}
 		}()
 	}
@@ -97,6 +119,9 @@ func copyBatch(b *vector.Batch) *vector.Batch {
 // Next implements Operator.
 func (x *XchgUnion) Next() (*vector.Batch, error) {
 	for {
+		if err := ctxErr(x.ctx); err != nil {
+			return nil, err
+		}
 		if x.done == len(x.children) {
 			// All producers finished; drain any remaining batches.
 			select {
@@ -106,6 +131,10 @@ func (x *XchgUnion) Next() (*vector.Batch, error) {
 				return nil, x.firstErr
 			}
 		}
+		var done <-chan struct{}
+		if x.ctx != nil {
+			done = x.ctx.Done()
+		}
 		select {
 		case b := <-x.ch:
 			return b, nil
@@ -114,6 +143,8 @@ func (x *XchgUnion) Next() (*vector.Batch, error) {
 			if err != nil && x.firstErr == nil {
 				x.firstErr = err
 			}
+		case <-done:
+			return nil, x.ctx.Err()
 		}
 	}
 }

@@ -9,12 +9,22 @@
 //
 //	POST   /v1/query          {"sql"|"stmt": "...", "params": [...], "explain": ?,
 //	                           "session": "?", "timeout_ms": ?}
+//	POST   /v1/query?stream=1 SELECT only: chunked NDJSON — a columns
+//	                          header line, one {"rows":[...]} line per
+//	                          vector batch, and a final trailer line
+//	                          ({"done":true,...} or {"error":{...}})
 //	POST   /v1/prepare        {"session": "...", "name": "...", "sql": "..."}
 //	DELETE /v1/prepare/{name} ?session=...
 //	POST   /v1/session        → {"id": "...", "created": "..."}
 //	DELETE /v1/session/{id}
 //	GET    /v1/stats          admission + session + plan-cache counters
 //	GET    /v1/healthz
+//
+// SELECTs execute as streaming cursors bound to the request context:
+// when the deadline passes or the client disconnects, the engine stops
+// the statement at the next vector boundary and the admission slot
+// frees immediately — an abandoned request cannot pin capacity for the
+// statement's natural duration.
 //
 // Repeated statements should carry placeholders (`?` / `$N`) and
 // params: the engine's plan cache then serves every request after the
@@ -44,6 +54,7 @@ import (
 	"vectorwise/internal/plancache"
 	"vectorwise/internal/sql"
 	"vectorwise/internal/txn"
+	"vectorwise/internal/vector"
 	"vectorwise/internal/vtypes"
 )
 
@@ -238,16 +249,27 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: msg}})
 }
 
+// engineErrorBody maps an engine error onto a status and structured
+// body (shared by the JSON response path and the NDJSON trailer path).
+func engineErrorBody(err error) (int, ErrorBody) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The statement was canceled mid-flight by the request deadline
+		// or a client disconnect.
+		return http.StatusGatewayTimeout, ErrorBody{Code: "timeout", Message: "statement canceled: " + err.Error()}
+	case errors.Is(err, txn.ErrConflict):
+		return http.StatusConflict, ErrorBody{Code: "conflict", Message: err.Error()}
+	case errors.Is(err, catalog.ErrUnknownTable):
+		return http.StatusNotFound, ErrorBody{Code: "not_found", Message: err.Error()}
+	default:
+		return http.StatusInternalServerError, ErrorBody{Code: "internal", Message: err.Error()}
+	}
+}
+
 // writeEngineError maps an engine error onto a structured response.
 func writeEngineError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, txn.ErrConflict):
-		writeError(w, http.StatusConflict, "conflict", err.Error())
-	case errors.Is(err, catalog.ErrUnknownTable):
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
-	default:
-		writeError(w, http.StatusInternalServerError, "internal", err.Error())
-	}
+	status, body := engineErrorBody(err)
+	writeJSON(w, status, ErrorResponse{Error: body})
 }
 
 // maxBodyBytes bounds /v1/query request bodies.
@@ -379,6 +401,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "explain supports SELECT only")
 		return
 	}
+	stream := r.URL.Query().Get("stream") == "1"
+	if stream && (!isSelect || req.Explain) {
+		writeError(w, http.StatusBadRequest, "bad_request", "stream=1 supports SELECT only")
+		return
+	}
 	params, err := convertParams(req.Params)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
@@ -411,11 +438,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Execute on a worker goroutine so the handler can honor the
-	// deadline. The engine is not yet cancellable mid-statement, so on
-	// timeout the worker keeps its admission slot until the statement
-	// finishes — the cap stays truthful about engine load.
 	start := time.Now()
+
+	// Streaming runs on the handler goroutine: the cursor pulls batches
+	// directly onto the wire, and the request context cancels the
+	// statement between batches if the client goes away.
+	if stream {
+		s.streamQuery(w, ctx, stmt, req.SQL, params, start)
+		return
+	}
+
+	// Execute on a worker goroutine so the handler can honor the
+	// deadline even for statements that outlive it. SELECTs run as
+	// context-bound cursors, so on timeout/disconnect the engine stops
+	// at the next vector boundary and the worker releases its admission
+	// slot almost immediately. DDL/DML commits are not interruptible
+	// mid-statement; only there can the slot outlive the response, and
+	// the cap stays truthful about engine load either way.
 	type outcome struct {
 		resp QueryResponse
 		err  error
@@ -446,19 +485,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if isSelect {
-				var res *vectorwise.Result
-				var err error
-				if stmt != nil {
-					res, err = stmt.Query(params...)
-				} else {
-					res, err = s.db.QueryArgs(req.SQL, params...)
-				}
+				rows, err := s.openRows(ctx, stmt, req.SQL, params)
 				if err != nil {
 					o.err = err
 					return
 				}
-				o.resp.Columns = res.Columns
-				o.resp.Rows = encodeRows(res.Rows)
+				cols := rows.Columns()
+				enc, err := collectEncoded(rows)
+				if err != nil {
+					o.err = err
+					return
+				}
+				o.resp.Columns = cols
+				o.resp.Rows = enc
 			} else {
 				var n int64
 				var err error
@@ -491,14 +530,125 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// encodeRows boxes result rows for JSON: NULL → null, BIGINT → number,
-// DOUBLE → number, VARCHAR → string, BOOLEAN → bool, DATE → "YYYY-MM-DD".
-func encodeRows(rows []vtypes.Row) [][]any {
-	out := make([][]any, len(rows))
-	for i, row := range rows {
-		enc := make([]any, len(row))
-		for j, v := range row {
-			enc[j] = encodeValue(v)
+// openRows opens a streaming cursor for a SELECT, via the session's
+// prepared statement when one was named or the raw SQL text otherwise.
+func (s *Server) openRows(ctx context.Context, stmt *vectorwise.Stmt, sqlText string, params []any) (*vectorwise.Rows, error) {
+	if stmt != nil {
+		return stmt.QueryContext(ctx, params...)
+	}
+	return s.db.QueryContext(ctx, sqlText, params...)
+}
+
+// collectEncoded drains a cursor into JSON-ready rows, encoding
+// straight from the engine's batches (no intermediate boxed rows).
+func collectEncoded(rows *vectorwise.Rows) ([][]any, error) {
+	defer rows.Close()
+	var out [][]any
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, encodeBatch(b)...)
+	}
+}
+
+// StreamHeader is the first NDJSON line of a streamed query response.
+type StreamHeader struct {
+	Columns []string `json:"columns"`
+}
+
+// StreamBatch is one NDJSON line per vector batch of a streamed query.
+type StreamBatch struct {
+	Rows [][]any `json:"rows"`
+}
+
+// StreamTrailer is the final NDJSON line of a successful stream.
+type StreamTrailer struct {
+	Done      bool    `json:"done"`
+	RowsTotal int64   `json:"rows_total"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// streamQuery streams a SELECT as chunked NDJSON: a StreamHeader line,
+// one StreamBatch line per engine vector batch (flushed as produced),
+// then a StreamTrailer — or an ErrorResponse line if the statement
+// fails mid-stream (including cancellation). The caller has acquired an
+// admission slot; streamQuery holds it for the life of the cursor
+// (streaming is engine load: the cursor pins the DB read lock) and
+// releases it on return.
+//
+// Every connection write carries a deadline of QueryTimeout: a client
+// that stops reading its socket (without closing it) would otherwise
+// block the handler inside the write forever — the request context is
+// only checked between batches, not during a stalled conn write — and
+// with it pin the DB read lock and the admission slot indefinitely.
+// With the deadline, a stalled write fails, the cursor closes and the
+// slot frees.
+func (s *Server) streamQuery(w http.ResponseWriter, ctx context.Context, stmt *vectorwise.Stmt, sqlText string, params []any, start time.Time) {
+	defer s.adm.release()
+	rows, err := s.openRows(ctx, stmt, sqlText, params)
+	if err != nil {
+		// Nothing sent yet: a plain HTTP error is still possible.
+		writeEngineError(w, err)
+		return
+	}
+	defer rows.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	writeLine := func(v any) error {
+		// Best-effort deadline: unsupported writers fall back to the
+		// unbounded write rather than failing the stream.
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.QueryTimeout))
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		return rc.Flush()
+	}
+	if err := writeLine(StreamHeader{Columns: rows.Columns()}); err != nil {
+		return
+	}
+	var total int64
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			// Too late for an HTTP status; the error travels as the
+			// trailer line and the missing "done" marks truncation.
+			_, body := engineErrorBody(err)
+			_ = writeLine(ErrorResponse{Error: body})
+			return
+		}
+		if b == nil {
+			break
+		}
+		if err := writeLine(StreamBatch{Rows: encodeBatch(b)}); err != nil {
+			// Conn dead or stalled past the deadline: stop pulling.
+			return
+		}
+		total += int64(b.N)
+	}
+	_ = writeLine(StreamTrailer{
+		Done:      true,
+		RowsTotal: total,
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// encodeBatch encodes one engine vector batch for JSON: NULL → null,
+// BIGINT → number, DOUBLE → number, VARCHAR → string, BOOLEAN → bool,
+// DATE → "YYYY-MM-DD".
+func encodeBatch(b *vector.Batch) [][]any {
+	out := make([][]any, b.N)
+	for i := 0; i < b.N; i++ {
+		ix := b.LiveIndex(i)
+		enc := make([]any, len(b.Vecs))
+		for j, v := range b.Vecs {
+			enc[j] = encodeValue(v.Get(ix))
 		}
 		out[i] = enc
 	}

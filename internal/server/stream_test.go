@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	vectorwise "vectorwise"
+)
+
+// newBigTestServer builds a Server over a DB with a bulk-loaded table
+// of n rows — big enough that a full scan/sort outlives short request
+// timeouts.
+func newBigTestServer(t *testing.T, cfg Config, n int) (*Server, *httptest.Server) {
+	t.Helper()
+	db := vectorwise.OpenMemory()
+	if _, err := db.Exec(`CREATE TABLE big (k BIGINT, v DOUBLE, tag VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	tags := []string{"x", "y", "z", "w"}
+	ks := make([]int64, n)
+	vs := make([]float64, n)
+	ts := make([]string, n)
+	for i := 0; i < n; i++ {
+		ks[i] = int64(i)
+		vs[i] = float64((i * 7919) % 10007)
+		ts[i] = tags[i%len(tags)]
+	}
+	if _, err := db.LoadBatch("big", []any{ks, vs, ts}, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, cfg)
+	ts2 := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts2.Close(); s.Close() })
+	return s, ts2
+}
+
+// postStream issues a streaming query and returns the raw NDJSON lines.
+func postStream(t *testing.T, ts *httptest.Server, req QueryRequest) (int, []json.RawMessage) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/query?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []json.RawMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		lines = append(lines, json.RawMessage(append([]byte(nil), sc.Bytes()...)))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	return resp.StatusCode, lines
+}
+
+// TestStreamEndpoint: ?stream=1 produces a header line, batch lines and
+// a done trailer whose rows match the buffered JSON path exactly.
+func TestStreamEndpoint(t *testing.T) {
+	_, ts := newBigTestServer(t, Config{}, 5000)
+	const q = `SELECT k, v, tag FROM big WHERE k < 3000 ORDER BY k`
+
+	var buffered QueryResponse
+	if code := postQuery(t, ts, QueryRequest{SQL: q}, &buffered); code != http.StatusOK {
+		t.Fatalf("buffered status %d", code)
+	}
+
+	code, lines := postStream(t, ts, QueryRequest{SQL: q})
+	if code != http.StatusOK {
+		t.Fatalf("stream status %d", code)
+	}
+	if len(lines) < 3 {
+		t.Fatalf("stream produced %d lines, want header+batches+trailer", len(lines))
+	}
+	var hdr StreamHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if len(hdr.Columns) != 3 || hdr.Columns[0] != "k" {
+		t.Fatalf("header columns %v", hdr.Columns)
+	}
+	var trailer StreamTrailer
+	if err := json.Unmarshal(lines[len(lines)-1], &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if !trailer.Done || trailer.RowsTotal != 3000 {
+		t.Fatalf("trailer %+v", trailer)
+	}
+	var streamed [][]any
+	for _, ln := range lines[1 : len(lines)-1] {
+		var batch StreamBatch
+		if err := json.Unmarshal(ln, &batch); err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, batch.Rows...)
+	}
+	if len(streamed) != len(buffered.Rows) {
+		t.Fatalf("streamed %d rows, buffered %d", len(streamed), len(buffered.Rows))
+	}
+	for i := range streamed {
+		if fmt.Sprint(streamed[i]) != fmt.Sprint(buffered.Rows[i]) {
+			t.Fatalf("row %d differs: stream %v vs buffered %v", i, streamed[i], buffered.Rows[i])
+		}
+	}
+	// Multiple batch lines prove the response was chunked per vector.
+	if len(lines)-2 < 2 {
+		t.Fatalf("expected ≥2 batch lines for 3000 rows, got %d", len(lines)-2)
+	}
+}
+
+// TestStreamRejectsNonSelect: DML and explain cannot stream.
+func TestStreamRejectsNonSelect(t *testing.T) {
+	_, ts := newBigTestServer(t, Config{}, 10)
+	code, _ := postStream(t, ts, QueryRequest{SQL: `INSERT INTO big VALUES (1, 1.0, 'q')`})
+	if code != http.StatusBadRequest {
+		t.Fatalf("DML stream: status %d, want 400", code)
+	}
+	code, _ = postStream(t, ts, QueryRequest{SQL: `SELECT k FROM big`, Explain: true})
+	if code != http.StatusBadRequest {
+		t.Fatalf("explain stream: status %d, want 400", code)
+	}
+}
+
+// TestStreamTimeoutMidFlight: a streaming SELECT that exceeds its
+// deadline ends with an error line (code timeout) instead of a done
+// trailer, and the admission slot frees promptly.
+func TestStreamTimeoutMidFlight(t *testing.T) {
+	s, ts := newBigTestServer(t, Config{MaxConcurrent: 1}, 1_500_000)
+	code, lines := postStream(t, ts, QueryRequest{
+		SQL:       `SELECT k, v, tag FROM big ORDER BY tag, v`,
+		TimeoutMs: 150,
+	})
+	// Headers were sent before the deadline hit, so the status is 200;
+	// the failure travels in-band.
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	var errLine ErrorResponse
+	if err := json.Unmarshal(lines[len(lines)-1], &errLine); err != nil || errLine.Error.Code == "" {
+		t.Fatalf("last line is not an error: %s", lines[len(lines)-1])
+	}
+	if errLine.Error.Code != "timeout" {
+		t.Fatalf("error code %q, want timeout", errLine.Error.Code)
+	}
+	waitForIdleAdmission(t, s, 5*time.Second)
+}
+
+// TestTimeoutFreesAdmissionSlot is the abandoned-worker regression
+// test: before streaming cursors, a timed-out statement kept its
+// admission slot until it finished on its own; now the request context
+// cancels the statement, so capacity must recover almost immediately
+// and a follow-up query must get the slot.
+func TestTimeoutFreesAdmissionSlot(t *testing.T) {
+	s, ts := newBigTestServer(t, Config{MaxConcurrent: 1, MaxQueue: -1}, 1_500_000)
+
+	var got ErrorResponse
+	code := postQuery(t, ts, QueryRequest{
+		SQL:       `SELECT k, v, tag FROM big ORDER BY tag, v`,
+		TimeoutMs: 150,
+	}, &got)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow query status %d, want 504", code)
+	}
+
+	// The canceled statement must hand back its slot well before the
+	// sort would have finished naturally (tens of seconds for 1.5M rows
+	// under -race).
+	waitForIdleAdmission(t, s, 5*time.Second)
+
+	// And the capacity is genuinely reusable: with MaxConcurrent=1 and
+	// no waiting room, this 429s if the slot leaked.
+	var ok QueryResponse
+	code = postQuery(t, ts, QueryRequest{SQL: `SELECT COUNT(*) n FROM big WHERE k < 100`}, &ok)
+	if code != http.StatusOK {
+		t.Fatalf("follow-up query status %d, want 200 (slot leaked?)", code)
+	}
+	if len(ok.Rows) != 1 {
+		t.Fatalf("follow-up rows %v", ok.Rows)
+	}
+}
+
+// TestStreamStalledClientFreesSlot: a client that stops reading its
+// socket (without closing it) must not pin the admission slot and the
+// DB read lock forever — the per-write deadline (QueryTimeout) fails
+// the stalled write, closing the cursor. The request context never
+// fires here (the conn stays open), so only the write deadline saves
+// the slot.
+func TestStreamStalledClientFreesSlot(t *testing.T) {
+	s, ts := newBigTestServer(t, Config{MaxConcurrent: 1, MaxQueue: -1, QueryTimeout: time.Second}, 400_000)
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body := `{"sql":"SELECT k, v, tag FROM big"}`
+	fmt.Fprintf(conn, "POST /v1/query?stream=1 HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		len(body), body)
+	// Read just the response head, then stall: never read again, never
+	// close. The server's writes back up once the socket buffers fill.
+	buf := make([]byte, 1024)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within QueryTimeout (+margin) the blocked write must fail and the
+	// slot must free; without write deadlines this hangs until TCP
+	// keepalive gives up (minutes+).
+	waitForIdleAdmission(t, s, 10*time.Second)
+
+	// The engine is usable again (slot and read lock both released).
+	var ok QueryResponse
+	if code := postQuery(t, ts, QueryRequest{SQL: `SELECT COUNT(*) n FROM big WHERE k < 10`}, &ok); code != http.StatusOK {
+		t.Fatalf("follow-up status %d", code)
+	}
+}
+
+// waitForIdleAdmission polls the admission snapshot until no statement
+// holds a slot.
+func waitForIdleAdmission(t *testing.T, s *Server, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		st := s.adm.snapshot()
+		if st.InFlight == 0 && st.Waiting == 0 {
+			return
+		}
+		if time.Now().After(end) {
+			t.Fatalf("admission never drained: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -23,7 +23,7 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	const (
 		clients  = 40
 		opsEach  = 15
-		seedRows = 64
+		seedRows = 4096 // big enough that concurrent SELECTs overlap
 		cap      = 4
 	)
 
@@ -31,15 +31,13 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	if _, err := db.Exec(`CREATE TABLE acct (id BIGINT, bal DOUBLE)`); err != nil {
 		t.Fatal(err)
 	}
-	var seed bytes.Buffer
-	seed.WriteString(`INSERT INTO acct VALUES `)
-	for i := 0; i < seedRows; i++ {
-		if i > 0 {
-			seed.WriteString(", ")
-		}
-		fmt.Fprintf(&seed, "(%d, 100.0)", i)
+	ids := make([]int64, seedRows)
+	bals := make([]float64, seedRows)
+	for i := range ids {
+		ids[i] = int64(i)
+		bals[i] = 100.0
 	}
-	if _, err := db.Exec(seed.String()); err != nil {
+	if _, err := db.LoadBatch("acct", []any{ids, bals}, nil); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,11 +1,13 @@
 package tpchdb
 
 import (
+	"context"
 	"testing"
 
 	vectorwise "vectorwise"
 	"vectorwise/internal/testutil"
 	"vectorwise/internal/tpch"
+	"vectorwise/internal/vtypes"
 )
 
 // The DB-level differential: a database populated purely through the
@@ -36,12 +38,42 @@ func TestSQLSuiteThroughDB(t *testing.T) {
 				}
 				testutil.MatchRows(t, sq.Name, handRows, res.Rows)
 			}
+			// The streaming cursor is the same execution path Query
+			// collects from — pin it row-identical too.
+			cursorRows, err := collectViaCursor(db, sq.SQL)
+			if err != nil {
+				t.Fatalf("%s cursor par=%d: %v", sq.Name, par, err)
+			}
+			testutil.MatchRows(t, sq.Name+" (cursor)", handRows, cursorRows)
 		}
 	}
 	// The front end was actually amortized: repeated statements hit the
 	// plan cache.
 	if s := db.PlanCacheStats(); s.Hits == 0 {
 		t.Fatalf("plan cache never hit: %+v", s)
+	}
+}
+
+// collectViaCursor drains a QueryContext cursor batch-at-a-time into
+// boxed rows for comparison.
+func collectViaCursor(db *vectorwise.DB, sql string) ([]vtypes.Row, error) {
+	rows, err := db.QueryContext(context.Background(), sql)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []vtypes.Row
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		for i := 0; i < b.N; i++ {
+			out = append(out, b.Row(i))
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 package xcompile
 
 import (
+	"context"
 	"fmt"
 
 	"vectorwise/internal/algebra"
@@ -25,6 +26,13 @@ type Options struct {
 	// Prune enables min/max row-group pruning built from plan
 	// predicates (set by the optimizer; may be nil).
 	Prune map[*algebra.ScanNode]storage.PruneFn
+	// Ctx is the statement's cancellation context. It is installed on
+	// every operator the compiler builds, so once the context is done,
+	// Next returns the context error at the next vector boundary —
+	// scans, joins, aggregates and exchange workers all stop mid-
+	// statement instead of running to completion. Nil disables the
+	// checks (hand-built experiment plans pay nothing).
+	Ctx context.Context
 }
 
 // Compile translates a plan into a vectorized operator tree.
@@ -38,7 +46,21 @@ type compiler struct {
 	opts Options
 }
 
+// node compiles one plan node and installs the statement context on the
+// resulting operator (children were installed on their own recursive
+// calls, so the whole tree ends up cancellation-aware).
 func (c *compiler) node(n algebra.Node) (core.Operator, error) {
+	op, err := c.nodeInner(n)
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.Ctx != nil {
+		core.SetTreeContext(op, c.opts.Ctx)
+	}
+	return op, nil
+}
+
+func (c *compiler) nodeInner(n algebra.Node) (core.Operator, error) {
 	switch t := n.(type) {
 	case *algebra.ScanNode:
 		tbl, layers, err := c.cat.Resolve(t.Table)

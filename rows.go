@@ -1,0 +1,324 @@
+package vectorwise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"vectorwise/internal/algebra"
+	"vectorwise/internal/core"
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+	"vectorwise/internal/xcompile"
+)
+
+// ErrRowsClosed is returned by Rows methods called after Close.
+var ErrRowsClosed = errors.New("vectorwise: Rows is closed")
+
+// Rows is a streaming result cursor: the pull-based vectorized pipeline
+// exposed directly, instead of drained into a boxed []vtypes.Row. A Rows
+// executes lazily — each NextBatch (or the Next/Scan pair) pulls one
+// ~1K-row vector.Batch through the operator tree, so a consumer that
+// stops early never pays for rows it did not read, and a result of any
+// size streams in O(vector) memory.
+//
+// # Lock tenure
+//
+// An open Rows holds the DB's shared read lock from QueryContext until
+// Close. Concurrent SELECTs from other goroutines proceed freely, but
+// DDL/DML (the exclusive write lock) blocks until every open cursor
+// closes — so close cursors promptly, and never start ANY new
+// statement from the goroutine holding an open Rows, reads included:
+// Exec deadlocks outright (the RWMutex is not reentrant), and a new
+// Query/QueryContext deadlocks as soon as any writer is queued, because
+// a waiting writer blocks new readers while the open cursor blocks the
+// writer. Next returning false and NextBatch returning (nil, nil)
+// auto-close the cursor, so a fully drained Rows releases the lock
+// without an explicit Close; calling Close anyway is cheap and always
+// correct (it is idempotent). Close on a partially consumed cursor
+// aborts the statement (operators observe an internal cancel), so
+// stopping early never executes the rest of the query.
+//
+// # Cancellation
+//
+// The context passed to QueryContext is checked between batches by every
+// operator in the compiled tree, including exchange workers. Once it is
+// done, the in-flight statement — scan, join build, aggregation,
+// sort — stops at the next vector boundary and the cursor's error is the
+// context's error. The cursor auto-closes, releasing the read lock.
+//
+// Rows is not safe for concurrent use by multiple goroutines.
+type Rows struct {
+	db *DB
+	op core.Operator
+	// cancel aborts the statement's internal context on Close, so a
+	// cursor abandoned mid-result stops its operators (including
+	// exchange producers) at the next vector boundary instead of
+	// letting them run the statement to completion during Close.
+	cancel context.CancelFunc
+
+	cols   []string
+	schema *vtypes.Schema
+
+	batch  *vector.Batch // current batch (operator-owned, valid until next pull)
+	pos    int           // next unread live row in batch
+	cur    int           // physical index of the current row (after Next)
+	hasRow bool
+	err    error
+	closed bool
+}
+
+// openRowsLocked compiles and opens a bound plan into a cursor. The
+// caller holds db.mu.RLock; on success the returned Rows owns that lock
+// and releases it in Close. On error the caller still owns the lock.
+func (db *DB) openRowsLocked(ctx context.Context, plan algebra.Node) (*Rows, error) {
+	// The statement runs under a child context so Close can abort it:
+	// the caller's ctx cancels it from outside, Close from inside.
+	ctx, cancel := context.WithCancel(ctx)
+	op, err := xcompile.Compile(plan, db.cat, xcompile.Options{Fetch: db.buf, Ctx: ctx})
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		op.Close()
+		cancel()
+		return nil, err
+	}
+	schema := plan.Schema()
+	cols := make([]string, schema.Len())
+	for i := range cols {
+		cols[i] = schema.Col(i).Name
+	}
+	return &Rows{db: db, op: op, cancel: cancel, cols: cols, schema: schema}, nil
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string {
+	return append([]string(nil), r.cols...)
+}
+
+// Schema returns the output schema (names and kinds) — what columnar
+// consumers need to interpret NextBatch vectors.
+func (r *Rows) Schema() *vtypes.Schema { return r.schema }
+
+// NextBatch returns the next vector batch, or (nil, nil) at end of
+// stream (at which point the cursor has auto-closed). The batch is owned
+// by the engine and valid only until the next NextBatch/Next/Close on
+// this cursor; consumers that retain data across calls must copy it.
+// This is the zero-boxing path: batch vectors are the engine's own
+// typed arrays (often zero-copy views of decompressed storage chunks).
+func (r *Rows) NextBatch() (*vector.Batch, error) {
+	if r.closed {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, ErrRowsClosed
+	}
+	r.hasRow = false
+	for {
+		b, err := r.op.Next()
+		if err != nil {
+			r.err = err
+			r.close()
+			return nil, err
+		}
+		if b == nil {
+			r.close()
+			return nil, nil
+		}
+		if b.N == 0 {
+			continue
+		}
+		r.batch = b
+		r.pos = b.N // row-at-a-time state: mark consumed for Next()
+		return b, nil
+	}
+}
+
+// Next advances to the next row, reporting whether one is available.
+// It returns false at end of stream or on error (check Err); in both
+// cases the cursor has auto-closed and the read lock is released.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	for r.batch == nil || r.pos >= r.batch.N {
+		b, err := r.op.Next()
+		if err != nil {
+			r.err = err
+			r.close()
+			return false
+		}
+		if b == nil {
+			r.close()
+			return false
+		}
+		if b.N == 0 {
+			continue
+		}
+		r.batch, r.pos = b, 0
+	}
+	r.cur = r.batch.LiveIndex(r.pos)
+	r.pos++
+	r.hasRow = true
+	return true
+}
+
+// Scan copies the current row (positioned by Next) into dest, one
+// pointer per output column: *int64, *int, *float64, *string, *bool,
+// *time.Time (DATE), *vtypes.Value, or *any. Destination kinds are
+// checked: BIGINT widens into *float64 and DATE formats into *string
+// ("YYYY-MM-DD"), but any other mismatch errors rather than coercing.
+// A NULL scans as nil into *any, as a null Value into *vtypes.Value,
+// and errors for the typed pointers.
+func (r *Rows) Scan(dest ...any) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.closed {
+		return ErrRowsClosed
+	}
+	if !r.hasRow {
+		return errors.New("vectorwise: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cols) {
+		return fmt.Errorf("vectorwise: Scan expects %d destinations, got %d", len(r.cols), len(dest))
+	}
+	for c, d := range dest {
+		if err := scanValue(r.batch.Vecs[c], r.cur, d); err != nil {
+			return fmt.Errorf("vectorwise: Scan column %q: %w", r.cols[c], err)
+		}
+	}
+	return nil
+}
+
+// scanValue assigns vector position ix to the destination pointer.
+func scanValue(v *vector.Vector, ix int, dest any) error {
+	isNull := v.Nulls != nil && v.Nulls[ix]
+	switch d := dest.(type) {
+	case *any:
+		if isNull {
+			*d = nil
+			return nil
+		}
+		switch v.Kind {
+		case vtypes.KindDate:
+			y, m, day := vtypes.CivilFromDays(v.I64[ix])
+			*d = time.Date(y, time.Month(m), day, 0, 0, 0, 0, time.UTC)
+		default:
+			switch v.Kind.StorageClass() {
+			case vtypes.ClassI64:
+				*d = v.I64[ix]
+			case vtypes.ClassF64:
+				*d = v.F64[ix]
+			case vtypes.ClassStr:
+				*d = v.Str[ix]
+			case vtypes.ClassBool:
+				*d = v.B[ix]
+			}
+		}
+		return nil
+	case *vtypes.Value:
+		*d = v.Get(ix)
+		return nil
+	}
+	if isNull {
+		return errors.New("NULL value; use *any or *vtypes.Value")
+	}
+	// DATE shares BIGINT's storage class but is its own logical type:
+	// it scans as *time.Time, *string ("YYYY-MM-DD") or *any, never as
+	// a bare day count through the numeric destinations.
+	isDate := v.Kind == vtypes.KindDate
+	switch d := dest.(type) {
+	case *int64:
+		if v.Kind.StorageClass() != vtypes.ClassI64 || isDate {
+			return fmt.Errorf("cannot scan %v into *int64", v.Kind)
+		}
+		*d = v.I64[ix]
+	case *int:
+		if v.Kind.StorageClass() != vtypes.ClassI64 || isDate {
+			return fmt.Errorf("cannot scan %v into *int", v.Kind)
+		}
+		*d = int(v.I64[ix])
+	case *float64:
+		switch {
+		case v.Kind.StorageClass() == vtypes.ClassF64:
+			*d = v.F64[ix]
+		case v.Kind.StorageClass() == vtypes.ClassI64 && !isDate:
+			*d = float64(v.I64[ix])
+		default:
+			return fmt.Errorf("cannot scan %v into *float64", v.Kind)
+		}
+	case *string:
+		switch {
+		case v.Kind.StorageClass() == vtypes.ClassStr:
+			*d = v.Str[ix]
+		case isDate:
+			*d = vtypes.FormatDate(v.I64[ix])
+		default:
+			return fmt.Errorf("cannot scan %v into *string", v.Kind)
+		}
+	case *bool:
+		if v.Kind.StorageClass() != vtypes.ClassBool {
+			return fmt.Errorf("cannot scan %v into *bool", v.Kind)
+		}
+		*d = v.B[ix]
+	case *time.Time:
+		if v.Kind != vtypes.KindDate {
+			return fmt.Errorf("cannot scan %v into *time.Time", v.Kind)
+		}
+		y, m, day := vtypes.CivilFromDays(v.I64[ix])
+		*d = time.Date(y, time.Month(m), day, 0, 0, 0, 0, time.UTC)
+	default:
+		return fmt.Errorf("unsupported Scan destination %T", dest)
+	}
+	return nil
+}
+
+// Err returns the first error encountered while iterating (including
+// the context's error after cancellation). It is valid after Close.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor: it closes the operator tree (joining any
+// exchange workers) and releases the DB read lock. Close is idempotent;
+// only the first call does work. The returned error is the operator
+// tree's close error, not the iteration error (see Err).
+func (r *Rows) Close() error { return r.close() }
+
+func (r *Rows) close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.hasRow = false
+	r.batch = nil
+	// Abort the statement before closing the tree: a partially
+	// consumed parallel plan has live exchange producers, and without
+	// the cancel they would run the rest of the statement while Close
+	// drains them.
+	r.cancel()
+	err := r.op.Close()
+	r.db.mu.RUnlock()
+	return err
+}
+
+// collect drains the cursor into a boxed Result — the compatibility
+// bridge DB.Query sits on. It always closes the cursor.
+func (r *Rows) collect() (*Result, error) {
+	defer r.close()
+	res := &Result{Columns: r.Columns()}
+	for {
+		b, err := r.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return res, nil
+		}
+		for i := 0; i < b.N; i++ {
+			res.Rows = append(res.Rows, b.Row(i))
+		}
+	}
+}
