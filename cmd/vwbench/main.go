@@ -72,13 +72,13 @@ func main() {
 		expT1(cat, *sf)
 	}
 	if want("c1") {
-		expC1(cat)
+		expC1(cat, db.BufferManager())
 	}
 	if want("c2") {
-		expC2(cat)
+		expC2(cat, db.BufferManager())
 	}
 	if want("f1") {
-		expF1(cat)
+		expF1(cat, db.BufferManager())
 	}
 	if want("t2") {
 		expT2()
@@ -130,11 +130,11 @@ func expT1(cat *catalog.Catalog, sf float64) {
 }
 
 // expC1 — per-query speedups vectorized vs tuple (">10×" claim).
-func expC1(cat *catalog.Catalog) {
+func expC1(cat *catalog.Catalog, fetch storage.ChunkFetcher) {
 	fmt.Println("== C1: vectorized vs tuple-at-a-time (raw processing power) ==")
 	fmt.Printf("%-6s %12s %12s %9s\n", "query", "vectorized", "tuple", "speedup")
 	for _, q := range tpch.Suite() {
-		_, dv, err := tpch.RunQuery(cat, q, tpch.RunOptions{Engine: tpch.EngineVectorized})
+		_, dv, err := tpch.RunQuery(cat, q, tpch.RunOptions{Engine: tpch.EngineVectorized, Fetch: fetch})
 		if err != nil {
 			fatal(err)
 		}
@@ -149,11 +149,11 @@ func expC1(cat *catalog.Catalog) {
 }
 
 // expC2 — vectorized vs full materialization, with intermediate volume.
-func expC2(cat *catalog.Catalog) {
+func expC2(cat *catalog.Catalog, fetch storage.ChunkFetcher) {
 	fmt.Println("== C2: vectorized vs column-at-a-time materialization ==")
 	fmt.Printf("%-6s %12s %12s %9s %14s\n", "query", "vectorized", "materialized", "speedup", "interm-bytes")
 	for _, q := range tpch.Suite() {
-		_, dv, err := tpch.RunQuery(cat, q, tpch.RunOptions{Engine: tpch.EngineVectorized})
+		_, dv, err := tpch.RunQuery(cat, q, tpch.RunOptions{Engine: tpch.EngineVectorized, Fetch: fetch})
 		if err != nil {
 			fatal(err)
 		}
@@ -170,14 +170,14 @@ func expC2(cat *catalog.Catalog) {
 }
 
 // expF1 — the classic vector-size U-curve on Q1.
-func expF1(cat *catalog.Catalog) {
+func expF1(cat *catalog.Catalog, fetch storage.ChunkFetcher) {
 	fmt.Println("== F1: runtime vs vector size (Q1) ==")
 	fmt.Printf("%-10s %12s\n", "vecsize", "runtime")
 	q := findQuery("Q1")
 	for _, size := range []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144} {
 		best := time.Duration(1 << 62)
 		for rep := 0; rep < 3; rep++ {
-			_, d, err := tpch.RunQuery(cat, q, tpch.RunOptions{Engine: tpch.EngineVectorized, VecSize: size})
+			_, d, err := tpch.RunQuery(cat, q, tpch.RunOptions{Engine: tpch.EngineVectorized, VecSize: size, Fetch: fetch})
 			if err != nil {
 				fatal(err)
 			}

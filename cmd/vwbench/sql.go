@@ -29,6 +29,20 @@ const benchSchemaVersion = 1
 // regressionThreshold is the warm-time growth that triggers a warning.
 const regressionThreshold = 0.25
 
+// prunedFractionSlack is how far a query's pruned row-group fraction
+// may drop below the baseline before the compare warns (data sizes vary
+// a little across scale factors and group-size tweaks).
+const prunedFractionSlack = 0.05
+
+// prunedFraction is the share of visited row groups a query skipped.
+func prunedFraction(r queryResult) float64 {
+	total := r.GroupsPruned + r.GroupsScanned
+	if total == 0 {
+		return 0
+	}
+	return float64(r.GroupsPruned) / float64(total)
+}
+
 // queryResult is one (query, parallelism) measurement.
 type queryResult struct {
 	Query       string `json:"query"`
@@ -54,6 +68,12 @@ type queryResult struct {
 	// execution a hit).
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// GroupsScanned/GroupsPruned count row-group outcomes of one warm
+	// execution: how many groups the scans decompressed vs how many
+	// min/max data skipping refuted from chunk statistics. The baseline
+	// compare warns when a query's pruned fraction drops.
+	GroupsScanned int64 `json:"groups_scanned"`
+	GroupsPruned  int64 `json:"groups_pruned"`
 }
 
 // benchFile is the BENCH_tpch.json artifact.
@@ -88,8 +108,8 @@ func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, basel
 		IngestRows:    load.Rows,
 		IngestNs:      load.Elapsed.Nanoseconds(),
 	}
-	fmt.Printf("%-6s %4s %12s %12s %12s %7s %12s %6s\n",
-		"query", "par", "cold", "warm", "stream", "rows", "boxing-B", "h/m")
+	fmt.Printf("%-6s %4s %12s %12s %12s %7s %12s %6s %7s\n",
+		"query", "par", "cold", "warm", "stream", "rows", "boxing-B", "h/m", "pruned")
 	for _, par := range pars {
 		db.SetParallelism(par)
 		for _, q := range tpch.SQLSuite() {
@@ -141,6 +161,13 @@ func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, basel
 					fatal(err)
 				}
 			})
+			// Row-group outcomes of one warm execution (cumulative DB
+			// counters, so take a delta).
+			scanBefore := db.ScanStats()
+			if _, err := db.Query(q.SQL); err != nil {
+				fatal(fmt.Errorf("sql %s (scan stats): %w", q.Name, err))
+			}
+			scanAfter := db.ScanStats()
 			after := db.PlanCacheStats()
 			r := queryResult{
 				Query:             q.Name,
@@ -153,13 +180,15 @@ func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, basel
 				StreamAllocBytes:  streamAlloc,
 				CacheHits:         after.Hits - before.Hits,
 				CacheMisses:       after.Misses - before.Misses,
+				GroupsScanned:     scanAfter.GroupsScanned - scanBefore.GroupsScanned,
+				GroupsPruned:      scanAfter.GroupsPruned - scanBefore.GroupsPruned,
 			}
 			bf.Results = append(bf.Results, r)
 			boxing := int64(collectAlloc) - int64(streamAlloc)
-			fmt.Printf("%-6s %4d %12v %12v %12v %7d %12d %3d/%d\n", q.Name, par,
+			fmt.Printf("%-6s %4d %12v %12v %12v %7d %12d %3d/%d %5d/%d\n", q.Name, par,
 				cold.Round(time.Microsecond), warm.Round(time.Microsecond),
 				stream.Round(time.Microsecond), r.Rows, boxing,
-				r.CacheHits, r.CacheMisses)
+				r.CacheHits, r.CacheMisses, r.GroupsPruned, r.GroupsPruned+r.GroupsScanned)
 		}
 	}
 	fmt.Println()
@@ -259,6 +288,17 @@ func compareBaseline(cur benchFile, path string) {
 				r.Query, r.Query, r.Parallelism, delta*100,
 				time.Duration(b.WarmNs).Round(time.Microsecond),
 				time.Duration(r.WarmNs).Round(time.Microsecond))
+		}
+		// Data-skipping regression: a query that used to prune row
+		// groups and now prunes a meaningfully smaller fraction lost
+		// its scan-level predicate (or the stats stopped refuting it).
+		basePF, curPF := prunedFraction(b), prunedFraction(r)
+		if basePF > 0 && curPF < basePF-prunedFractionSlack {
+			regressions++
+			fmt.Printf("::warning title=TPC-H %s pruning regression::%s (par %d) pruned fraction %.0f%% → %.0f%% (%d/%d → %d/%d groups)\n",
+				r.Query, r.Query, r.Parallelism, basePF*100, curPF*100,
+				b.GroupsPruned, b.GroupsPruned+b.GroupsScanned,
+				r.GroupsPruned, r.GroupsPruned+r.GroupsScanned)
 		}
 		fmt.Printf("| %s | %d | %v | %v | %+.0f%%%s |\n", r.Query, r.Parallelism,
 			time.Duration(b.WarmNs).Round(time.Microsecond),

@@ -122,6 +122,13 @@ type DB struct {
 	// Mutating the field directly is only safe before the DB is shared
 	// between goroutines; afterwards use [DB.SetParallelism].
 	Parallelism int
+
+	// scanStats accumulates row-group outcomes (scanned vs pruned by
+	// min/max statistics) across all queries; see DB.ScanStats.
+	scanStats storage.ScanStats
+	// noSkip disables data skipping for new statements (see
+	// DB.SetDataSkipping). Guarded by mu like Parallelism.
+	noSkip bool
 }
 
 // Result is a query result set.
@@ -209,6 +216,23 @@ func (db *DB) SetParallelism(n int) {
 	}
 	db.mu.Lock()
 	db.Parallelism = n
+	db.mu.Unlock()
+}
+
+// ScanStats returns the cumulative row-group counters of every query
+// this DB has run: how many groups scans actually decompressed and how
+// many min/max data skipping pruned. The per-query form is
+// [Rows.ScanStats].
+func (db *DB) ScanStats() storage.ScanStatsSnapshot { return db.scanStats.Snapshot() }
+
+// SetDataSkipping enables or disables min/max row-group pruning for
+// subsequent queries (default on). Pushed-down scan filters still
+// evaluate either way — the switch isolates the I/O effect of data
+// skipping for benchmarks and differential tests. Safe to call while
+// other goroutines are querying.
+func (db *DB) SetDataSkipping(on bool) {
+	db.mu.Lock()
+	db.noSkip = !on
 	db.mu.Unlock()
 }
 
@@ -529,6 +553,62 @@ func (db *DB) Explain(sqlText string) (string, error) {
 		return "", fmt.Errorf("vectorwise: Explain requires SELECT")
 	}
 	return algebra.Explain(cs.plan), nil
+}
+
+// ExplainAnalyze executes a SELECT (binding args to placeholders) and
+// returns its optimized plan annotated with runtime scan counters: how
+// many row groups the scans decompressed and how many min/max data
+// skipping pruned without touching. Unlike [DB.Explain] the rendered
+// plan is the bound plan, so parametrized filters show the execution's
+// actual bounds.
+func (db *DB) ExplainAnalyze(sqlText string, args ...any) (string, error) {
+	vals, err := bindArgs(args)
+	if err != nil {
+		return "", err
+	}
+	db.mu.RLock()
+	cs, err := db.getStmtLocked(plancache.Normalize(sqlText))
+	if err != nil {
+		db.mu.RUnlock()
+		return "", err
+	}
+	if cs.kind != stmtSelect {
+		db.mu.RUnlock()
+		return "", fmt.Errorf("vectorwise: ExplainAnalyze requires SELECT")
+	}
+	plan := cs.plan
+	if cs.numParams > 0 {
+		if len(vals) != cs.numParams {
+			db.mu.RUnlock()
+			return "", fmt.Errorf("vectorwise: statement takes %d parameters, got %d", cs.numParams, len(vals))
+		}
+		if plan, err = algebra.BindParams(plan, vals); err != nil {
+			db.mu.RUnlock()
+			return "", err
+		}
+	}
+	rows, err := db.openRowsLocked(context.Background(), plan)
+	if err != nil {
+		db.mu.RUnlock()
+		return "", err
+	}
+	// The cursor owns the read lock now; drain it fully so the
+	// counters cover the whole statement.
+	n := 0
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			rows.Close()
+			return "", err
+		}
+		if b == nil {
+			break
+		}
+		n += b.N
+	}
+	st := rows.ScanStats()
+	return fmt.Sprintf("%sscan: groups_scanned=%d groups_pruned=%d rows=%d\n",
+		algebra.Explain(plan), st.GroupsScanned, st.GroupsPruned, n), nil
 }
 
 // Prepare validates and compiles a statement once, returning a handle

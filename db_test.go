@@ -97,10 +97,12 @@ func TestWherePushdownAndExplain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Both single-table predicates must sit below the join.
+	// Both single-table predicates must push past the join all the way
+	// into their scans' filters (the data-skipping rewrite).
 	joinPos := indexOf(plan, "HashJoin")
-	selPos := indexOf(plan, "Select")
-	if joinPos < 0 || selPos < 0 || selPos < joinPos {
+	aPos := indexOf(plan, "Scan a cols=[0] filters=[(#0 > 1)]")
+	bPos := indexOf(plan, "Scan b cols=[0] filters=[(#0 < 4)]")
+	if joinPos < 0 || aPos < joinPos || bPos < joinPos {
 		t.Fatalf("pushdown missing in plan:\n%s", plan)
 	}
 	res, err := db.Query(`SELECT a.x FROM a JOIN b ON a.x = b.y WHERE a.x > 1 AND b.y < 4 ORDER BY a.x`)

@@ -16,6 +16,7 @@ package algebra
 
 import (
 	"fmt"
+	"strings"
 
 	"vectorwise/internal/vtypes"
 )
@@ -39,6 +40,16 @@ type ScanNode struct {
 	// Partition restricts the scan to row groups [Lo, Hi); Hi == 0
 	// means the whole table. Set by the parallel rewriter.
 	PartLo, PartHi int
+	// Filters are sargable conjuncts pushed into the scan by the
+	// planner (see PushFiltersIntoScans): each is a comparison,
+	// BETWEEN or IN over one output column of this scan against
+	// literals or parameter slots. The execution engine both
+	// evaluates them right after decompression (so downstream
+	// operators see pre-filtered batches) and derives row-group
+	// min/max pruning from them; serial engines evaluate them as an
+	// ordinary selection. ColRef indexes are positions in Cols, i.e.
+	// the scan's output schema.
+	Filters []Scalar
 }
 
 // Schema implements Node.
@@ -119,6 +130,12 @@ type AggNode struct {
 	GroupBy []Scalar
 	Aggs    []AggExpr
 	Names   []string // group names then agg names
+	// Partial marks a per-partition aggregate under a parallel
+	// recombination: with no GroupBy and zero input rows it emits
+	// nothing, instead of the SQL-mandated global row (COUNT()=0,
+	// MIN()=NULL, ...) — otherwise an empty partition would feed a
+	// zero row into the final MIN/MAX. Set by the parallel rewriter.
+	Partial bool
 }
 
 // Schema implements Node.
@@ -236,6 +253,13 @@ func explain(n Node, depth int) string {
 		line = fmt.Sprintf("Scan %s cols=%v", t.Table, t.Cols)
 		if t.PartHi > 0 {
 			line += fmt.Sprintf(" part=[%d,%d)", t.PartLo, t.PartHi)
+		}
+		if len(t.Filters) > 0 {
+			var parts []string
+			for _, f := range t.Filters {
+				parts = append(parts, f.String())
+			}
+			line += " filters=[" + strings.Join(parts, " and ") + "]"
 		}
 	case *SelectNode:
 		line = fmt.Sprintf("Select %s", t.Pred)

@@ -19,9 +19,20 @@ func BindParams(n Node, args []vtypes.Value) (Node, error) {
 func bindNode(n Node, args []vtypes.Value) (Node, error) {
 	switch t := n.(type) {
 	case *ScanNode:
-		// Scans carry no scalars; they are immutable during execution
-		// and safe to share between the template and its bindings.
-		return t, nil
+		// A scan without filters carries no scalars; it is immutable
+		// during execution and safe to share between the template and
+		// its bindings. Pushed filters may hold Param slots, so a
+		// filtered scan clone-binds like any predicate.
+		if len(t.Filters) == 0 {
+			return t, nil
+		}
+		filters, err := bindScalars(t.Filters, args)
+		if err != nil {
+			return nil, err
+		}
+		clone := *t
+		clone.Filters = filters
+		return &clone, nil
 	case *SelectNode:
 		in, err := bindNode(t.Input, args)
 		if err != nil {
@@ -62,7 +73,7 @@ func bindNode(n Node, args []vtypes.Value) (Node, error) {
 				aggs[i].Arg = arg
 			}
 		}
-		return &AggNode{Input: in, GroupBy: groups, Aggs: aggs, Names: t.Names}, nil
+		return &AggNode{Input: in, GroupBy: groups, Aggs: aggs, Names: t.Names, Partial: t.Partial}, nil
 	case *JoinNode:
 		left, err := bindNode(t.Left, args)
 		if err != nil {

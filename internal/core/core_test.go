@@ -562,7 +562,7 @@ func TestParallelPartialAggregate(t *testing.T) {
 func TestScanPruningWithPredicate(t *testing.T) {
 	tbl := buildOrders(t, 1000, 100)
 	pruned := 0
-	prune := func(g *storage.GroupMeta) bool {
+	prune := func(_ int, g *storage.GroupMeta) bool {
 		if g.Cols[0].MaxI64 < 900 {
 			pruned++
 			return true
@@ -578,7 +578,10 @@ func TestScanPruningWithPredicate(t *testing.T) {
 	if len(rows) != 100 || pruned != 9 {
 		t.Fatalf("pruned scan: %d rows, %d groups pruned", len(rows), pruned)
 	}
-	// Pruning must be disabled when PDT layers carry deltas.
+	// With PDT deltas, pruning is restricted to delta-free groups: the
+	// delete at position 0 pins group 0 (its range holds an entry), but
+	// groups 1..8 still skip, and the merge stays positionally correct
+	// across the gap.
 	master := pdt.New(tbl.Schema(), tbl.Rows())
 	_ = master.Delete(0)
 	pruned = 0
@@ -587,8 +590,15 @@ func TestScanPruningWithPredicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pruned != 0 || len(rows2) != 999 {
-		t.Fatal("pruning must be disabled under PDT merge")
+	// Group 0 survives pruning (delta overlap) minus its deleted row;
+	// group 9 survives by statistics.
+	if pruned != 8 || len(rows2) != 199 {
+		t.Fatalf("delta-aware pruning: %d groups pruned, %d rows (want 8, 199)", pruned, len(rows2))
+	}
+	for _, r := range rows2 {
+		if v := r[0].I64; v == 0 || (v >= 100 && v < 900) {
+			t.Fatalf("row %d must not appear (deleted or pruned range)", v)
+		}
 	}
 }
 

@@ -147,7 +147,17 @@ type HashAggregate struct {
 	built  bool
 	outPos int
 	ctx    context.Context
+	// partial marks a per-partition aggregate under a parallel
+	// recombination: ungrouped over zero rows it emits nothing instead
+	// of the implicit global row (which would feed zeros into the
+	// final MIN/MAX).
+	partial bool
+	inRows  int64
 }
+
+// SetPartial marks this aggregate as a parallel partial (see the
+// partial field).
+func (h *HashAggregate) SetPartial(p bool) { h.partial = p }
 
 // NewHashAggregate builds the operator; names labels group columns then
 // aggregate columns.
@@ -191,6 +201,7 @@ func (h *HashAggregate) Open() error {
 	h.numGroups = 0
 	h.built = false
 	h.outPos = 0
+	h.inRows = 0
 	return nil
 }
 
@@ -215,11 +226,15 @@ func (h *HashAggregate) consume() error {
 			return err
 		}
 		if b == nil {
+			if h.partial && len(h.groupBy) == 0 && h.inRows == 0 {
+				h.numGroups = 0 // empty partial: no implicit group
+			}
 			return nil
 		}
 		if b.N == 0 {
 			continue
 		}
+		h.inRows += int64(b.N)
 		if err := h.consumeBatch(b); err != nil {
 			return err
 		}

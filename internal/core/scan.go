@@ -13,11 +13,19 @@ import (
 // table's PDT layers (committed master, then the transaction's private
 // PDT) positionally. With empty PDTs the scan serves zero-copy views of
 // decompressed chunks; with deltas it routes through the merge scan.
+//
+// A Scan may carry a filter predicate (the plan's pushed-down sargable
+// conjuncts): it is evaluated on every batch right after decompression
+// (and after delta merge), so downstream operators see pre-filtered
+// selection vectors, and it is the predicate row-group pruning was
+// derived from.
 type Scan struct {
 	table   *storage.Table
 	cols    []int
 	fetch   storage.ChunkFetcher
 	prune   storage.PruneFn
+	filter  Pred
+	stats   *storage.ScanStats
 	vecSize int
 	// PDT layers, bottom-up; nil/empty layers are skipped.
 	layers []*pdt.PDT
@@ -35,10 +43,19 @@ type Scan struct {
 type ScanOpts struct {
 	// Fetch interposes a buffer manager; nil reads chunks directly.
 	Fetch storage.ChunkFetcher
-	// Prune skips row groups by statistics. Ignored (disabled) when any
-	// PDT layer is non-empty: positional merge needs every group's
-	// positions accounted for.
+	// Prune skips row groups by statistics. With non-empty PDT layers
+	// it still applies, restricted to groups whose global position
+	// range carries no delta entries in any layer — the positional
+	// merge steps over the entry-free gap, so clean cold groups skip
+	// while touched groups merge normally.
 	Prune storage.PruneFn
+	// Filter, when non-nil, is evaluated on every output batch inside
+	// the scan (post-decompression, post-merge); surviving rows are
+	// referenced through the batch's selection vector.
+	Filter Pred
+	// Stats, when non-nil, counts scanned/pruned row groups (shared
+	// across the partition scans of one query).
+	Stats *storage.ScanStats
 	// VecSize overrides vector.DefaultSize.
 	VecSize int
 	// Layers are PDT layers, bottom (committed master) first.
@@ -60,6 +77,8 @@ func NewScan(t *storage.Table, cols []int, opts ScanOpts) *Scan {
 		cols:    append([]int(nil), cols...),
 		fetch:   opts.Fetch,
 		prune:   opts.Prune,
+		filter:  opts.Filter,
+		stats:   opts.Stats,
 		vecSize: opts.VecSize,
 		layers:  opts.Layers,
 		gLo:     opts.GroupLo,
@@ -91,10 +110,30 @@ func (s *Scan) hasDeltas() bool {
 // Open implements Operator.
 func (s *Scan) Open() error {
 	prune := s.prune
-	if s.hasDeltas() {
-		prune = nil // positions must stay dense under a merge
+	if prune != nil && s.hasDeltas() {
+		// Pruning under a positional merge: a group may only be
+		// skipped when its global position range is entry-free in
+		// every PDT layer, so the merge steps over a clean gap and
+		// touched groups keep dense positions. The range is re-expressed
+		// through each layer's image (SID → RID) on the way up.
+		starts := s.groupStarts()
+		inner := prune
+		prune = func(g int, grp *storage.GroupMeta) bool {
+			lo, hi := starts[g], starts[g]+int64(grp.Rows)
+			for _, layer := range s.layers {
+				if layer == nil || layer.Empty() {
+					continue
+				}
+				if layer.HasEntriesIn(lo, hi) {
+					return false
+				}
+				lo, hi = layer.StartRID(lo), layer.StartRID(lo)+(hi-lo)
+			}
+			return inner(g, grp)
+		}
 	}
 	s.sc = storage.NewScanner(s.table, s.cols, s.fetch, prune, s.vecSize)
+	s.sc.SetStats(s.stats)
 	if s.gHi > 0 {
 		s.sc.SetGroupRange(s.gLo, s.gHi)
 	}
@@ -111,11 +150,41 @@ func (s *Scan) Open() error {
 	return nil
 }
 
+// groupStarts returns the global start position of every row group.
+func (s *Scan) groupStarts() []int64 {
+	starts := make([]int64, s.table.Groups())
+	var pos int64
+	for g := range starts {
+		starts[g] = pos
+		pos += int64(s.table.GroupRows(g))
+	}
+	return starts
+}
+
 // Next implements Operator.
 func (s *Scan) Next() (*vector.Batch, error) {
-	if err := ctxErr(s.ctx); err != nil {
-		return nil, err
+	for {
+		if err := ctxErr(s.ctx); err != nil {
+			return nil, err
+		}
+		b, err := s.nextRaw()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if s.filter != nil {
+			if err := s.filter.Filter(b); err != nil {
+				return nil, err
+			}
+			if b.N == 0 {
+				continue
+			}
+		}
+		return b, nil
 	}
+}
+
+// nextRaw pulls the next unfiltered batch from storage (or the merge).
+func (s *Scan) nextRaw() (*vector.Batch, error) {
 	if s.merged != nil {
 		vecs, n, err := s.merged.Next()
 		if err != nil || n == 0 {
@@ -143,14 +212,26 @@ func (s *Scan) Close() error {
 	return nil
 }
 
-// scanSource adapts storage.Scanner to pdt.RowSource.
-type scanSource struct{ sc *storage.Scanner }
+// scanSource adapts storage.Scanner to pdt.PositionedSource, reporting
+// each batch's global start position so the merge can align deltas
+// across pruned row-group gaps.
+type scanSource struct {
+	sc  *storage.Scanner
+	pos int64
+}
 
 // Next implements pdt.RowSource.
 func (a *scanSource) Next() ([]*vector.Vector, int, error) {
-	vecs, _, n, err := a.sc.Next()
+	vecs, pos, n, err := a.sc.Next()
+	a.pos = pos
 	return vecs, n, err
 }
+
+// BasePos implements pdt.PositionedSource.
+func (a *scanSource) BasePos() int64 { return a.pos }
+
+// EndPos implements pdt.PositionedSource.
+func (a *scanSource) EndPos() int64 { return a.sc.EndPos() }
 
 // Select filters its input with a compiled predicate; surviving rows are
 // referenced through the batch's selection vector, never copied.
@@ -302,11 +383,14 @@ func (l *Limit) Next() (*vector.Batch, error) {
 	if l.seen+int64(b.N) > l.n {
 		keep := int(l.n - l.seen)
 		if b.Sel != nil {
-			b.N = keep
-			b.Sel = b.Sel[:keep]
-		} else {
-			b.N = keep
+			// The child owns b.Sel (often a reused selBuf); truncate a
+			// private copy so operators that reuse the batch across
+			// Next calls are not corrupted by the shortened view.
+			sel := make([]int32, keep)
+			copy(sel, b.Sel[:keep])
+			b.Sel = sel
 		}
+		b.N = keep
 	}
 	l.seen += int64(b.N)
 	return b, nil

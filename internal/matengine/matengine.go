@@ -85,7 +85,14 @@ func Run(n algebra.Node, cat *catalog.Catalog) ([]vtypes.Row, error) {
 func Exec(n algebra.Node, cat *catalog.Catalog) (*Rel, error) {
 	switch t := n.(type) {
 	case *algebra.ScanNode:
-		return execScan(t, cat)
+		rel, err := execScan(t, cat)
+		if err != nil || len(t.Filters) == 0 {
+			return rel, err
+		}
+		// Pushed scan filters evaluate as an ordinary selection over
+		// the materialized columns: no row groups to skip, same rows
+		// as the vectorized engine.
+		return execSelect(&algebra.SelectNode{Pred: algebra.FiltersPred(t.Filters)}, rel)
 	case *algebra.SelectNode:
 		in, err := Exec(t.Input, cat)
 		if err != nil {
@@ -181,7 +188,7 @@ func execScan(t *algebra.ScanNode, cat *catalog.Catalog) (*Rel, error) {
 	if t.PartHi > 0 {
 		sc.SetGroupRange(t.PartLo, t.PartHi)
 	}
-	var src pdt.RowSource = scannerSource{sc}
+	var src pdt.RowSource = &scannerSource{sc: sc}
 	projected := tbl.Schema().Project(t.Cols)
 	for _, layer := range layers {
 		if layer == nil || layer.Empty() {
@@ -209,13 +216,25 @@ func execScan(t *algebra.ScanNode, cat *catalog.Catalog) (*Rel, error) {
 	return out.charge(), nil
 }
 
-type scannerSource struct{ sc *storage.Scanner }
+// scannerSource adapts storage.Scanner to pdt.PositionedSource so
+// partition-restricted merges align deltas to global positions.
+type scannerSource struct {
+	sc  *storage.Scanner
+	pos int64
+}
 
 // Next implements pdt.RowSource.
-func (s scannerSource) Next() ([]*vector.Vector, int, error) {
-	vecs, _, n, err := s.sc.Next()
+func (s *scannerSource) Next() ([]*vector.Vector, int, error) {
+	vecs, pos, n, err := s.sc.Next()
+	s.pos = pos
 	return vecs, n, err
 }
+
+// BasePos implements pdt.PositionedSource.
+func (s *scannerSource) BasePos() int64 { return s.pos }
+
+// EndPos implements pdt.PositionedSource.
+func (s *scannerSource) EndPos() int64 { return s.sc.EndPos() }
 
 func appendVec(dst, src *vector.Vector, n int) {
 	switch dst.Kind.StorageClass() {

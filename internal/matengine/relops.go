@@ -108,7 +108,9 @@ func execAgg(t *algebra.AggNode, in *Rel) (*Rel, error) {
 			}
 		}
 	}
-	if len(t.GroupBy) == 0 && len(order) == 0 {
+	// Parallel partials skip the implicit global row: an empty
+	// partition must contribute nothing to the recombination.
+	if len(t.GroupBy) == 0 && len(order) == 0 && !t.Partial {
 		newGroup(vtypes.Row{}) // appends itself to order
 	}
 

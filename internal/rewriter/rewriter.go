@@ -129,7 +129,7 @@ func SimplifyPlan(n algebra.Node) algebra.Node {
 	case *algebra.ProjectNode:
 		return &algebra.ProjectNode{Input: SimplifyPlan(t.Input), Exprs: t.Exprs, Names: t.Names}
 	case *algebra.AggNode:
-		return &algebra.AggNode{Input: SimplifyPlan(t.Input), GroupBy: t.GroupBy, Aggs: t.Aggs, Names: t.Names}
+		return &algebra.AggNode{Input: SimplifyPlan(t.Input), GroupBy: t.GroupBy, Aggs: t.Aggs, Names: t.Names, Partial: t.Partial}
 	case *algebra.JoinNode:
 		return &algebra.JoinNode{Left: SimplifyPlan(t.Left), Right: SimplifyPlan(t.Right),
 			LeftKeys: t.LeftKeys, RightKeys: t.RightKeys, Type: t.Type}
@@ -330,6 +330,7 @@ func parallelizeAgg(a *algebra.AggNode, cat *catalog.Catalog, workers int) algeb
 			GroupBy: a.GroupBy,
 			Aggs:    a.Aggs,
 			Names:   a.Names,
+			Partial: true,
 		})
 	}
 	union := &algebra.UnionAllNode{Inputs: inputs}

@@ -53,6 +53,7 @@ import (
 	"vectorwise/internal/catalog"
 	"vectorwise/internal/plancache"
 	"vectorwise/internal/sql"
+	"vectorwise/internal/storage"
 	"vectorwise/internal/txn"
 	"vectorwise/internal/vector"
 	"vectorwise/internal/vtypes"
@@ -235,8 +236,12 @@ type StatsResponse struct {
 	// PlanCache exposes the engine's statement-cache counters; a
 	// healthy parametrized workload shows hits ≫ misses.
 	PlanCache plancache.Stats `json:"plan_cache"`
-	Sessions  int             `json:"sessions"`
-	UptimeMs  int64           `json:"uptime_ms"`
+	// Scan exposes cumulative row-group counters: groups decompressed
+	// vs groups skipped by min/max data skipping. A selective
+	// clustered workload shows groups_pruned climbing with traffic.
+	Scan     storage.ScanStatsSnapshot `json:"scan"`
+	Sessions int                       `json:"sessions"`
+	UptimeMs int64                     `json:"uptime_ms"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -766,6 +771,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Admission: s.adm.snapshot(),
 		PlanCache: s.db.PlanCacheStats(),
+		Scan:      s.db.ScanStats(),
 		Sessions:  s.sessions.count(),
 		UptimeMs:  time.Since(s.started).Milliseconds(),
 	})

@@ -73,8 +73,23 @@ func qualName(q, n string) string {
 	return q + "." + n
 }
 
-// PlanSelect lowers a SELECT onto the algebra.
+// PlanSelect lowers a SELECT onto the algebra. As a final step it runs
+// the data-skipping rewrite: sargable single-table conjuncts that
+// predicate pushdown placed directly above a scan move into the scan's
+// Filters, where the cross-compiler both evaluates them post-
+// decompression and derives row-group min/max pruning. Parametrized
+// conjuncts keep their Param slots, so a cached plan template prunes
+// with each execution's bound values.
 func (p *Planner) PlanSelect(s *SelectStmt) (algebra.Node, error) {
+	node, err := p.planSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.PushFiltersIntoScans(node), nil
+}
+
+// planSelect lowers a SELECT without the scan-filter rewrite.
+func (p *Planner) planSelect(s *SelectStmt) (algebra.Node, error) {
 	if len(s.From) != 1 {
 		return nil, fmt.Errorf("sql: exactly one FROM table plus JOIN clauses supported")
 	}

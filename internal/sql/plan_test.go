@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"vectorwise/internal/algebra"
 	"vectorwise/internal/catalog"
 	"vectorwise/internal/storage"
 	"vectorwise/internal/tupleengine"
@@ -197,5 +198,62 @@ func TestPlanUngroupedColumnRejected(t *testing.T) {
 	p := &Planner{Cat: cat}
 	if _, err := p.PlanSelect(stmt.(*SelectStmt)); err == nil {
 		t.Fatal("ungrouped select item must error")
+	}
+}
+
+// The data-skipping rewrite: sargable single-table conjuncts move into
+// ScanNode.Filters (parameter slots included), residual predicates stay
+// as a Select, and the tuple engine still sees every predicate.
+func TestPlanScanFilterExtraction(t *testing.T) {
+	cat := planFixture(t)
+	stmt, n, err := ParseWithParams(`SELECT a FROM t WHERE a BETWEEN ? AND ? AND b < 100.0 AND a + 1 > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("params: %d", n)
+	}
+	p := &Planner{Cat: cat}
+	plan, err := p.PlanSelect(stmt.(*SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scan *algebra.ScanNode
+	var sel *algebra.SelectNode
+	var walk func(algebra.Node)
+	walk = func(nd algebra.Node) {
+		switch v := nd.(type) {
+		case *algebra.ScanNode:
+			scan = v
+		case *algebra.SelectNode:
+			sel = v
+		}
+		for _, c := range nd.Children() {
+			walk(c)
+		}
+	}
+	walk(plan)
+	if scan == nil || len(scan.Filters) != 3 {
+		t.Fatalf("want 3 scan filters (two param bounds + b<100), got %+v", scan)
+	}
+	if sel == nil || !strings.Contains(sel.Pred.String(), "+") {
+		t.Fatalf("arithmetic conjunct must stay residual, got %v", sel)
+	}
+	// The template binds and runs: filters' Params become literals.
+	bound, err := algebra.BindParams(plan, []vtypes.Value{vtypes.I64Value(2), vtypes.I64Value(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tupleengine.Run(bound, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // a in 2..6
+		t.Fatalf("bound filtered rows: %d, want 5", len(rows))
+	}
+	// EXPLAIN renders the filters on the scan line, unbound slots as $N.
+	text := algebra.Explain(plan)
+	if !strings.Contains(text, "filters=[") || !strings.Contains(text, "$1") {
+		t.Fatalf("EXPLAIN missing filters:\n%s", text)
 	}
 }

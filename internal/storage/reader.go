@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"vectorwise/internal/compress"
 	"vectorwise/internal/vector"
@@ -55,9 +56,41 @@ func (DirectFetcher) FetchColumn(t *Table, group, col int) (*vector.Vector, erro
 	return t.DecodeChunk(group, col)
 }
 
-// PruneFn decides whether a whole row group can be skipped based on its
-// chunk statistics. Returning true skips the group.
-type PruneFn func(grp *GroupMeta) bool
+// PruneFn decides whether row group g can be skipped based on its chunk
+// statistics. Returning true skips the group without decompressing any
+// of its chunks. The group index lets delta-aware callers map the group
+// to its global row range.
+type PruneFn func(g int, grp *GroupMeta) bool
+
+// ScanStats counts row-group outcomes across the scans of one query (or
+// one DB, for cumulative accounting). Partition scans of a parallel
+// plan share one ScanStats, so the fields are atomic.
+type ScanStats struct {
+	// GroupsScanned counts row groups actually decompressed.
+	GroupsScanned atomic.Int64
+	// GroupsPruned counts row groups skipped by statistics.
+	GroupsPruned atomic.Int64
+}
+
+// Add accumulates a snapshot into the stats (per-query → cumulative).
+func (s *ScanStats) Add(snap ScanStatsSnapshot) {
+	s.GroupsScanned.Add(snap.GroupsScanned)
+	s.GroupsPruned.Add(snap.GroupsPruned)
+}
+
+// Snapshot returns a plain-value copy for reporting.
+func (s *ScanStats) Snapshot() ScanStatsSnapshot {
+	return ScanStatsSnapshot{
+		GroupsScanned: s.GroupsScanned.Load(),
+		GroupsPruned:  s.GroupsPruned.Load(),
+	}
+}
+
+// ScanStatsSnapshot is the JSON-friendly form of ScanStats.
+type ScanStatsSnapshot struct {
+	GroupsScanned int64 `json:"groups_scanned"`
+	GroupsPruned  int64 `json:"groups_pruned"`
+}
 
 // Scanner iterates a table's row groups column-wise, serving vectors of
 // at most vecSize rows. It reports the global start position of every
@@ -67,6 +100,7 @@ type Scanner struct {
 	cols    []int
 	fetch   ChunkFetcher
 	prune   PruneFn
+	stats   *ScanStats
 	vecSize int
 
 	g    int
@@ -90,6 +124,10 @@ func NewScanner(t *Table, cols []int, fetch ChunkFetcher, prune PruneFn, vecSize
 	return &Scanner{t: t, cols: cols, fetch: fetch, prune: prune, vecSize: vecSize}
 }
 
+// SetStats installs a row-group outcome counter (may be shared across
+// the partition scanners of one query; nil disables counting).
+func (s *Scanner) SetStats(st *ScanStats) { s.stats = st }
+
 // Next returns the next batch of column vectors (views into the group
 // chunks), the global row position of the first row, and the row count.
 // n == 0 signals end of table.
@@ -104,10 +142,16 @@ func (s *Scanner) Next() (vecs []*vector.Vector, pos int64, n int, err error) {
 		}
 		grp := &s.t.Meta.Groups[s.g]
 		if s.cur == nil {
-			if s.prune != nil && s.prune(grp) {
+			if s.prune != nil && s.prune(s.g, grp) {
+				if s.stats != nil {
+					s.stats.GroupsPruned.Add(1)
+				}
 				s.base += int64(grp.Rows)
 				s.g++
 				continue
+			}
+			if s.stats != nil {
+				s.stats.GroupsScanned.Add(1)
 			}
 			s.cur = make([]*vector.Vector, len(s.cols))
 			for i, c := range s.cols {
@@ -137,6 +181,21 @@ func (s *Scanner) Next() (vecs []*vector.Vector, pos int64, n int, err error) {
 		s.off += n
 		return out, pos, n, nil
 	}
+}
+
+// EndPos returns the exclusive global position bound of the scan's
+// range: the table's row count, or the end of the group range for
+// partition scans.
+func (s *Scanner) EndPos() int64 {
+	limit := s.t.Groups()
+	if s.gHi > 0 && s.gHi < limit {
+		limit = s.gHi
+	}
+	var end int64
+	for g := 0; g < limit; g++ {
+		end += int64(s.t.GroupRows(g))
+	}
+	return end
 }
 
 // Reset rewinds the scanner to the beginning of the table (or of its

@@ -206,7 +206,7 @@ func TestScannerPruning(t *testing.T) {
 	tbl := buildTestTable(t, 300, 100)
 	// Prune groups whose id range is entirely below 150 (groups 0).
 	pruned := 0
-	prune := func(g *GroupMeta) bool {
+	prune := func(_ int, g *GroupMeta) bool {
 		if g.Cols[0].MaxI64 < 150 {
 			pruned++
 			return true

@@ -7,10 +7,12 @@ import (
 	"sync"
 	"time"
 
+	"vectorwise/internal/algebra"
 	"vectorwise/internal/catalog"
 	"vectorwise/internal/core"
 	"vectorwise/internal/matengine"
 	"vectorwise/internal/rewriter"
+	"vectorwise/internal/storage"
 	"vectorwise/internal/tupleengine"
 	"vectorwise/internal/vtypes"
 	"vectorwise/internal/xcompile"
@@ -43,11 +45,25 @@ type RunOptions struct {
 	Parallel int
 	// VecSize overrides the vectorized engine's vector size.
 	VecSize int
+	// Fetch interposes a buffer manager on scans — pass the DB's so the
+	// harness exercises the same chunk-access path the server does.
+	Fetch storage.ChunkFetcher
+	// ScanStats, when non-nil, receives row-group scanned/pruned
+	// counters (vectorized engine only).
+	ScanStats *storage.ScanStats
+	// NoPrune disables min/max data skipping while keeping the pushed
+	// scan filters (differential baseline for pruning itself).
+	NoPrune bool
 }
 
-// RunQuery executes one query and returns its rows and duration.
+// RunQuery executes one query and returns its rows and duration. The
+// plan pipeline matches the public SQL path end-to-end: simplify, push
+// sargable predicates into scan filters (enabling min/max data
+// skipping), then parallelize — so differential suites exercise
+// exactly the scan pipeline DB.Query compiles.
 func RunQuery(cat *catalog.Catalog, q Query, opts RunOptions) ([]vtypes.Row, time.Duration, error) {
 	plan := rewriter.SimplifyPlan(q.Build())
+	plan = algebra.PushFiltersIntoScans(plan)
 	if opts.Parallel > 1 {
 		plan = rewriter.Parallelize(plan, cat, opts.Parallel)
 	}
@@ -57,7 +73,12 @@ func RunQuery(cat *catalog.Catalog, q Query, opts RunOptions) ([]vtypes.Row, tim
 	switch opts.Engine {
 	case EngineVectorized:
 		var op core.Operator
-		op, err = xcompile.Compile(plan, cat, xcompile.Options{VecSize: opts.VecSize})
+		op, err = xcompile.Compile(plan, cat, xcompile.Options{
+			VecSize:   opts.VecSize,
+			Fetch:     opts.Fetch,
+			ScanStats: opts.ScanStats,
+			NoPrune:   opts.NoPrune,
+		})
 		if err == nil {
 			rows, err = core.Collect(op)
 		}
@@ -183,6 +204,14 @@ func Validate(cat *catalog.Catalog) error {
 			return fmt.Errorf("%s parallel: %w", q.Name, err)
 		}
 		if err := sameRowsUnordered(q.Name+"-parallel", vrows, prows); err != nil {
+			return err
+		}
+		// Min/max data skipping must not change results.
+		nrows, _, err := RunQuery(cat, q, RunOptions{Engine: EngineVectorized, NoPrune: true})
+		if err != nil {
+			return fmt.Errorf("%s noprune: %w", q.Name, err)
+		}
+		if err := sameRows(q.Name+"-noprune", vrows, nrows); err != nil {
 			return err
 		}
 	}

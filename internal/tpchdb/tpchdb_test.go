@@ -27,7 +27,10 @@ func TestSQLSuiteThroughDB(t *testing.T) {
 	for _, par := range []int{1, 4} {
 		db.SetParallelism(par)
 		for _, sq := range tpch.SQLSuite() {
-			handRows, _, err := tpch.RunQuery(db.Catalog(), findQuery(t, sq.Name), tpch.RunOptions{Engine: tpch.EngineVectorized})
+			// Hand-built side runs with the DB's own buffer manager so
+			// both sides of the differential share one scan pipeline.
+			handRows, _, err := tpch.RunQuery(db.Catalog(), findQuery(t, sq.Name),
+				tpch.RunOptions{Engine: tpch.EngineVectorized, Fetch: db.BufferManager()})
 			if err != nil {
 				t.Fatalf("%s hand-built: %v", sq.Name, err)
 			}
@@ -51,6 +54,48 @@ func TestSQLSuiteThroughDB(t *testing.T) {
 	// plan cache.
 	if s := db.PlanCacheStats(); s.Hits == 0 {
 		t.Fatalf("plan cache never hit: %+v", s)
+	}
+}
+
+// The data-skipping differential: with live PDT deltas on the fact
+// tables, every suite query must return row-identical results with
+// min/max pruning forced on vs. off — the delta-aware prune path may
+// only skip groups whose positions no delta touches, so the positional
+// merge must survive the gaps. Runs at parallelism 1 and N so the
+// partition-restricted merge path is covered too.
+func TestSQLSuitePruningWithDeltas(t *testing.T) {
+	db := vectorwise.OpenMemory()
+	db.SetParallelism(1)
+	if _, err := Load(db, 0.005); err != nil {
+		t.Fatal(err)
+	}
+	// Deltas across the fact tables: modify, delete, and insert so the
+	// master PDTs carry every entry type during the sweep.
+	for _, stmt := range []string{
+		`UPDATE lineitem SET l_quantity = 99 WHERE l_orderkey = 1`,
+		`DELETE FROM lineitem WHERE l_orderkey = 7`,
+		`UPDATE orders SET o_shippriority = 1 WHERE o_orderkey = 32`,
+		`INSERT INTO orders VALUES (999999, 1, 'F', 1.0, DATE '1995-06-01', '1-URGENT', 'clerk', 7, 'delta row')`,
+	} {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	for _, par := range []int{1, 4} {
+		db.SetParallelism(par)
+		for _, sq := range tpch.SQLSuite() {
+			db.SetDataSkipping(true)
+			on, err := db.Query(sq.SQL)
+			if err != nil {
+				t.Fatalf("%s par=%d: %v", sq.Name, par, err)
+			}
+			db.SetDataSkipping(false)
+			off, err := db.Query(sq.SQL)
+			if err != nil {
+				t.Fatalf("%s par=%d (noprune): %v", sq.Name, par, err)
+			}
+			testutil.MatchRows(t, sq.Name+" prune-on-vs-off", off.Rows, on.Rows)
+		}
 	}
 }
 

@@ -166,8 +166,9 @@ func (a *aggIter) consume() error {
 		}
 	}
 	// Ungrouped aggregation over empty input yields one zero row, like
-	// the vectorized engine.
-	if len(n.GroupBy) == 0 && len(a.order) == 0 {
+	// the vectorized engine — unless this is a parallel partial, whose
+	// empty partitions must contribute nothing to the recombination.
+	if len(n.GroupBy) == 0 && len(a.order) == 0 && !n.Partial {
 		a.order = append(a.order, &aggGroup{
 			key:  vtypes.Row{},
 			sums: make([]float64, len(n.Aggs)),

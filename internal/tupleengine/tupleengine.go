@@ -36,7 +36,14 @@ func Build(n algebra.Node, cat *catalog.Catalog) (RowIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newScanIter(tbl, layers, t.Cols, t.PartLo, t.PartHi), nil
+		var it RowIter = newScanIter(tbl, layers, t.Cols, t.PartLo, t.PartHi)
+		if len(t.Filters) > 0 {
+			// Pushed scan filters evaluate as an ordinary selection:
+			// the row-at-a-time baseline has no row groups to skip,
+			// but must see the same rows as the vectorized engine.
+			it = &selectIter{child: it, pred: algebra.FiltersPred(t.Filters)}
+		}
+		return it, nil
 	case *algebra.SelectNode:
 		child, err := Build(t.Input, cat)
 		if err != nil {
@@ -141,7 +148,7 @@ func (s *scanIter) Open() error {
 	if s.hi > 0 {
 		sc.SetGroupRange(s.lo, s.hi)
 	}
-	var src pdt.RowSource = scannerSource{sc}
+	var src pdt.RowSource = &scannerSource{sc: sc}
 	projected := s.tbl.Schema().Project(s.cols)
 	for _, layer := range s.layers {
 		if layer == nil || layer.Empty() {
@@ -154,14 +161,25 @@ func (s *scanIter) Open() error {
 	return nil
 }
 
-// scannerSource adapts storage.Scanner to pdt.RowSource.
-type scannerSource struct{ sc *storage.Scanner }
+// scannerSource adapts storage.Scanner to pdt.PositionedSource so
+// partition-restricted merges align deltas to global positions.
+type scannerSource struct {
+	sc  *storage.Scanner
+	pos int64
+}
 
 // Next implements pdt.RowSource.
-func (s scannerSource) Next() ([]*vector.Vector, int, error) {
-	vecs, _, n, err := s.sc.Next()
+func (s *scannerSource) Next() ([]*vector.Vector, int, error) {
+	vecs, pos, n, err := s.sc.Next()
+	s.pos = pos
 	return vecs, n, err
 }
+
+// BasePos implements pdt.PositionedSource.
+func (s *scannerSource) BasePos() int64 { return s.pos }
+
+// EndPos implements pdt.PositionedSource.
+func (s *scannerSource) EndPos() int64 { return s.sc.EndPos() }
 
 // Next implements RowIter.
 func (s *scanIter) Next() (vtypes.Row, bool, error) {

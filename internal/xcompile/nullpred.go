@@ -5,6 +5,17 @@ import (
 	"vectorwise/internal/vector"
 )
 
+// neverPred matches no rows: the compiled form of a comparison against
+// a NULL literal (never true in SQL), so the evaluated predicate and
+// the prune function synthesized from the same conjunct agree.
+type neverPred struct{}
+
+// Filter implements expr.Pred.
+func (neverPred) Filter(b *vector.Batch) error {
+	b.SetSel(b.MutableSel(b.Capacity()), 0)
+	return nil
+}
+
 // nullPred selects rows by a column's NULL indicator — the compiled form
 // of IS [NOT] NULL after the storage layer's two-column decomposition.
 type nullPred struct {

@@ -23,9 +23,14 @@ type Options struct {
 	VecSize int
 	// Fetch interposes a buffer manager on scans.
 	Fetch storage.ChunkFetcher
-	// Prune enables min/max row-group pruning built from plan
-	// predicates (set by the optimizer; may be nil).
-	Prune map[*algebra.ScanNode]storage.PruneFn
+	// ScanStats, when non-nil, receives scanned/pruned row-group
+	// counts from every scan the compiled plan runs (partition scans
+	// share it; the fields are atomic).
+	ScanStats *storage.ScanStats
+	// NoPrune disables min/max row-group pruning (filters still
+	// evaluate inside the scan) — the differential-testing and
+	// benchmarking switch for isolating data skipping.
+	NoPrune bool
 	// Ctx is the statement's cancellation context. It is installed on
 	// every operator the compiler builds, so once the context is done,
 	// Next returns the context error at the next vector boundary —
@@ -70,12 +75,25 @@ func (c *compiler) nodeInner(n algebra.Node) (core.Operator, error) {
 		so := core.ScanOpts{
 			VecSize: c.opts.VecSize,
 			Fetch:   c.opts.Fetch,
+			Stats:   c.opts.ScanStats,
 			Layers:  layers,
 			GroupLo: t.PartLo,
 			GroupHi: t.PartHi,
 		}
-		if c.opts.Prune != nil {
-			so.Prune = c.opts.Prune[t]
+		if len(t.Filters) > 0 {
+			// Pushed filters compile to an ordinary predicate the scan
+			// evaluates right after decompression, and — unless
+			// disabled — to a min/max prune function over the same
+			// (bound) bounds, so groups the predicate cannot match are
+			// never decompressed at all.
+			p, err := c.pred(algebra.FiltersPred(t.Filters), t.Schema())
+			if err != nil {
+				return nil, err
+			}
+			so.Filter = p
+			if !c.opts.NoPrune {
+				so.Prune = synthesizePrune(t.Cols, t.Filters)
+			}
 		}
 		return core.NewScan(tbl, t.Cols, so), nil
 
@@ -130,7 +148,9 @@ func (c *compiler) nodeInner(n algebra.Node) (core.Operator, error) {
 			}
 			aggs[i] = spec
 		}
-		return core.NewHashAggregate(child, groups, aggs, t.Names), nil
+		agg := core.NewHashAggregate(child, groups, aggs, t.Names)
+		agg.SetPartial(t.Partial)
+		return agg, nil
 
 	case *algebra.JoinNode:
 		left, err := c.node(t.Left)
@@ -360,6 +380,9 @@ func (c *compiler) pred(s algebra.Scalar, in *vtypes.Schema) (expr.Pred, error) 
 		}
 		return expr.NewNot(p), nil
 	case *algebra.Between:
+		if t.Lo.Null || t.Hi.Null {
+			return neverPred{}, nil // NULL bound: never true
+		}
 		e, err := c.scalar(t.In, in)
 		if err != nil {
 			return nil, err
@@ -376,10 +399,32 @@ func (c *compiler) pred(s algebra.Scalar, in *vtypes.Schema) (expr.Pred, error) 
 		if err != nil {
 			return nil, err
 		}
-		return expr.NewInSet(e, t.List)
+		// NULL members match nothing in SQL; drop them so the raw-
+		// compare kernel cannot match a row on a zero safe value.
+		list := t.List
+		for _, v := range list {
+			if v.Null {
+				list = nil
+				for _, w := range t.List {
+					if !w.Null {
+						list = append(list, w)
+					}
+				}
+				break
+			}
+		}
+		if len(list) == 0 {
+			return neverPred{}, nil
+		}
+		return expr.NewInSet(e, list)
 	case *algebra.Cmp:
 		// col OP literal → constant kernel; else column-column kernel.
+		// A NULL literal compares as never-true (SQL three-valued
+		// logic), matching the prune synthesis for the same conjunct.
 		if lit, ok := t.R.(*algebra.Lit); ok {
+			if lit.Val.Null {
+				return neverPred{}, nil
+			}
 			e, err := c.scalar(t.L, in)
 			if err != nil {
 				return nil, err
@@ -387,6 +432,9 @@ func (c *compiler) pred(s algebra.Scalar, in *vtypes.Schema) (expr.Pred, error) 
 			return expr.NewCmpConst(e, expr.CmpOp(t.Op), lit.Val)
 		}
 		if lit, ok := t.L.(*algebra.Lit); ok {
+			if lit.Val.Null {
+				return neverPred{}, nil
+			}
 			e, err := c.scalar(t.R, in)
 			if err != nil {
 				return nil, err

@@ -116,17 +116,19 @@ func TestCompileErrors(t *testing.T) {
 	}
 }
 
-func TestCompilePruneHook(t *testing.T) {
+func TestCompileAutoPrune(t *testing.T) {
 	cat := buildCat(t)
+	// A filtered scan prunes row groups from its own filters: k >= 64
+	// refutes group 0 (k in [0,64)) by min/max and pre-filters the
+	// surviving group, no caller-supplied hook involved.
 	scan := scanT()
-	pruned := 0
-	opts := Options{Prune: map[*algebra.ScanNode]storage.PruneFn{
-		scan: func(g *storage.GroupMeta) bool {
-			pruned++
-			return g.Cols[0].MaxI64 < 64 // skip the first row group
-		},
+	scan.Filters = []algebra.Scalar{&algebra.Cmp{
+		Op: algebra.CmpGe,
+		L:  &algebra.ColRef{Idx: 0, K: vtypes.KindI64},
+		R:  &algebra.Lit{Val: vtypes.I64Value(64)},
 	}}
-	op, err := Compile(scan, cat, opts)
+	stats := &storage.ScanStats{}
+	op, err := Compile(scan, cat, Options{ScanStats: stats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,32 @@ func TestCompilePruneHook(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pruned == 0 || len(rows) != 36 {
-		t.Fatalf("prune hook: pruned=%d rows=%d", pruned, len(rows))
+	snap := stats.Snapshot()
+	if len(rows) != 36 || snap.GroupsPruned != 1 || snap.GroupsScanned != 1 {
+		t.Fatalf("auto prune: rows=%d stats=%+v", len(rows), snap)
 	}
+	// NoPrune keeps the filter but scans every group.
+	stats = &storage.ScanStats{}
+	op, err = Compile(scanTFiltered(64), cat, Options{ScanStats: stats, NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err = core.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = stats.Snapshot()
+	if len(rows) != 36 || snap.GroupsPruned != 0 || snap.GroupsScanned != 2 {
+		t.Fatalf("noprune: rows=%d stats=%+v", len(rows), snap)
+	}
+}
+
+func scanTFiltered(ge int64) *algebra.ScanNode {
+	s := scanT()
+	s.Filters = []algebra.Scalar{&algebra.Cmp{
+		Op: algebra.CmpGe,
+		L:  &algebra.ColRef{Idx: 0, K: vtypes.KindI64},
+		R:  &algebra.Lit{Val: vtypes.I64Value(ge)},
+	}}
+	return s
 }

@@ -8,6 +8,7 @@ import (
 
 	"vectorwise/internal/algebra"
 	"vectorwise/internal/core"
+	"vectorwise/internal/storage"
 	"vectorwise/internal/vector"
 	"vectorwise/internal/vtypes"
 	"vectorwise/internal/xcompile"
@@ -60,6 +61,9 @@ type Rows struct {
 
 	cols   []string
 	schema *vtypes.Schema
+	// stats counts this statement's row-group outcomes; folded into
+	// the DB's cumulative counters on Close.
+	stats *storage.ScanStats
 
 	batch  *vector.Batch // current batch (operator-owned, valid until next pull)
 	pos    int           // next unread live row in batch
@@ -76,7 +80,13 @@ func (db *DB) openRowsLocked(ctx context.Context, plan algebra.Node) (*Rows, err
 	// The statement runs under a child context so Close can abort it:
 	// the caller's ctx cancels it from outside, Close from inside.
 	ctx, cancel := context.WithCancel(ctx)
-	op, err := xcompile.Compile(plan, db.cat, xcompile.Options{Fetch: db.buf, Ctx: ctx})
+	stats := &storage.ScanStats{}
+	op, err := xcompile.Compile(plan, db.cat, xcompile.Options{
+		Fetch:     db.buf,
+		Ctx:       ctx,
+		ScanStats: stats,
+		NoPrune:   db.noSkip,
+	})
 	if err != nil {
 		cancel()
 		return nil, err
@@ -91,8 +101,15 @@ func (db *DB) openRowsLocked(ctx context.Context, plan algebra.Node) (*Rows, err
 	for i := range cols {
 		cols[i] = schema.Col(i).Name
 	}
-	return &Rows{db: db, op: op, cancel: cancel, cols: cols, schema: schema}, nil
+	return &Rows{db: db, op: op, cancel: cancel, cols: cols, schema: schema, stats: stats}, nil
 }
+
+// ScanStats returns this statement's row-group counters so far: groups
+// the scans decompressed vs groups min/max data skipping pruned. On a
+// selective range query over clustered data, GroupsPruned > 0 is the
+// signature of working predicate pushdown. Valid during iteration and
+// after Close.
+func (r *Rows) ScanStats() storage.ScanStatsSnapshot { return r.stats.Snapshot() }
 
 // Columns returns the output column names.
 func (r *Rows) Columns() []string {
@@ -300,6 +317,7 @@ func (r *Rows) close() error {
 	// drains them.
 	r.cancel()
 	err := r.op.Close()
+	r.db.scanStats.Add(r.stats.Snapshot())
 	r.db.mu.RUnlock()
 	return err
 }
