@@ -41,10 +41,12 @@ import (
 
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
-	exp := flag.String("exp", "all", "experiment id (sql t1 c1 c2 f1 t2 t3 t4 t5 t6 f2 or all)")
+	exp := flag.String("exp", "all", "experiment id (sql mixed t1 c1 c2 f1 t2 t3 t4 t5 t6 f2 or all)")
 	out := flag.String("out", "BENCH_tpch.json", "output path for the sql experiment's JSON artifact")
 	baseline := flag.String("baseline", "", "baseline JSON to compare the sql experiment against")
 	warmRuns := flag.Int("warm", 5, "warm executions per query in the sql experiment")
+	mixedOut := flag.String("mixed-out", "BENCH_mixed.json", "output path for the mixed experiment's JSON artifact")
+	mixedBaseline := flag.String("mixed-baseline", "", "baseline JSON to compare the mixed experiment against")
 	flag.Parse()
 
 	fmt.Printf("vectorwise experiment harness — SF=%g, GOMAXPROCS=%d\n\n", *sf, runtime.GOMAXPROCS(0))
@@ -67,6 +69,9 @@ func main() {
 	want := func(id string) bool { return *exp == "all" || strings.EqualFold(*exp, id) }
 	if want("sql") {
 		expSQL(db, *sf, loadStats, *out, *baseline, *warmRuns)
+	}
+	if want("mixed") {
+		expMixed(db, *mixedOut, *mixedBaseline)
 	}
 	if want("t1") {
 		expT1(cat, *sf)

@@ -1,0 +1,246 @@
+package main
+
+// The `mixed` experiment: the concurrency contract measured. A slow
+// streaming cursor (an "analyst" dribbling batches) stays open across
+// the whole run while a pack of writers commits inserts and the
+// background tuple mover folds and rebuilds underneath — the workload
+// the epoch-snapshot design exists for. The artifact records the write
+// latency distribution (p50/p99/max) and the mover counters; CI
+// compares p99 against a checked-in baseline and warns on regressions,
+// which is what keeps "writers never wait for readers" true over time
+// rather than true once.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	vectorwise "vectorwise"
+)
+
+const mixedSchemaVersion = 1
+
+// mixedRegressionFactor is the p99 write-latency growth that triggers a
+// CI warning. Latency tails on shared runners are noisy, so the bar is
+// deliberately loose; the counters catch systematic slowdowns.
+const mixedRegressionFactor = 1.5
+
+// mixedFile is the BENCH_mixed.json artifact.
+type mixedFile struct {
+	SchemaVersion int    `json:"schema_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	// Workload shape.
+	SeedRows        int `json:"seed_rows"`
+	Writers         int `json:"writers"`
+	WritesPerWriter int `json:"writes_per_writer"`
+	// Results.
+	DurationNs   int64   `json:"duration_ns"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+	WriteP50Ns   int64   `json:"write_p50_ns"`
+	WriteP99Ns   int64   `json:"write_p99_ns"`
+	WriteMaxNs   int64   `json:"write_max_ns"`
+	// ReaderRows is what the slow cursor streamed — always exactly the
+	// seeded count, or the run aborts (a snapshot correctness failure
+	// is not a number worth archiving).
+	ReaderRows int64 `json:"reader_rows"`
+	// Mover activity during the storm.
+	MoverPasses   uint64 `json:"mover_passes"`
+	MoverFolds    uint64 `json:"mover_folds"`
+	MoverRebuilds uint64 `json:"mover_rebuilds"`
+	MoverRetries  uint64 `json:"mover_retries"`
+}
+
+func pctNs(sorted []time.Duration, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(float64(len(sorted)-1)*p/100)].Nanoseconds()
+}
+
+func expMixed(db *vectorwise.DB, outPath, baselinePath string) {
+	fmt.Println("== MIXED: concurrent writers vs slow streaming reader vs tuple mover ==")
+	const (
+		seedRows        = 100_000
+		writers         = 8
+		writesPerWriter = 250
+	)
+	if _, err := db.Exec(`CREATE TABLE mixed_kv (k BIGINT, v DOUBLE)`); err != nil {
+		fatal(err)
+	}
+	ks := make([]int64, seedRows)
+	vs := make([]float64, seedRows)
+	for i := range ks {
+		ks[i] = int64(i)
+		vs[i] = float64(i % 1000)
+	}
+	if _, err := db.LoadBatch("mixed_kv", []any{ks, vs}, nil); err != nil {
+		fatal(err)
+	}
+	moverBefore := db.MoverStats()
+	db.SetMoverThreshold(256)
+	db.SetMoverInterval(2 * time.Millisecond)
+	defer db.SetMoverInterval(0)
+
+	// Slow reader: pinned before the storm, dribbling batches through
+	// it, closed after. It must stream exactly the seeded image.
+	readerRows := make(chan int64, 1)
+	readerErr := make(chan error, 1)
+	readerPinned := make(chan struct{})
+	writersStart := make(chan struct{})
+	go func() {
+		rows, err := db.QueryContext(context.Background(), `SELECT k FROM mixed_kv`)
+		if err != nil {
+			readerErr <- err
+			close(readerPinned)
+			return
+		}
+		defer rows.Close()
+		close(readerPinned) // snapshot pinned; writers may start
+		<-writersStart
+		var n int64
+		for {
+			b, err := rows.NextBatch()
+			if err != nil {
+				readerErr <- err
+				return
+			}
+			if b == nil {
+				break
+			}
+			n += int64(b.N)
+			time.Sleep(time.Millisecond)
+		}
+		readerRows <- n
+	}()
+
+	latCh := make(chan time.Duration, writers*writesPerWriter)
+	errCh := make(chan error, writers)
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	<-readerPinned
+	select {
+	case err := <-readerErr:
+		fatal(fmt.Errorf("mixed reader: %w", err))
+	default:
+	}
+	start := time.Now()
+	close(writersStart)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < writesPerWriter; i++ {
+				k := int64(seedRows + w*writesPerWriter + i)
+				t0 := time.Now()
+				if _, err := db.ExecArgs(`INSERT INTO mixed_kv VALUES ($1, $2)`, k, float64(i)); err != nil {
+					errCh <- err
+					return
+				}
+				latCh <- time.Since(t0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(latCh)
+	select {
+	case err := <-errCh:
+		fatal(fmt.Errorf("mixed writer: %w", err))
+	default:
+	}
+	var nRead int64
+	select {
+	case err := <-readerErr:
+		fatal(fmt.Errorf("mixed reader: %w", err))
+	case nRead = <-readerRows:
+	}
+	if nRead != seedRows {
+		fatal(fmt.Errorf("mixed: slow reader streamed %d rows, want %d (snapshot not pinned)", nRead, seedRows))
+	}
+
+	var lats []time.Duration
+	for d := range latCh {
+		lats = append(lats, d)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	mover := db.MoverStats()
+	mf := mixedFile{
+		SchemaVersion:   mixedSchemaVersion,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		SeedRows:        seedRows,
+		Writers:         writers,
+		WritesPerWriter: writesPerWriter,
+		DurationNs:      elapsed.Nanoseconds(),
+		WritesPerSec:    float64(len(lats)) / elapsed.Seconds(),
+		WriteP50Ns:      pctNs(lats, 50),
+		WriteP99Ns:      pctNs(lats, 99),
+		WriteMaxNs:      lats[len(lats)-1].Nanoseconds(),
+		ReaderRows:      nRead,
+		MoverPasses:     mover.Passes - moverBefore.Passes,
+		MoverFolds:      mover.Folds - moverBefore.Folds,
+		MoverRebuilds:   mover.Rebuilds - moverBefore.Rebuilds,
+		MoverRetries:    mover.Retries - moverBefore.Retries,
+	}
+	fmt.Printf("%d writes by %d writers in %v (%.0f writes/s) against a %d-row slow cursor\n",
+		len(lats), writers, elapsed.Round(time.Millisecond), mf.WritesPerSec, nRead)
+	fmt.Printf("write latency p50=%v p99=%v max=%v\n",
+		time.Duration(mf.WriteP50Ns), time.Duration(mf.WriteP99Ns), time.Duration(mf.WriteMaxNs))
+	fmt.Printf("mover during storm: passes=%d folds=%d rebuilds=%d retries=%d\n\n",
+		mf.MoverPasses, mf.MoverFolds, mf.MoverRebuilds, mf.MoverRetries)
+
+	data, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+	if baselinePath != "" {
+		compareMixedBaseline(mf, baselinePath)
+	}
+}
+
+// compareMixedBaseline warns (GitHub annotation) when p99 write latency
+// regresses past the factor. Advisory only — runners differ.
+func compareMixedBaseline(cur mixedFile, path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("no mixed baseline at %s (%v) — skipping comparison\n", path, err)
+		return
+	}
+	var base mixedFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Printf("unreadable mixed baseline %s: %v — skipping comparison\n", path, err)
+		return
+	}
+	if base.SchemaVersion != cur.SchemaVersion {
+		fmt.Printf("mixed baseline schema v%d != current v%d — skipping comparison\n",
+			base.SchemaVersion, cur.SchemaVersion)
+		return
+	}
+	fmt.Printf("| metric | baseline | current | delta |\n|---|---|---|---|\n")
+	row := func(name string, b, c int64) {
+		delta := "n/a"
+		if b > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(float64(c)-float64(b))/float64(b))
+		}
+		fmt.Printf("| %s | %v | %v | %s |\n", name, time.Duration(b), time.Duration(c), delta)
+	}
+	row("write p50", base.WriteP50Ns, cur.WriteP50Ns)
+	row("write p99", base.WriteP99Ns, cur.WriteP99Ns)
+	row("write max", base.WriteMaxNs, cur.WriteMaxNs)
+	fmt.Println()
+	if base.WriteP99Ns > 0 && float64(cur.WriteP99Ns) > float64(base.WriteP99Ns)*mixedRegressionFactor {
+		fmt.Printf("::warning title=mixed-workload regression::p99 write latency %v vs baseline %v (>%.0f%% growth) — a slow reader may be back on the write path\n",
+			time.Duration(cur.WriteP99Ns), time.Duration(base.WriteP99Ns), (mixedRegressionFactor-1)*100)
+	}
+}

@@ -71,24 +71,30 @@ import (
 //
 // # Concurrency model
 //
-// DB follows a reader/writer discipline enforced by an internal
-// RWMutex:
+// Reads run against immutable epoch snapshots; writes serialize under
+// an internal RWMutex:
 //
-//   - Read paths — [DB.Query], [DB.QueryContext], [DB.Explain] — run
-//     under a shared read lock. Any number of SELECTs execute
-//     concurrently; scans merge the stable column store with the
-//     committed master PDT, both of which are immutable once published,
-//     so readers observe a consistent snapshot for the duration of the
-//     statement. A streaming cursor ([Rows]) extends that tenure: the
-//     read lock is held from QueryContext until the cursor closes, so
-//     an open cursor delays writers, and its snapshot stays stable for
-//     as long as it is open.
+//   - Read paths — [DB.Query], [DB.QueryContext], [DB.Explain] — take
+//     the shared read lock only to resolve and compile the statement.
+//     At open time the statement pins the current epoch snapshot (the
+//     stable image plus frozen PDT layer stack of every table, all
+//     immutable once published) and the lock is released before the
+//     first batch is pulled. An open streaming cursor ([Rows])
+//     therefore never blocks writers: it holds a snapshot reference,
+//     not a lock, and sees exactly the data epoch it pinned no matter
+//     how many commits, tuple-mover folds or stable-image swaps happen
+//     while it streams. Superseded snapshots are reclaimed when their
+//     last cursor closes.
 //   - Write paths — [DB.Exec] (CREATE/INSERT/UPDATE/DELETE),
-//     [DB.Checkpoint], [DB.Analyze], [DB.RegisterTable],
-//     [DB.SetParallelism], [DB.Close] — serialize under the exclusive
-//     write lock. A writer therefore never observes a half-applied DDL
-//     or a torn catalog-layer swap, and commit/refresh of the master
-//     PDT is atomic with respect to readers.
+//     [DB.Checkpoint], [DB.MoveTuples] install windows, [DB.Analyze],
+//     [DB.RegisterTable], [DB.SetParallelism], [DB.Close] — serialize
+//     under the exclusive write lock. A writer therefore never
+//     observes a half-applied DDL or a torn layer swap. Commits
+//     install new PDT tail layers in O(own writes); folding layers
+//     and rebuilding stable images is the background tuple mover's
+//     job (see [DB.SetMoverInterval]), which does its heavy work on
+//     pinned state off-line and takes the write lock only for
+//     pointer-swap install windows.
 //   - [DB.Catalog] and [DB.BufferManager] are plain accessors that
 //     take no lock; the handles they return are internally
 //     synchronized for the operations queries perform.
@@ -99,8 +105,8 @@ import (
 // internally per DML statement (each INSERT/UPDATE/DELETE is one
 // PDT transaction validated first-committer-wins at commit).
 type DB struct {
-	// mu is the reader/writer gate described in the type comment.
-	// Lock ordering: db.mu is always acquired before any internal
+	// mu is the writer gate described in the type comment.
+	// Lock ordering: db.mu before db.snapMu before any internal
 	// package mutex (catalog.Catalog.mu, txn.Manager.mu,
 	// bufmgr.Manager.mu); no internal package calls back into DB.
 	mu sync.RWMutex
@@ -110,6 +116,20 @@ type DB struct {
 	buf *bufmgr.Manager
 	log *wal.Log
 	dir string
+
+	// snapMu guards the current epoch snapshot and all snapshot
+	// refcounts (see snapshot.go).
+	snapMu sync.Mutex
+	cur    *dbSnapshot
+
+	// moverMu guards the tuple mover's control state and counters
+	// (see mover.go).
+	moverMu        sync.Mutex
+	moverStop      chan struct{}
+	moverDone      chan struct{}
+	moverThreshold int
+	moverStats     MoverStats
+	moverFail      func(stage string) error
 	// plans caches compiled statements keyed by (normalized SQL, schema
 	// epoch, parallelism): optimized plan templates for SELECTs, parsed
 	// ASTs for DDL/DML. The cache is internally synchronized; DDL,
@@ -142,14 +162,18 @@ type Result struct {
 // DefaultPlanCacheCapacity bounds the statement/plan cache of a new DB.
 const DefaultPlanCacheCapacity = 256
 
-// OpenMemory creates an in-memory database (no WAL durability).
+// OpenMemory creates an in-memory database (no WAL durability). The
+// background tuple mover starts stopped — enable it with
+// [DB.SetMoverInterval] or drive it manually with [DB.MoveTuples];
+// commits past the inline layer cap still fold on their own.
 func OpenMemory() *DB {
 	return &DB{
-		cat:         catalog.New(),
-		txm:         txn.NewManager(nil),
-		buf:         bufmgr.New(0, nil),
-		plans:       plancache.New(DefaultPlanCacheCapacity),
-		Parallelism: runtime.GOMAXPROCS(0),
+		cat:            catalog.New(),
+		txm:            txn.NewManager(nil),
+		buf:            bufmgr.New(0, nil),
+		plans:          plancache.New(DefaultPlanCacheCapacity),
+		Parallelism:    runtime.GOMAXPROCS(0),
+		moverThreshold: DefaultMoverThreshold,
 	}
 }
 
@@ -164,13 +188,14 @@ func Open(dir string) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		cat:         catalog.New(),
-		txm:         txn.NewManager(log),
-		buf:         bufmgr.New(0, nil),
-		log:         log,
-		dir:         dir,
-		plans:       plancache.New(DefaultPlanCacheCapacity),
-		Parallelism: runtime.GOMAXPROCS(0),
+		cat:            catalog.New(),
+		txm:            txn.NewManager(log),
+		buf:            bufmgr.New(0, nil),
+		log:            log,
+		dir:            dir,
+		plans:          plancache.New(DefaultPlanCacheCapacity),
+		Parallelism:    runtime.GOMAXPROCS(0),
+		moverThreshold: DefaultMoverThreshold,
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.vwt"))
 	if err != nil {
@@ -193,12 +218,17 @@ func Open(dir string) (*DB, error) {
 			return nil, err
 		}
 	}
+	db.SetMoverInterval(DefaultMoverInterval)
 	return db, nil
 }
 
-// Close releases the WAL handle. It takes the write lock, so it blocks
-// until in-flight statements drain; using the DB after Close is invalid.
+// Close stops the background tuple mover and releases the WAL handle.
+// It takes the write lock, so it blocks until in-flight statements
+// drain; using the DB after Close is invalid. Open cursors keep
+// streaming their pinned snapshots (purely in-memory state), but no new
+// statement may start.
 func (db *DB) Close() error {
+	db.stopMover()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.log != nil {
@@ -245,18 +275,24 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 // manager is safe for concurrent use.
 func (db *DB) BufferManager() *bufmgr.Manager { return db.buf }
 
-// refreshLayers publishes the committed master PDT into the catalog so
-// scans merge it.
+// refreshLayers publishes the committed PDT layer stack into the
+// catalog (the live view for compilations without a pinned snapshot)
+// and retires the current epoch snapshot. Callers hold the write lock
+// and have just changed committed state.
 func (db *DB) refreshLayers(table string) error {
-	master, stable, err := db.txm.MasterPDT(table)
+	pin, err := db.txm.Pin(table)
 	if err != nil {
 		return err
 	}
-	_ = stable
-	if master.Empty() {
-		return db.cat.SetLayers(table, nil)
+	var layers []*pdt.PDT
+	if l := pin.Layers(); len(l) > 0 {
+		layers = l
 	}
-	return db.cat.SetLayers(table, []*pdt.PDT{master})
+	if err := db.cat.SetLayers(table, layers); err != nil {
+		return err
+	}
+	db.invalidateSnapshot()
+	return nil
 }
 
 // RegisterTable adds a pre-built table (bulk loads, TPC-H generator).
@@ -271,6 +307,7 @@ func (db *DB) RegisterTable(t *storage.Table) {
 func (db *DB) registerTableLocked(t *storage.Table) {
 	db.cat.Put(t)
 	db.txm.Register(t)
+	db.invalidateSnapshot()
 }
 
 // stmtKind classifies a cached statement for dispatch without re-parsing.
@@ -464,10 +501,10 @@ func (db *DB) execCachedLocked(cs *cachedStmt, vals []vtypes.Value) (int64, erro
 // Query runs a SELECT through the full stack: parse → plan → simplify →
 // parallelize → cross-compile → vectorized execution, with the front
 // half (parse through parallelize) served from the plan cache on
-// repeated statements. Queries run under a shared read lock: any number
-// run concurrently with each other, and each observes a consistent
-// committed snapshot (DDL/DML waits for in-flight queries before
-// mutating shared state).
+// repeated statements. Any number of queries run concurrently with
+// each other and with writers: each pins an immutable epoch snapshot
+// of the committed state at start and observes exactly that state,
+// while DDL/DML publishes new state without waiting for them.
 //
 // Query is a collect-all convenience over [DB.QueryContext]: it drains
 // the streaming cursor into boxed rows. Large results and cancellable
@@ -491,10 +528,12 @@ func (db *DB) QueryArgs(sqlText string, args ...any) (*Result, error) {
 // QueryContext runs a SELECT and returns a lazily-executed streaming
 // cursor instead of a materialized result: no operator pulls a batch
 // until the cursor is consumed, and nothing is ever boxed on the
-// NextBatch path. The cursor holds the DB's shared read lock until
-// [Rows.Close] — see the Rows type for lock tenure and the cancellation
-// contract (ctx stops scans, joins, aggregates and exchange workers at
-// the next vector boundary). args bind `?` / `$N` placeholders.
+// NextBatch path. The shared read lock is held only while the statement
+// is resolved and compiled; the returned cursor owns a pinned epoch
+// snapshot, not a lock — see the Rows type for snapshot tenure and the
+// cancellation contract (ctx stops scans, joins, aggregates and
+// exchange workers at the next vector boundary). args bind `?` / `$N`
+// placeholders.
 func (db *DB) QueryContext(ctx context.Context, sqlText string, args ...any) (*Rows, error) {
 	vals, err := bindArgs(args)
 	if err != nil {
@@ -504,22 +543,17 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, args ...any) (*R
 		ctx = context.Background()
 	}
 	db.mu.RLock()
+	defer db.mu.RUnlock()
 	cs, err := db.getStmtLocked(plancache.Normalize(sqlText))
 	if err != nil {
-		db.mu.RUnlock()
 		return nil, err
 	}
-	rows, err := db.rowsCachedLocked(ctx, cs, vals)
-	if err != nil {
-		db.mu.RUnlock()
-		return nil, err
-	}
-	return rows, nil
+	return db.rowsCachedLocked(ctx, cs, vals)
 }
 
 // rowsCachedLocked binds a cached SELECT compilation and opens a cursor
-// over it. The caller holds db.mu.RLock; on success the cursor owns the
-// lock, on error the caller still does.
+// over it. The caller holds db.mu.RLock (and releases it itself — the
+// cursor owns a pinned snapshot, not the lock).
 func (db *DB) rowsCachedLocked(ctx context.Context, cs *cachedStmt, vals []vtypes.Value) (*Rows, error) {
 	if cs.kind != stmtSelect {
 		return nil, fmt.Errorf("vectorwise: Query requires SELECT")
@@ -588,11 +622,11 @@ func (db *DB) ExplainAnalyze(sqlText string, args ...any) (string, error) {
 		}
 	}
 	rows, err := db.openRowsLocked(context.Background(), plan)
+	db.mu.RUnlock()
 	if err != nil {
-		db.mu.RUnlock()
 		return "", err
 	}
-	// The cursor owns the read lock now; drain it fully so the
+	// The cursor owns a pinned snapshot now; drain it fully so the
 	// counters cover the whole statement.
 	n := 0
 	for {
@@ -724,8 +758,8 @@ func (s *Stmt) Query(args ...any) (*Result, error) {
 
 // QueryContext executes a prepared SELECT as a streaming cursor: the
 // cached plan template is bound and compiled, and the returned Rows
-// holds the DB read lock until Close. ctx cancels the statement between
-// vector batches exactly as in [DB.QueryContext].
+// owns a pinned epoch snapshot until Close. ctx cancels the statement
+// between vector batches exactly as in [DB.QueryContext].
 func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 	if s.kind != stmtSelect {
 		return nil, fmt.Errorf("vectorwise: prepared statement is not a SELECT; use Exec")
@@ -738,17 +772,12 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 		ctx = context.Background()
 	}
 	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
 	cs, err := s.resolveLocked()
 	if err != nil {
-		s.db.mu.RUnlock()
 		return nil, err
 	}
-	rows, err := s.db.rowsCachedLocked(ctx, cs, vals)
-	if err != nil {
-		s.db.mu.RUnlock()
-		return nil, err
-	}
-	return rows, nil
+	return s.db.rowsCachedLocked(ctx, cs, vals)
 }
 
 // Exec executes a prepared DDL/DML statement with args bound to its
@@ -984,10 +1013,13 @@ func (db *DB) execDelete(s *sql.DeleteStmt, params []vtypes.Value) (int64, error
 	return int64(len(rids)), nil
 }
 
-// Checkpoint folds a table's committed deltas into a fresh stable image,
-// persists it (when the DB is disk-backed) and resets the WAL. It holds
-// the DB write lock for the duration, which supplies the quiescence the
-// transaction manager's checkpoint requires.
+// Checkpoint folds a table's committed deltas (big PDT and all tail
+// layers) into a fresh stable image stamped with its applied-LSN
+// watermark, persists it (when the DB is disk-backed), and truncates
+// the WAL once every table's deltas are materialized. It holds the DB
+// write lock for the duration, which supplies the quiescence the
+// transaction manager's checkpoint requires. Open cursors are
+// unaffected — they stream their pinned snapshots.
 func (db *DB) Checkpoint(table string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -996,20 +1028,26 @@ func (db *DB) Checkpoint(table string) error {
 
 // checkpointLocked is Checkpoint for callers already holding the write
 // lock (the bulk loader folds sibling tables before resetting the WAL).
+// Durability order matters: the rebuilt image is persisted before the
+// WAL is touched, and the truncation only happens when no table has
+// unpersisted deltas — a crash between the two replays records the new
+// image's watermark already makes inert, which is harmless.
 func (db *DB) checkpointLocked(table string) error {
 	if err := db.txm.Checkpoint(table); err != nil {
 		return err
 	}
-	_, stable, err := db.txm.MasterPDT(table)
+	pin, err := db.txm.Pin(table)
 	if err != nil {
 		return err
 	}
-	db.cat.Put(stable)
-	db.txm.Register(stable)
+	db.cat.Put(pin.Stable)
 	if err := db.refreshLayers(table); err != nil {
 		return err
 	}
-	return db.persistTable(table)
+	if err := db.persistTable(table); err != nil {
+		return err
+	}
+	return db.txm.TruncateWALIfClean()
 }
 
 // persistTable writes a table file when disk-backed.

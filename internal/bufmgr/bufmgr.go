@@ -216,6 +216,29 @@ func (m *Manager) insertLocked(key chunkKey, v *vector.Vector) {
 	}
 }
 
+// DropTable evicts every cached chunk of t and its idle cooperative-
+// scan bookkeeping. The snapshot layer calls it when the last cursor
+// pinning a superseded stable image closes: the image can never be
+// scanned again, so keeping its decompressed chunks would only push
+// live data out of the pool. Dropping is purely an eviction — a racing
+// scan that still holds the table re-fetches on demand.
+func (m *Manager) DropTable(t *storage.Table) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key, e := range m.cache {
+		if key.t != t {
+			continue
+		}
+		m.lru.Remove(e.elem)
+		delete(m.cache, key)
+		m.used -= e.size
+		m.stats.Evictions++
+	}
+	if at, ok := m.scans[t]; ok && len(at.scans) == 0 {
+		delete(m.scans, t)
+	}
+}
+
 // Contains reports whether a chunk is currently cached (test hook).
 func (m *Manager) Contains(t *storage.Table, group, col int) bool {
 	m.mu.Lock()

@@ -46,6 +46,14 @@ type Catalog struct {
 	// DML (SetLayers) does not bump: plans reference tables by name and
 	// re-resolve PDT layers at execution, so they stay valid.
 	epoch atomic.Uint64
+	// dataEpoch is the data epoch: a monotonic counter bumped whenever
+	// committed data changes — DML commits, tuple-mover folds and
+	// stable-image swaps, checkpoints, bulk loads and (re)registration.
+	// Unlike the schema epoch it does not invalidate plans; it versions
+	// the committed state itself. Epoch-snapshot cursors record the data
+	// epoch they pinned, which is what "a reader sees exactly its epoch"
+	// means operationally.
+	dataEpoch atomic.Uint64
 }
 
 // ErrUnknownTable tags lookups of unregistered tables so callers can
@@ -64,6 +72,23 @@ func (c *Catalog) Put(t *storage.Table) {
 	c.epoch.Add(1)
 }
 
+// ReplaceTable swaps the stable image of an already-registered table,
+// keeping its statistics. Unlike Put it does not bump the schema epoch:
+// a tuple-mover stable swap is a physical reorganization — same name,
+// same schema — so cached plans stay valid and only the data epoch
+// (bumped by the DB layer) moves. The caller refreshes Layers
+// separately to match the new image.
+func (c *Catalog) ReplaceTable(t *storage.Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.tables[t.Meta.Name]
+	if !ok {
+		return fmt.Errorf("catalog: %w %q", ErrUnknownTable, t.Meta.Name)
+	}
+	e.Table = t
+	return nil
+}
+
 // Epoch returns the current schema epoch.
 func (c *Catalog) Epoch() uint64 { return c.epoch.Load() }
 
@@ -72,6 +97,13 @@ func (c *Catalog) Epoch() uint64 { return c.epoch.Load() }
 // internally; it is exported for layers that change planning inputs the
 // catalog cannot see.
 func (c *Catalog) BumpEpoch() { c.epoch.Add(1) }
+
+// DataEpoch returns the current data epoch.
+func (c *Catalog) DataEpoch() uint64 { return c.dataEpoch.Load() }
+
+// BumpDataEpoch advances the data epoch and returns the new value. The
+// DB layer calls it after publishing any committed-state change.
+func (c *Catalog) BumpDataEpoch() uint64 { return c.dataEpoch.Add(1) }
 
 // Get returns the entry for name.
 func (c *Catalog) Get(name string) (*Entry, error) {

@@ -32,12 +32,14 @@
 // transparently (same SQL text) or explicitly via per-session named
 // prepared statements ("prepare once, execute by name").
 //
-// Concurrency: SELECTs run concurrently inside the engine (shared read
-// lock on vectorwise.DB); DDL/DML serializes under the engine's write
-// lock. The admission controller bounds how many statements of any
-// kind execute at once, with a bounded waiting room beyond the cap and
-// 429 past that, so overload degrades by queueing-then-shedding rather
-// than by collapse.
+// Concurrency: SELECTs run concurrently inside the engine, each
+// against its own pinned epoch snapshot of the committed state — a
+// slow or streaming reader never blocks DDL/DML, which serializes
+// under the engine's write lock and publishes new state without
+// waiting for open cursors. The admission controller bounds how many
+// statements of any kind execute at once, with a bounded waiting room
+// beyond the cap and 429 past that, so overload degrades by
+// queueing-then-shedding rather than by collapse.
 package server
 
 import (
@@ -239,9 +241,17 @@ type StatsResponse struct {
 	// Scan exposes cumulative row-group counters: groups decompressed
 	// vs groups skipped by min/max data skipping. A selective
 	// clustered workload shows groups_pruned climbing with traffic.
-	Scan     storage.ScanStatsSnapshot `json:"scan"`
-	Sessions int                       `json:"sessions"`
-	UptimeMs int64                     `json:"uptime_ms"`
+	Scan storage.ScanStatsSnapshot `json:"scan"`
+	// DataEpoch is the engine's committed-state version: it advances on
+	// every DML commit, tuple-mover fold or stable-image swap,
+	// checkpoint and bulk load. A frozen epoch under write traffic
+	// means commits are not landing.
+	DataEpoch uint64 `json:"data_epoch"`
+	// Mover exposes the background tuple mover's cumulative counters
+	// (passes, folds, stable rebuilds, abandoned installs).
+	Mover    vectorwise.MoverStats `json:"mover"`
+	Sessions int                   `json:"sessions"`
+	UptimeMs int64                 `json:"uptime_ms"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -583,14 +593,14 @@ type StreamTrailer struct {
 // then a StreamTrailer — or an ErrorResponse line if the statement
 // fails mid-stream (including cancellation). The caller has acquired an
 // admission slot; streamQuery holds it for the life of the cursor
-// (streaming is engine load: the cursor pins the DB read lock) and
-// releases it on return.
+// (streaming is engine load: the cursor pins an epoch snapshot and
+// drives the operator tree) and releases it on return.
 //
 // Every connection write carries a deadline of QueryTimeout: a client
 // that stops reading its socket (without closing it) would otherwise
 // block the handler inside the write forever — the request context is
 // only checked between batches, not during a stalled conn write — and
-// with it pin the DB read lock and the admission slot indefinitely.
+// with it pin the snapshot and the admission slot indefinitely.
 // With the deadline, a stalled write fails, the cursor closes and the
 // slot frees.
 func (s *Server) streamQuery(w http.ResponseWriter, ctx context.Context, stmt *vectorwise.Stmt, sqlText string, params []any, start time.Time) {
@@ -772,6 +782,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Admission: s.adm.snapshot(),
 		PlanCache: s.db.PlanCacheStats(),
 		Scan:      s.db.ScanStats(),
+		DataEpoch: s.db.Epoch(),
+		Mover:     s.db.MoverStats(),
 		Sessions:  s.sessions.count(),
 		UptimeMs:  time.Since(s.started).Milliseconds(),
 	})

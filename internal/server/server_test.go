@@ -304,6 +304,26 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Admission.InFlight != 0 {
 		t.Fatalf("in_flight should be 0 at rest: %+v", st.Admission)
 	}
+
+	// DML through the server publishes a new epoch snapshot; the stats
+	// endpoint exposes the current data epoch so operators can watch it
+	// advance.
+	before := st.DataEpoch
+	if code := postQuery(t, ts, QueryRequest{SQL: `INSERT INTO kv VALUES (99, 'z')`}, nil); code != http.StatusOK {
+		t.Fatalf("insert status %d", code)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st2 StatsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.DataEpoch <= before {
+		t.Fatalf("data_epoch did not advance after DML: %d -> %d", before, st2.DataEpoch)
+	}
 }
 
 func TestHealthz(t *testing.T) {

@@ -64,6 +64,12 @@ type TableMeta struct {
 	Groups []GroupMeta `json:"groups"`
 	// Rows is the total stable row count.
 	Rows int64 `json:"rowcount"`
+	// AppliedLSN is the highest WAL LSN whose effects are folded into
+	// this stable image (0 = none). Recovery replays only committed WAL
+	// records with a higher LSN, so a stable image rebuilt and swapped
+	// in by the tuple mover (or a checkpoint) makes the records it
+	// absorbed inert without requiring an atomic WAL truncation.
+	AppliedLSN uint64 `json:"applied_lsn,omitempty"`
 }
 
 // Table is a loaded columnar table: metadata plus its raw data section.
@@ -116,29 +122,42 @@ var magic = [8]byte{'V', 'W', 'T', 'B', 0, 0, 0, 1}
 // Save writes the table as a single file:
 //
 //	magic(8) | metaLen(8) | meta JSON | data section
+//
+// The write is crash-atomic: the image lands in a temp file first and
+// renames over path only after a successful sync, so a crash mid-save
+// leaves either the old complete file or the new complete file — never
+// a torn image. The tuple mover's stable-image swap relies on this.
 func (t *Table) Save(path string) error {
 	meta, err := json.Marshal(&t.Meta)
 	if err != nil {
 		return fmt.Errorf("storage: marshal meta: %w", err)
 	}
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	var hdr [16]byte
 	copy(hdr[:8], magic[:])
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(meta)))
-	if _, err := f.Write(hdr[:]); err != nil {
+	_, err = f.Write(hdr[:])
+	if err == nil {
+		_, err = f.Write(meta)
+	}
+	if err == nil {
+		_, err = f.Write(t.data)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	if _, err := f.Write(meta); err != nil {
-		return err
-	}
-	if _, err := f.Write(t.data); err != nil {
-		return err
-	}
-	return f.Sync()
+	return os.Rename(tmp, path)
 }
 
 // Open loads a table file written by Save.

@@ -2,7 +2,9 @@ package tpchdb
 
 import (
 	"context"
+	"fmt"
 	"testing"
+	"time"
 
 	vectorwise "vectorwise"
 	"vectorwise/internal/testutil"
@@ -131,4 +133,93 @@ func findQuery(t *testing.T, name string) tpch.Query {
 	}
 	t.Fatalf("unknown query %s", name)
 	return tpch.Query{}
+}
+
+// The tuple-mover differential: two identically loaded DBs receive the
+// same live DML batches; one runs with an aggressive background mover
+// (short tick, tiny rebuild threshold, plus a forced pass per batch so
+// folds and stable-image swaps are guaranteed, not just likely), the
+// other never moves a tuple. Every suite query must be row-identical
+// between them after every batch — a moved layer stack is a physical
+// reorganization and may never change visible data — and on the moving
+// DB min/max pruning on vs. off must also stay row-identical, pinning
+// data skipping correct across rebuilt stable images and folded
+// deltas.
+func TestSQLSuiteWithActiveMover(t *testing.T) {
+	moving := vectorwise.OpenMemory()
+	frozen := vectorwise.OpenMemory()
+	for _, db := range []*vectorwise.DB{moving, frozen} {
+		// Parallelism is fixed (exchange fan-out is covered elsewhere);
+		// this differential is about storage reorganization.
+		db.SetParallelism(2)
+		if _, err := Load(db, 0.005); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer moving.Close()
+	defer frozen.Close()
+	moving.SetMoverThreshold(8)
+	moving.SetMoverInterval(5 * time.Millisecond)
+	defer moving.SetMoverInterval(0)
+
+	batches := [][]string{
+		{
+			`UPDATE lineitem SET l_quantity = 99 WHERE l_orderkey = 1`,
+			`DELETE FROM lineitem WHERE l_orderkey = 7`,
+			`INSERT INTO orders VALUES (999999, 1, 'F', 1.0, DATE '1995-06-01', '1-URGENT', 'clerk', 7, 'delta row')`,
+		},
+		{
+			// Wide enough to clear the rebuild threshold (dozens of
+			// lineitem rows), narrow enough that the frozen DB's
+			// unfolded Mod layer stays cheap to merge-scan.
+			`UPDATE lineitem SET l_quantity = l_quantity + 1 WHERE l_orderkey < 50`,
+			`UPDATE orders SET o_shippriority = 1 WHERE o_orderkey = 32`,
+			`DELETE FROM orders WHERE o_orderkey = 5`,
+		},
+		{
+			`INSERT INTO lineitem VALUES (999999, 1, 1, 1, 13.0, 14000.0, 0.05, 0.02, 'N', 'O', DATE '1996-01-01', DATE '1996-01-05', DATE '1996-01-10', 'NONE', 'AIR', 'moved row')`,
+			`UPDATE customer SET c_acctbal = c_acctbal + 10 WHERE c_custkey = 1`,
+			`DELETE FROM lineitem WHERE l_orderkey = 3`,
+		},
+	}
+	for bi, batch := range batches {
+		for _, stmt := range batch {
+			for _, db := range []*vectorwise.DB{moving, frozen} {
+				if _, err := db.Exec(stmt); err != nil {
+					t.Fatalf("batch %d %q: %v", bi, stmt, err)
+				}
+			}
+		}
+		// Forced pass on top of the background tick: the moving DB has
+		// definitely folded (and, past the threshold, rebuilt) before
+		// the comparison sweep.
+		if err := moving.MoveTuples(); err != nil {
+			t.Fatalf("batch %d move: %v", bi, err)
+		}
+		for _, sq := range tpch.SQLSuite() {
+			want, err := frozen.Query(sq.SQL)
+			if err != nil {
+				t.Fatalf("batch %d %s frozen: %v", bi, sq.Name, err)
+			}
+			moving.SetDataSkipping(true)
+			on, err := moving.Query(sq.SQL)
+			if err != nil {
+				t.Fatalf("batch %d %s moving: %v", bi, sq.Name, err)
+			}
+			testutil.MatchRows(t, fmt.Sprintf("batch %d %s mover-on-vs-off", bi, sq.Name), want.Rows, on.Rows)
+			moving.SetDataSkipping(false)
+			off, err := moving.Query(sq.SQL)
+			if err != nil {
+				t.Fatalf("batch %d %s moving (noprune): %v", bi, sq.Name, err)
+			}
+			testutil.MatchRows(t, fmt.Sprintf("batch %d %s prune-across-moved-layers", bi, sq.Name), want.Rows, off.Rows)
+		}
+	}
+	st := moving.MoverStats()
+	if st.Folds == 0 {
+		t.Fatalf("mover never folded during the sweep: %+v", st)
+	}
+	if st.Rebuilds == 0 {
+		t.Fatalf("mover never rebuilt a stable image during the sweep: %+v", st)
+	}
 }

@@ -2,21 +2,39 @@
 // over layered PDTs, optimistic PDT-based concurrency control, and a
 // write-ahead log that records PDTs as they commit (paper §I-B).
 //
-// Each table has a *master* PDT over its stable image; the master is
-// immutable once published, so readers hold a consistent snapshot by
-// pinning (stable, master) pairs. A transaction's writes accumulate in a
-// private small PDT stacked on its snapshot master. Commit, under a
-// short critical section:
+// Each table's committed state is a stack of immutable layers:
+//
+//	stable image  →  big PDT  →  tail small PDTs (oldest first)
+//
+// The stable image is the columnar file, the big PDT is the
+// mover-maintained base delta layer, and each commit installs its
+// rebased small PDT as a new tail layer. Every layer is immutable once
+// published, so a reader pins a consistent snapshot by capturing the
+// (stable, big, tails) tuple — commits after the pin only append layers
+// on top and never disturb the pinned objects. A transaction's writes
+// accumulate in a private small PDT over its snapshot's top image.
+//
+// Commit, under a short critical section:
 //
 //  1. validates optimistically — the small PDT's write set, translated
-//     to stable SIDs, must not intersect the write set of any
-//     transaction committed after the snapshot (first-committer-wins);
-//  2. rebases the small PDT from snapshot-master coordinates onto the
-//     current master's image (valid because validation ruled out
-//     overlapping positions);
+//     down the snapshot stack to stable SIDs, must not intersect the
+//     write set of any transaction committed after the snapshot
+//     (first-committer-wins);
+//  2. rebases the small PDT up through tail layers appended since the
+//     snapshot (valid because validation ruled out overlapping
+//     positions);
 //  3. logs the rebased PDT and a commit marker to the WAL;
-//  4. propagates it onto a copy of the current master and publishes the
-//     result as the new master version.
+//  4. publishes the rebased PDT as the new top tail layer. Publishing is
+//     O(own writes) — the big PDT is NOT propagated on the commit path;
+//     folding tail layers into it is the background tuple mover's job
+//     (InstallFold / InstallStable / Checkpoint).
+//
+// Layer reorganizations (mover folds, stable-image swaps, checkpoints,
+// re-registration) bump the table's base generation; a transaction whose
+// snapshot predates a reorganization cannot commit and gets
+// ErrStaleSnapshot. The vectorwise.DB layer serializes writers against
+// reorganizations with its write lock, so the error never surfaces
+// through the SQL API; raw Manager users retry.
 package txn
 
 import (
@@ -37,24 +55,58 @@ var ErrConflict = errors.New("txn: write-write conflict, transaction aborted")
 // ErrClosed is returned when using a finished transaction.
 var ErrClosed = errors.New("txn: transaction already committed or aborted")
 
+// ErrStaleSnapshot is returned by Commit when the table's layer stack
+// was reorganized (mover fold, stable swap, checkpoint) after the
+// transaction pinned its snapshot. The transaction is aborted; the
+// caller may retry on a fresh snapshot.
+var ErrStaleSnapshot = errors.New("txn: snapshot predates a layer reorganization, transaction aborted")
+
+// maxTailLayers bounds the tail stack between mover runs: a commit that
+// would grow the stack past this folds every tail into the big PDT
+// inline (an O(big) backstop keeping scan merge chains short even with
+// the mover disabled).
+const maxTailLayers = 16
+
 // commitInfo records a committed transaction's write set for validation.
 type commitInfo struct {
 	version uint64
 	touched map[int64]struct{}
 }
 
-// tableState is the committed state of one table.
+// tableState is the committed state of one table. All layer fields are
+// immutable once published — mutations replace fields under Manager.mu,
+// they never modify a published *pdt.PDT or *storage.Table in place.
 type tableState struct {
-	stable  *storage.Table
-	master  *pdt.PDT
+	stable *storage.Table
+	// big is the mover-maintained base delta layer over stable (empty,
+	// never nil, when fully folded).
+	big *pdt.PDT
+	// tail holds committed small-PDT layers above big, oldest first.
+	// Layer i applies to the output image of everything below it.
+	tail []*pdt.PDT
+	// bigLSN is the highest WAL LSN folded into stable or big; tailLSN
+	// parallels tail with each layer's data-record LSN (0 without WAL).
+	bigLSN  uint64
+	tailLSN []uint64
+	// version bumps on every publish; base bumps only on layer
+	// reorganizations and fences stale-snapshot commits.
 	version uint64
+	base    uint64
 	commits []commitInfo
 }
 
+// topRows returns the visible row count of the table's top image.
+func (ts *tableState) topRows() int64 {
+	if n := len(ts.tail); n > 0 {
+		return ts.tail[n-1].VisibleRows()
+	}
+	return ts.big.VisibleRows()
+}
+
 // Manager owns committed state and the WAL. All Manager methods are
-// safe for concurrent use; committed snapshots (stable image + master
-// PDT) are immutable once published, so a snapshot pinned by one
-// transaction is never mutated by another's commit.
+// safe for concurrent use; committed layers are immutable once
+// published, so a snapshot pinned by one transaction or cursor is never
+// mutated by another's commit.
 type Manager struct {
 	mu      sync.Mutex
 	tables  map[string]*tableState
@@ -68,19 +120,41 @@ func NewManager(log *wal.Log) *Manager {
 	return &Manager{tables: make(map[string]*tableState), log: log, nextTxn: 1}
 }
 
-// Register adds a table with an empty master PDT.
+// Register installs t as the complete committed state of its table:
+// empty big PDT, no tails. Re-registering an existing name asserts the
+// new image supersedes everything previously committed (the bulk-load
+// path does this after folding deltas into the rebuilt file), so the
+// applied-LSN watermark carries forward and the base generation bumps.
 func (m *Manager) Register(t *storage.Table) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.tables[t.Meta.Name] = &tableState{
+	ns := &tableState{
 		stable: t,
-		master: pdt.New(t.Schema(), t.Rows()),
+		big:    pdt.New(t.Schema(), t.Rows()),
+		bigLSN: t.Meta.AppliedLSN,
 	}
+	if old := m.tables[t.Meta.Name]; old != nil {
+		ns.version = old.version + 1
+		ns.base = old.base + 1
+		if old.bigLSN > ns.bigLSN {
+			ns.bigLSN = old.bigLSN
+		}
+		for _, lsn := range old.tailLSN {
+			if lsn > ns.bigLSN {
+				ns.bigLSN = lsn
+			}
+		}
+	}
+	m.tables[t.Meta.Name] = ns
 }
 
 // Recover replays committed WAL records (from wal.Open) onto the
-// registered tables. Must run after all tables are registered and before
-// any transaction starts.
+// registered tables, folding each into the big PDT. Records whose LSN
+// is at or below the stable image's applied-LSN watermark are already
+// materialized in the file and are skipped — this is what makes the
+// tuple mover's stable swap crash-safe without atomic WAL truncation.
+// Must run after all tables are registered and before any transaction
+// starts.
 func (m *Manager) Recover(recs []wal.Record) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -89,15 +163,19 @@ func (m *Manager) Recover(recs []wal.Record) error {
 		if ts == nil {
 			return fmt.Errorf("txn: WAL references unknown table %q", r.Table)
 		}
+		if r.LSN <= ts.stable.Meta.AppliedLSN {
+			continue
+		}
 		small, err := pdt.Decode(ts.stable.Schema(), r.Data)
 		if err != nil {
 			return fmt.Errorf("txn: WAL record LSN %d: %w", r.LSN, err)
 		}
-		combined, err := pdt.Propagate(ts.master, small)
+		combined, err := pdt.Propagate(ts.big, small)
 		if err != nil {
 			return fmt.Errorf("txn: WAL replay LSN %d: %w", r.LSN, err)
 		}
-		ts.master = combined
+		ts.big = combined
+		ts.bigLSN = r.LSN
 		ts.version++
 	}
 	return nil
@@ -106,8 +184,39 @@ func (m *Manager) Recover(recs []wal.Record) error {
 // snapshot pins one table's committed state.
 type snapshot struct {
 	stable  *storage.Table
-	master  *pdt.PDT
+	big     *pdt.PDT
+	tail    []*pdt.PDT
 	version uint64
+	base    uint64
+}
+
+// topRows returns the visible row count of the snapshot's top image.
+func (s *snapshot) topRows() int64 {
+	if n := len(s.tail); n > 0 {
+		return s.tail[n-1].VisibleRows()
+	}
+	return s.big.VisibleRows()
+}
+
+// anchorStable translates a position in the snapshot's top image down
+// through the layer stack to its stable-image anchor SID — the
+// coordinate system shared by all transactions, in which conflicts are
+// defined. Both write targets (Del/Mod) and insertion points anchor the
+// same way: each layer's InsertionPoint decomposition yields the SID the
+// position belongs to in the layer's input image.
+func anchorStable(s *snapshot, pos int64) (int64, error) {
+	for i := len(s.tail) - 1; i >= 0; i-- {
+		sid, _, err := s.tail[i].InsertionPoint(pos)
+		if err != nil {
+			return 0, err
+		}
+		pos = sid
+	}
+	sid, _, err := s.big.InsertionPoint(pos)
+	if err != nil {
+		return 0, err
+	}
+	return sid, nil
 }
 
 // Txn is an in-flight transaction. A Txn is owned by one goroutine at a
@@ -141,7 +250,7 @@ func (t *Txn) snap(table string) (*snapshot, error) {
 	if ts == nil {
 		return nil, fmt.Errorf("txn: unknown table %q", table)
 	}
-	s := &snapshot{stable: ts.stable, master: ts.master, version: ts.version}
+	s := &snapshot{stable: ts.stable, big: ts.big, tail: ts.tail, version: ts.version, base: ts.base}
 	t.snaps[table] = s
 	return s, nil
 }
@@ -154,7 +263,7 @@ func (t *Txn) small(table string) (*pdt.PDT, *snapshot, error) {
 	}
 	w, ok := t.writes[table]
 	if !ok {
-		w = pdt.New(s.stable.Schema(), s.master.VisibleRows())
+		w = pdt.New(s.stable.Schema(), s.topRows())
 		t.writes[table] = w
 	}
 	return w, s, nil
@@ -165,11 +274,10 @@ func (t *Txn) Rows(table string) (int64, error) {
 	if t.done {
 		return 0, ErrClosed
 	}
-	w, s, err := t.small(table)
+	w, _, err := t.small(table)
 	if err != nil {
 		return 0, err
 	}
-	_ = s
 	return w.VisibleRows(), nil
 }
 
@@ -221,7 +329,8 @@ func (t *Txn) Update(table string, rid int64, col int, val vtypes.Value) error {
 	return w.Modify(rid, col, val)
 }
 
-// RowAt reads the visible row at rid (snapshot + own writes).
+// RowAt reads the visible row at rid (snapshot + own writes) by chaining
+// point lookups down the layer stack.
 func (t *Txn) RowAt(table string, rid int64) (vtypes.Row, error) {
 	if t.done {
 		return nil, ErrClosed
@@ -230,14 +339,18 @@ func (t *Txn) RowAt(table string, rid int64) (vtypes.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	masterRead := func(sid int64) (vtypes.Row, error) {
-		return s.master.RowAt(sid, s.stable.RowAt)
+	read := s.stable.RowAt
+	for _, layer := range append([]*pdt.PDT{s.big}, s.tail...) {
+		below := read
+		l := layer
+		read = func(sid int64) (vtypes.Row, error) { return l.RowAt(sid, below) }
 	}
-	return w.RowAt(rid, masterRead)
+	return w.RowAt(rid, read)
 }
 
 // Scan returns a RowSource over the transaction's view of the table:
-// stable image merged with the snapshot master and the private PDT.
+// stable image merged with the snapshot's layer stack and the private
+// PDT on top.
 func (t *Txn) Scan(table string, vecSize int) (pdt.RowSource, *vtypes.Schema, error) {
 	if t.done {
 		return nil, nil, ErrClosed
@@ -250,9 +363,14 @@ func (t *Txn) Scan(table string, vecSize int) (pdt.RowSource, *vtypes.Schema, er
 	for i := range cols {
 		cols[i] = i
 	}
-	base := &scanSource{sc: storage.NewScanner(s.stable, cols, nil, nil, vecSize)}
-	merged := pdt.NewMergeScan(base, s.master, vecSize)
-	return pdt.NewMergeScan(merged, w, vecSize), s.stable.Schema(), nil
+	var src pdt.RowSource = &scanSource{sc: storage.NewScanner(s.stable, cols, nil, nil, vecSize)}
+	for _, layer := range append([]*pdt.PDT{s.big}, s.tail...) {
+		if layer.Empty() {
+			continue
+		}
+		src = pdt.NewMergeScan(src, layer, vecSize)
+	}
+	return pdt.NewMergeScan(src, w, vecSize), s.stable.Schema(), nil
 }
 
 // scanSource adapts storage.Scanner to pdt.RowSource.

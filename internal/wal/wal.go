@@ -36,6 +36,12 @@ const (
 	KindData RecordKind = 1
 	// KindCommit marks the transaction as durably committed.
 	KindCommit RecordKind = 2
+	// KindReset is the sentinel Reset writes after truncating the log.
+	// Its only job is to carry the pre-truncation LSN forward, so LSNs
+	// stay monotonic for the life of the database even across resets —
+	// the property that lets table images record an applied-LSN
+	// watermark and recovery skip records already folded into them.
+	KindReset RecordKind = 3
 )
 
 // Record is one log entry.
@@ -165,15 +171,23 @@ func (l *Log) Append(txn uint64, kind RecordKind, table string, data []byte) (ui
 func (l *Log) Sync() error { return l.f.Sync() }
 
 // Reset truncates the log after a checkpoint has made all logged state
-// durable in the table files.
+// durable in the table files. The LSN sequence is NOT reset: a KindReset
+// sentinel carrying the next LSN is written first, so records appended
+// after the reset (and after a crash-reopen of the truncated log) keep
+// strictly increasing LSNs. Applied-LSN watermarks recorded in table
+// images therefore stay comparable across resets.
 func (l *Log) Reset() error {
+	next := l.nextLSN
 	if err := l.f.Truncate(0); err != nil {
 		return err
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	l.nextLSN = 1
+	l.nextLSN = next
+	if _, err := l.Append(0, KindReset, "", nil); err != nil {
+		return err
+	}
 	return l.f.Sync()
 }
 

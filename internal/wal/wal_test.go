@@ -92,16 +92,32 @@ func TestCorruptTailTruncated(t *testing.T) {
 	}
 }
 
-func TestReset(t *testing.T) {
+func TestResetKeepsLSNsMonotonic(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "w.wal")
 	l, _, _ := Open(path)
-	defer l.Close()
-	_, _ = l.Append(1, KindCommit, "", nil)
+	_, _ = l.Append(1, KindData, "t", []byte("x"))
+	last, _ := l.Append(1, KindCommit, "", nil)
 	if err := l.Reset(); err != nil {
 		t.Fatal(err)
 	}
 	lsn, _ := l.Append(2, KindCommit, "", nil)
-	if lsn != 1 {
-		t.Fatalf("LSN must restart after reset, got %d", lsn)
+	if lsn <= last {
+		t.Fatalf("LSNs must stay monotonic across reset: %d then %d", last, lsn)
+	}
+	l.Close()
+
+	// Reopen: the reset sentinel carries the sequence forward, old data
+	// records are gone, and appends keep increasing.
+	l2, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := CommittedTxns(recs); len(got) != 0 {
+		t.Fatalf("reset must drop old data records, got %d", len(got))
+	}
+	lsn2, _ := l2.Append(3, KindCommit, "", nil)
+	if lsn2 <= lsn {
+		t.Fatalf("LSNs must stay monotonic across reset+reopen: %d then %d", lsn, lsn2)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"vectorwise/internal/catalog"
 	"vectorwise/internal/core"
 	"vectorwise/internal/expr"
+	"vectorwise/internal/pdt"
 	"vectorwise/internal/storage"
 	"vectorwise/internal/vtypes"
 )
@@ -38,6 +39,19 @@ type Options struct {
 	// statement instead of running to completion. Nil disables the
 	// checks (hand-built experiment plans pay nothing).
 	Ctx context.Context
+	// Resolver, when non-nil, supplies each scan's stable image and PDT
+	// layer stack instead of the live catalog. Epoch-snapshot cursors
+	// pass their pinned snapshot here, so a compiled statement reads
+	// exactly the commit point it pinned no matter what commits, folds
+	// or stable-image swaps happen while it streams.
+	Resolver Resolver
+}
+
+// Resolver resolves a table name to the stable image and PDT layer
+// stack (bottom first) its scans should merge. *catalog.Catalog
+// implements it with the live committed state.
+type Resolver interface {
+	Resolve(name string) (*storage.Table, []*pdt.PDT, error)
 }
 
 // Compile translates a plan into a vectorized operator tree.
@@ -68,7 +82,11 @@ func (c *compiler) node(n algebra.Node) (core.Operator, error) {
 func (c *compiler) nodeInner(n algebra.Node) (core.Operator, error) {
 	switch t := n.(type) {
 	case *algebra.ScanNode:
-		tbl, layers, err := c.cat.Resolve(t.Table)
+		var res Resolver = c.cat
+		if c.opts.Resolver != nil {
+			res = c.opts.Resolver
+		}
+		tbl, layers, err := res.Resolve(t.Table)
 		if err != nil {
 			return nil, err
 		}

@@ -24,22 +24,27 @@ var ErrRowsClosed = errors.New("vectorwise: Rows is closed")
 // stops early never pays for rows it did not read, and a result of any
 // size streams in O(vector) memory.
 //
-// # Lock tenure
+// # Snapshot tenure
 //
-// An open Rows holds the DB's shared read lock from QueryContext until
-// Close. Concurrent SELECTs from other goroutines proceed freely, but
-// DDL/DML (the exclusive write lock) blocks until every open cursor
-// closes — so close cursors promptly, and never start ANY new
-// statement from the goroutine holding an open Rows, reads included:
-// Exec deadlocks outright (the RWMutex is not reentrant), and a new
-// Query/QueryContext deadlocks as soon as any writer is queued, because
-// a waiting writer blocks new readers while the open cursor blocks the
-// writer. Next returning false and NextBatch returning (nil, nil)
-// auto-close the cursor, so a fully drained Rows releases the lock
-// without an explicit Close; calling Close anyway is cheap and always
-// correct (it is idempotent). Close on a partially consumed cursor
-// aborts the statement (operators observe an internal cancel), so
-// stopping early never executes the rest of the query.
+// An open Rows holds no DB lock. QueryContext pins the current epoch
+// snapshot — an immutable image of every table's committed state — and
+// the cursor streams against it until Close, however slowly it is
+// consumed. Concurrent statements from other goroutines proceed
+// freely, writers included: DML commits new delta layers and the tuple
+// mover reorganizes storage without waiting for open cursors, and the
+// cursor keeps seeing exactly the state of its pinned epoch
+// ([Rows.Epoch]). Issuing statements from the goroutine holding an
+// open Rows is likewise safe (the shared read lock is held only inside
+// QueryContext itself, never across a cursor's lifetime).
+//
+// Next returning false and NextBatch returning (nil, nil) auto-close
+// the cursor, so a fully drained Rows releases its snapshot without an
+// explicit Close; calling Close anyway is cheap and always correct (it
+// is idempotent). Close on a partially consumed cursor aborts the
+// statement (operators observe an internal cancel), so stopping early
+// never executes the rest of the query. Close cursors promptly anyway:
+// the snapshot pins superseded stable images and delta layers in
+// memory until the last cursor on its epoch closes.
 //
 // # Cancellation
 //
@@ -47,12 +52,13 @@ var ErrRowsClosed = errors.New("vectorwise: Rows is closed")
 // operator in the compiled tree, including exchange workers. Once it is
 // done, the in-flight statement — scan, join build, aggregation,
 // sort — stops at the next vector boundary and the cursor's error is the
-// context's error. The cursor auto-closes, releasing the read lock.
+// context's error. The cursor auto-closes, releasing its snapshot.
 //
 // Rows is not safe for concurrent use by multiple goroutines.
 type Rows struct {
-	db *DB
-	op core.Operator
+	db   *DB
+	snap *dbSnapshot
+	op   core.Operator
 	// cancel aborts the statement's internal context on Close, so a
 	// cursor abandoned mid-result stops its operators (including
 	// exchange producers) at the next vector boundary instead of
@@ -74,26 +80,32 @@ type Rows struct {
 }
 
 // openRowsLocked compiles and opens a bound plan into a cursor. The
-// caller holds db.mu.RLock; on success the returned Rows owns that lock
-// and releases it in Close. On error the caller still owns the lock.
+// caller holds db.mu.RLock (and releases it itself after this returns,
+// success or error). The cursor pins the current epoch snapshot and
+// compiles scans against it, so it needs no lock after this; Close
+// (or draining to the end) drops the snapshot reference.
 func (db *DB) openRowsLocked(ctx context.Context, plan algebra.Node) (*Rows, error) {
 	// The statement runs under a child context so Close can abort it:
 	// the caller's ctx cancels it from outside, Close from inside.
 	ctx, cancel := context.WithCancel(ctx)
+	snap := db.acquireSnapshot()
 	stats := &storage.ScanStats{}
 	op, err := xcompile.Compile(plan, db.cat, xcompile.Options{
 		Fetch:     db.buf,
 		Ctx:       ctx,
 		ScanStats: stats,
 		NoPrune:   db.noSkip,
+		Resolver:  snap,
 	})
 	if err != nil {
 		cancel()
+		snap.unref()
 		return nil, err
 	}
 	if err := op.Open(); err != nil {
 		op.Close()
 		cancel()
+		snap.unref()
 		return nil, err
 	}
 	schema := plan.Schema()
@@ -101,8 +113,14 @@ func (db *DB) openRowsLocked(ctx context.Context, plan algebra.Node) (*Rows, err
 	for i := range cols {
 		cols[i] = schema.Col(i).Name
 	}
-	return &Rows{db: db, op: op, cancel: cancel, cols: cols, schema: schema, stats: stats}, nil
+	return &Rows{db: db, snap: snap, op: op, cancel: cancel, cols: cols, schema: schema, stats: stats}, nil
 }
+
+// Epoch returns the data epoch this cursor pinned at QueryContext time.
+// Every row the cursor ever yields reflects exactly the committed state
+// of that epoch, regardless of concurrent writes; two cursors reporting
+// the same epoch see identical data.
+func (r *Rows) Epoch() uint64 { return r.snap.epoch }
 
 // ScanStats returns this statement's row-group counters so far: groups
 // the scans decompressed vs groups min/max data skipping pruned. On a
@@ -156,7 +174,7 @@ func (r *Rows) NextBatch() (*vector.Batch, error) {
 
 // Next advances to the next row, reporting whether one is available.
 // It returns false at end of stream or on error (check Err); in both
-// cases the cursor has auto-closed and the read lock is released.
+// cases the cursor has auto-closed and its snapshot is released.
 func (r *Rows) Next() bool {
 	if r.closed || r.err != nil {
 		return false
@@ -299,9 +317,11 @@ func scanValue(v *vector.Vector, ix int, dest any) error {
 func (r *Rows) Err() error { return r.err }
 
 // Close releases the cursor: it closes the operator tree (joining any
-// exchange workers) and releases the DB read lock. Close is idempotent;
-// only the first call does work. The returned error is the operator
-// tree's close error, not the iteration error (see Err).
+// exchange workers) and drops its snapshot reference — the last cursor
+// on a superseded epoch triggers reclamation of stable images that can
+// no longer be read. Close is idempotent; only the first call does
+// work. The returned error is the operator tree's close error, not the
+// iteration error (see Err).
 func (r *Rows) Close() error { return r.close() }
 
 func (r *Rows) close() error {
@@ -318,7 +338,7 @@ func (r *Rows) close() error {
 	r.cancel()
 	err := r.op.Close()
 	r.db.scanStats.Add(r.stats.Snapshot())
-	r.db.mu.RUnlock()
+	r.snap.unref()
 	return err
 }
 

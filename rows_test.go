@@ -103,42 +103,70 @@ func TestRowsMatchesQuery(t *testing.T) {
 	}
 }
 
-// TestRowsBlocksWriterUntilClose: an open cursor holds the shared read
-// lock, so a concurrent Exec (write lock) must not proceed until the
-// cursor closes. Run under -race in CI.
-func TestRowsBlocksWriterUntilClose(t *testing.T) {
-	db := rowsTestDB(t, 3000)
+// TestRowsSnapshotDoesNotBlockWriter: an open cursor pins an epoch
+// snapshot, not a lock, so a concurrent Exec proceeds immediately —
+// and the cursor still yields exactly the rows of its pinned epoch,
+// unaffected by the commit. Run under -race in CI.
+func TestRowsSnapshotDoesNotBlockWriter(t *testing.T) {
+	const total = 3000
+	db := rowsTestDB(t, total)
 	rows, err := db.QueryContext(context.Background(), `SELECT k, v FROM pts`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rows.NextBatch(); err != nil {
+	pinned := rows.Epoch()
+	first, err := rows.NextBatch()
+	if err != nil {
 		t.Fatal(err)
 	}
+	n := int64(first.N)
 
 	execDone := make(chan error, 1)
 	go func() {
 		_, err := db.Exec(`INSERT INTO pts VALUES (999999, 1.5, 'z')`)
 		execDone <- err
 	}()
-
-	select {
-	case <-execDone:
-		t.Fatal("Exec completed while a cursor was open (read lock not held)")
-	case <-time.After(100 * time.Millisecond):
-		// Writer is blocked, as required.
-	}
-
-	if err := rows.Close(); err != nil {
-		t.Fatal(err)
-	}
 	select {
 	case err := <-execDone:
 		if err != nil {
-			t.Fatalf("Exec after Close: %v", err)
+			t.Fatalf("Exec with open cursor: %v", err)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("Exec still blocked after cursor Close")
+		t.Fatal("Exec blocked behind an open cursor (snapshot read not lock-free)")
+	}
+	if db.Epoch() == pinned {
+		t.Fatal("commit did not advance the data epoch")
+	}
+
+	// The cursor keeps streaming its pinned epoch: the concurrent
+	// insert must not appear, and the row count is exactly the
+	// snapshot's.
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			if k := b.Vecs[0].I64[b.LiveIndex(i)]; k == 999999 {
+				t.Fatal("cursor observed a row committed after its snapshot was pinned")
+			}
+		}
+		n += int64(b.N)
+	}
+	if n != total {
+		t.Fatalf("pinned cursor saw %d rows, want %d", n, total)
+	}
+
+	// A fresh cursor pins the new epoch and sees the insert.
+	res, err := db.Query(`SELECT COUNT(*) FROM pts WHERE k = 999999`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt := res.Rows[0][0].I64; cnt != 1 {
+		t.Fatalf("new cursor: inserted row count = %d, want 1", cnt)
 	}
 }
 

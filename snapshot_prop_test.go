@@ -1,0 +1,169 @@
+package vectorwise
+
+// Property test of the snapshot machinery: random interleavings of
+// INSERT / UPDATE / DELETE / Checkpoint / MoveTuples are mirrored into
+// a plain-Go oracle map, and snapshot cursors pinned at random points
+// along the way — each paired with a copy of the oracle at its pin
+// instant — are drained at later random points (after arbitrarily many
+// commits, folds, stable swaps and checkpoints) and must replay
+// exactly the oracle state of their pin epoch. Fixed seeds keep runs
+// reproducible; odd seeds run disk-backed to put the WAL and the
+// persisted-image watermark in the loop.
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+type propCursor struct {
+	rows   *Rows
+	expect map[int64]int64 // oracle at pin time
+	step   int             // pin step, for failure messages
+}
+
+// drainAndCheck consumes a pinned cursor and compares it to the oracle
+// copy captured when it was pinned.
+func (pc *propCursor) drainAndCheck(t *testing.T, now int) {
+	t.Helper()
+	got := make(map[int64]int64)
+	var n int
+	for {
+		b, err := pc.rows.NextBatch()
+		if err != nil {
+			t.Fatalf("cursor pinned at step %d, drained at %d: %v", pc.step, now, err)
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			ix := b.LiveIndex(i)
+			got[b.Vecs[0].I64[ix]] = b.Vecs[1].I64[ix]
+			n++
+		}
+	}
+	if n != len(pc.expect) {
+		t.Fatalf("cursor pinned at step %d, drained at %d: %d rows, oracle had %d",
+			pc.step, now, n, len(pc.expect))
+	}
+	for k, v := range pc.expect {
+		gv, ok := got[k]
+		if !ok || gv != v {
+			t.Fatalf("cursor pinned at step %d, drained at %d: key %d = (%d,%v), oracle %d",
+				pc.step, now, k, gv, ok, v)
+		}
+	}
+}
+
+func TestSnapshotPropertyRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSnapshotProperty(t, seed)
+		})
+	}
+}
+
+func runSnapshotProperty(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var db *DB
+	if seed%2 == 1 {
+		var err error
+		if db, err = Open(filepath.Join(t.TempDir(), "db")); err != nil {
+			t.Fatal(err)
+		}
+		db.SetMoverInterval(0)
+	} else {
+		db = OpenMemory()
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE kv (k BIGINT, v BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny threshold so MoveTuples steps actually rebuild the stable
+	// image, not just fold.
+	db.SetMoverThreshold(4)
+
+	oracle := make(map[int64]int64)
+	copyOracle := func() map[int64]int64 {
+		c := make(map[int64]int64, len(oracle))
+		for k, v := range oracle {
+			c[k] = v
+		}
+		return c
+	}
+	var pinned []*propCursor
+	nextKey := int64(0)
+	randKey := func() int64 {
+		if nextKey == 0 {
+			return 0
+		}
+		return rng.Int63n(nextKey)
+	}
+
+	const steps = 500
+	for step := 0; step < steps; step++ {
+		switch p := rng.Intn(100); {
+		case p < 35: // insert a fresh key
+			k, v := nextKey, rng.Int63n(1000)
+			nextKey++
+			if _, err := db.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, %d)`, k, v)); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			oracle[k] = v
+		case p < 55: // update a (possibly absent) key
+			k, v := randKey(), rng.Int63n(1000)
+			if _, err := db.Exec(fmt.Sprintf(`UPDATE kv SET v = %d WHERE k = %d`, v, k)); err != nil {
+				t.Fatalf("step %d update: %v", step, err)
+			}
+			if _, ok := oracle[k]; ok {
+				oracle[k] = v
+			}
+		case p < 70: // delete a (possibly absent) key
+			k := randKey()
+			if _, err := db.Exec(fmt.Sprintf(`DELETE FROM kv WHERE k = %d`, k)); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			delete(oracle, k)
+		case p < 75: // checkpoint: full flatten + WAL truncate when clean
+			if err := db.Checkpoint("kv"); err != nil {
+				t.Fatalf("step %d checkpoint: %v", step, err)
+			}
+		case p < 85: // mover pass: fold + (tiny threshold) stable rebuild
+			if err := db.MoveTuples(); err != nil {
+				t.Fatalf("step %d move: %v", step, err)
+			}
+		case p < 95: // pin a snapshot cursor, drain later
+			rows, err := db.QueryContext(nil, `SELECT k, v FROM kv`)
+			if err != nil {
+				t.Fatalf("step %d pin: %v", step, err)
+			}
+			pinned = append(pinned, &propCursor{rows: rows, expect: copyOracle(), step: step})
+		default: // drain a random pinned cursor now
+			if len(pinned) == 0 {
+				continue
+			}
+			i := rng.Intn(len(pinned))
+			pc := pinned[i]
+			pinned = append(pinned[:i], pinned[i+1:]...)
+			pc.drainAndCheck(t, step)
+		}
+	}
+	// Drain every straggler — some of these snapshots predate dozens
+	// of reorganizations.
+	for _, pc := range pinned {
+		pc.drainAndCheck(t, steps)
+	}
+	// Final state matches the oracle through a fresh snapshot.
+	final := &propCursor{expect: copyOracle(), step: steps}
+	rows, err := db.QueryContext(nil, `SELECT k, v FROM kv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final.rows = rows
+	final.drainAndCheck(t, steps)
+	if st := db.MoverStats(); st.Folds == 0 && st.Rebuilds == 0 {
+		t.Logf("note: mover never reorganized this run: %+v", st)
+	}
+}
