@@ -11,6 +11,9 @@
 // cache, bulk-loaded storage). `sql` writes a machine-readable
 // BENCH_tpch.json (-out) and, given -baseline, prints a markdown
 // comparison that warns on per-query warm-time regressions above 25%.
+// `cluster` benchmarks the distributed exchange — 1-node vs N-shard
+// TPC-H plus failover recovery latency — into BENCH_cluster.json
+// (-cluster-out / -cluster-baseline / -cluster-sf / -cluster-shards).
 //
 // The TPC-H database itself is built through the public ingest surface
 // (CREATE TABLE + DB.LoadBatch via internal/tpchdb), so every
@@ -41,12 +44,16 @@ import (
 
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
-	exp := flag.String("exp", "all", "experiment id (sql mixed t1 c1 c2 f1 t2 t3 t4 t5 t6 f2 or all)")
+	exp := flag.String("exp", "all", "experiment id (sql mixed cluster t1 c1 c2 f1 t2 t3 t4 t5 t6 f2 or all)")
 	out := flag.String("out", "BENCH_tpch.json", "output path for the sql experiment's JSON artifact")
 	baseline := flag.String("baseline", "", "baseline JSON to compare the sql experiment against")
 	warmRuns := flag.Int("warm", 5, "warm executions per query in the sql experiment")
 	mixedOut := flag.String("mixed-out", "BENCH_mixed.json", "output path for the mixed experiment's JSON artifact")
 	mixedBaseline := flag.String("mixed-baseline", "", "baseline JSON to compare the mixed experiment against")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "output path for the cluster experiment's JSON artifact")
+	clusterBaseline := flag.String("cluster-baseline", "", "baseline JSON to compare the cluster experiment against")
+	clusterSF := flag.Float64("cluster-sf", 0.05, "TPC-H scale factor for the cluster experiment")
+	clusterShards := flag.Int("cluster-shards", 3, "shard count for the cluster experiment")
 	flag.Parse()
 
 	fmt.Printf("vectorwise experiment harness — SF=%g, GOMAXPROCS=%d\n\n", *sf, runtime.GOMAXPROCS(0))
@@ -72,6 +79,9 @@ func main() {
 	}
 	if want("mixed") {
 		expMixed(db, *mixedOut, *mixedBaseline)
+	}
+	if want("cluster") {
+		expCluster(*clusterSF, *clusterShards, *clusterOut, *clusterBaseline)
 	}
 	if want("t1") {
 		expT1(cat, *sf)

@@ -1,0 +1,94 @@
+// Command vwcoord fronts a sharded + replicated cluster of vwserve
+// nodes: it hash-shards designated tables across the shards on ingest,
+// scatters SELECTs as per-shard partial statements, merges the partial
+// results, and fails reads over between a shard's replicas when a node
+// dies. It speaks the same /v1/query wire as a single node, so clients
+// point at the coordinator exactly as they would at vwserve.
+//
+//	vwserve -addr :9001 -name s0a &
+//	vwserve -addr :9002 -name s0b &
+//	vwserve -addr :9011 -name s1a &
+//	vwcoord -addr :8080 \
+//	    -shard localhost:9001,localhost:9002 \
+//	    -shard localhost:9011 \
+//	    -table lineitem:l_orderkey -table orders:o_orderkey
+//
+// Flags:
+//
+//	-addr             listen address (default :8080)
+//	-shard            one shard's replica URLs, comma-separated (repeat per shard)
+//	-table            shard a table: name:keycol (repeat per table; others replicate)
+//	-timeout          per-shard request deadline (default 30s)
+//	-health-interval  replica health poll period (default 2s)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vectorwise/internal/cluster"
+)
+
+// repeatFlag collects a repeatable string flag.
+type repeatFlag []string
+
+func (f *repeatFlag) String() string     { return strings.Join(*f, "; ") }
+func (f *repeatFlag) Set(v string) error { *f = append(*f, v); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-shard request deadline")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "replica health poll period")
+	var shards, tables repeatFlag
+	flag.Var(&shards, "shard", "one shard's replica URLs, comma-separated (repeat per shard)")
+	flag.Var(&tables, "table", "shard a table: name:keycol (repeat per table)")
+	flag.Parse()
+
+	m, err := cluster.ParseShardFlags(shards, tables)
+	if err != nil {
+		fail(err)
+	}
+	co, err := cluster.New(cluster.Config{
+		Map:            m,
+		Timeout:        *timeout,
+		HealthInterval: *healthInterval,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer co.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           co.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("vwcoord listening on %s (%d shards, %d sharded tables)\n",
+		*addr, m.NumShards(), len(m.Tables))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case sig := <-sigc:
+		fmt.Printf("vwcoord: %v, shutting down\n", sig)
+		_ = httpSrv.Close()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vwcoord:", err)
+	os.Exit(1)
+}

@@ -22,6 +22,12 @@
 //	-session-ttl     idle session expiry (default 15m)
 //	-parallelism     per-query worker target (default GOMAXPROCS)
 //	-plan-cache      plan cache capacity in statements (0 disables)
+//	-name            node name reported on /v1/health (cluster identity)
+//
+// On SIGINT/SIGTERM the server drains before exiting: new statements
+// are refused with 503 ("draining"), in-flight streaming cursors run to
+// completion, and /v1/health reports "draining" so a cluster
+// coordinator fails reads over to another replica immediately.
 package main
 
 import (
@@ -49,6 +55,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "per-query worker target (0 = GOMAXPROCS)")
 	planCache := flag.Int("plan-cache", vectorwise.DefaultPlanCacheCapacity,
 		"plan cache capacity in statements (0 disables)")
+	name := flag.String("name", "", "node name reported on /v1/health")
 	flag.Parse()
 
 	var db *vectorwise.DB
@@ -74,6 +81,7 @@ func main() {
 		MaxQueue:      *maxQueue,
 		QueryTimeout:  *timeout,
 		SessionTTL:    *sessionTTL,
+		Name:          *name,
 	})
 	defer srv.Close()
 
@@ -96,7 +104,10 @@ func main() {
 			fail(err)
 		}
 	case sig := <-sigc:
-		fmt.Printf("vwserve: %v, shutting down\n", sig)
+		fmt.Printf("vwserve: %v, draining\n", sig)
+		// Refuse new statements first, then let Shutdown wait for the
+		// in-flight responses (open streaming cursors included).
+		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

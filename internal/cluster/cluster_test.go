@@ -1,0 +1,458 @@
+package cluster
+
+// Integration tests: real vwserve nodes on httptest listeners, fronted
+// by a real Coordinator. Everything runs in-process so `go test -race`
+// exercises the full coordinator/node concurrency.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	vectorwise "vectorwise"
+	"vectorwise/internal/server"
+	"vectorwise/internal/vector"
+)
+
+// testCluster is a coordinator over shards×replicas in-process nodes.
+type testCluster struct {
+	co    *Coordinator
+	nodes [][]*vectorwise.DB   // nodes[shard][replica]
+	srvs  [][]*httptest.Server // same shape
+	http  *httptest.Server     // coordinator's own HTTP face
+}
+
+func newTestCluster(t *testing.T, shards, replicas int, tables []string) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	m := &ShardMap{Tables: make(map[string]Placement)}
+	for si := 0; si < shards; si++ {
+		var dbs []*vectorwise.DB
+		var srvs []*httptest.Server
+		var urls []string
+		for ri := 0; ri < replicas; ri++ {
+			db := vectorwise.OpenMemory()
+			s := server.New(db, server.Config{Name: fmt.Sprintf("s%dr%d", si, ri)})
+			ts := httptest.NewServer(s.Handler())
+			t.Cleanup(func() { ts.Close(); s.Close() })
+			dbs = append(dbs, db)
+			srvs = append(srvs, ts)
+			urls = append(urls, ts.URL)
+		}
+		tc.nodes = append(tc.nodes, dbs)
+		tc.srvs = append(tc.srvs, srvs)
+		m.Shards = append(m.Shards, urls)
+	}
+	for _, spec := range tables {
+		name, key, _ := strings.Cut(spec, ":")
+		m.Tables[name] = Placement{Sharded: true, KeyCol: key}
+	}
+	co, err := New(Config{Map: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+	tc.co = co
+	tc.http = httptest.NewServer(co.Handler())
+	t.Cleanup(tc.http.Close)
+	return tc
+}
+
+func (tc *testCluster) exec(t *testing.T, sqlText string) int64 {
+	t.Helper()
+	n, err := tc.co.Exec(context.Background(), sqlText)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sqlText, err)
+	}
+	return n
+}
+
+// query runs a SELECT through the coordinator and collects all rows.
+func (tc *testCluster) query(t *testing.T, sqlText string) ([]string, [][]any) {
+	t.Helper()
+	res, err := tc.co.Query(context.Background(), sqlText)
+	if err != nil {
+		t.Fatalf("query %q: %v", sqlText, err)
+	}
+	defer res.Close()
+	rows, err := drainResult(res)
+	if err != nil {
+		t.Fatalf("drain %q: %v", sqlText, err)
+	}
+	return res.Columns(), rows
+}
+
+func drainResult(res *Result) ([][]any, error) {
+	var rows [][]any
+	for {
+		b, err := res.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		rows = append(rows, server.EncodeBatch(b)...)
+	}
+}
+
+// nodeRows runs a SELECT directly on one node's embedded DB.
+func nodeRows(t *testing.T, db *vectorwise.DB, sqlText string) [][]any {
+	t.Helper()
+	rows, err := db.QueryContext(context.Background(), sqlText)
+	if err != nil {
+		t.Fatalf("node query %q: %v", sqlText, err)
+	}
+	defer rows.Close()
+	var out [][]any
+	for {
+		var b *vector.Batch
+		b, err = rows.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			return out
+		}
+		out = append(out, server.EncodeBatch(b)...)
+	}
+}
+
+// sortRows orders rows canonically so unordered result sets compare.
+func sortRows(rows [][]any) {
+	sort.Slice(rows, func(i, j int) bool {
+		return fmt.Sprint(rows[i]) < fmt.Sprint(rows[j])
+	})
+}
+
+func rowsEqual(a, b [][]any) bool {
+	return fmt.Sprint(a) == fmt.Sprint(b)
+}
+
+// asFloat normalizes a result cell: EncodeBatch yields native int64 /
+// float64 for in-process results, JSON decoding yields float64.
+func asFloat(v any) float64 {
+	switch n := v.(type) {
+	case int64:
+		return float64(n)
+	case float64:
+		return n
+	}
+	panic(fmt.Sprintf("not a number: %T", v))
+}
+
+const ordersDDL = `CREATE TABLE orders (o_id BIGINT, o_cust VARCHAR, o_total DOUBLE)`
+const custDDL = `CREATE TABLE cust (c_name VARCHAR, c_region VARCHAR)`
+
+// seedOrders creates a sharded orders table plus a replicated dimension
+// and inserts rows through the coordinator.
+func seedOrders(t *testing.T, tc *testCluster, n int) {
+	t.Helper()
+	tc.exec(t, ordersDDL)
+	tc.exec(t, custDDL)
+	var vals []string
+	for i := 1; i <= n; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, 'c%d', %d.5)", i, i%7, i))
+	}
+	if got := tc.exec(t, "INSERT INTO orders VALUES "+strings.Join(vals, ", ")); got != int64(n) {
+		t.Fatalf("insert reported %d rows, want %d", got, n)
+	}
+	tc.exec(t, `INSERT INTO cust VALUES ('c0','east'), ('c1','west'), ('c2','east')`)
+}
+
+func TestClusterDDLBroadcastAndInsertRouting(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, []string{"orders:o_id"})
+	seedOrders(t, tc, 100)
+
+	// Every node has the tables; sharded rows partition (each row on
+	// exactly one shard), replicated rows are everywhere.
+	var total int64
+	for si := range tc.nodes {
+		rows := nodeRows(t, tc.nodes[si][0], `SELECT COUNT(*) FROM orders`)
+		n := int64(asFloat(rows[0][0]))
+		if n == 100 {
+			t.Fatalf("shard %d holds all rows; sharding did not partition", si)
+		}
+		total += n
+		crows := nodeRows(t, tc.nodes[si][0], `SELECT COUNT(*) FROM cust`)
+		if int64(asFloat(crows[0][0])) != 3 {
+			t.Fatalf("shard %d: replicated table has %v rows, want 3", si, crows[0][0])
+		}
+	}
+	if total != 100 {
+		t.Fatalf("shards hold %d rows total, want 100", total)
+	}
+}
+
+func TestClusterReplicasIdentical(t *testing.T) {
+	tc := newTestCluster(t, 2, 2, []string{"orders:o_id"})
+	seedOrders(t, tc, 60)
+	for si := range tc.nodes {
+		a := nodeRows(t, tc.nodes[si][0], `SELECT o_id, o_cust, o_total FROM orders ORDER BY o_id`)
+		b := nodeRows(t, tc.nodes[si][1], `SELECT o_id, o_cust, o_total FROM orders ORDER BY o_id`)
+		if !rowsEqual(a, b) {
+			t.Fatalf("shard %d replicas diverge", si)
+		}
+	}
+}
+
+func TestClusterGatherQuery(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, []string{"orders:o_id"})
+	seedOrders(t, tc, 50)
+
+	_, rows := tc.query(t, `SELECT o_id FROM orders WHERE o_id <= 10`)
+	sortRows(rows)
+	if len(rows) != 10 {
+		t.Fatalf("gather returned %d rows, want 10", len(rows))
+	}
+
+	// Global ORDER BY + LIMIT across shards.
+	_, top := tc.query(t, `SELECT o_id FROM orders ORDER BY o_id DESC LIMIT 3`)
+	want := [][]any{{int64(50)}, {int64(49)}, {int64(48)}}
+	if !rowsEqual(top, want) {
+		t.Fatalf("top-3 = %v, want %v", top, want)
+	}
+
+	// ORDER BY a column the projection drops — the merge sorts by a
+	// hidden shipped key, with and without LIMIT.
+	cols, top := tc.query(t, `SELECT o_id FROM orders ORDER BY o_total DESC LIMIT 3`)
+	if len(cols) != 1 || cols[0] != "o_id" {
+		t.Fatalf("hidden sort key leaked into columns: %v", cols)
+	}
+	if !rowsEqual(top, want) {
+		t.Fatalf("top-3 by dropped column = %v, want %v", top, want)
+	}
+	_, ordered := tc.query(t, `SELECT o_id FROM orders WHERE o_id > 47 ORDER BY o_total DESC`)
+	if !rowsEqual(ordered, want) {
+		t.Fatalf("order-only by dropped column = %v, want %v", ordered, want)
+	}
+}
+
+func TestClusterLocalQuery(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, []string{"orders:o_id"})
+	seedOrders(t, tc, 10)
+	_, rows := tc.query(t, `SELECT c_name FROM cust WHERE c_region = 'east' ORDER BY c_name`)
+	if len(rows) != 2 || rows[0][0] != "c0" || rows[1][0] != "c2" {
+		t.Fatalf("local query rows = %v", rows)
+	}
+}
+
+func TestClusterAggregateQuery(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, []string{"orders:o_id"})
+	seedOrders(t, tc, 100)
+
+	// Reference: the same rows in one embedded engine.
+	ref := vectorwise.OpenMemory()
+	defer ref.Close()
+	if _, err := ref.Exec(ordersDDL); err != nil {
+		t.Fatal(err)
+	}
+	var vals []string
+	for i := 1; i <= 100; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, 'c%d', %d.5)", i, i%7, i))
+	}
+	if _, err := ref.Exec("INSERT INTO orders VALUES " + strings.Join(vals, ", ")); err != nil {
+		t.Fatal(err)
+	}
+
+	q := `SELECT o_cust, COUNT(*) AS n, SUM(o_total) AS s, AVG(o_total) AS a,
+	             MIN(o_id) AS lo, MAX(o_id) AS hi
+	      FROM orders GROUP BY o_cust HAVING COUNT(*) > 2 ORDER BY o_cust`
+	_, got := tc.query(t, q)
+	want := nodeRows(t, ref, q)
+	if !rowsEqual(got, want) {
+		t.Fatalf("distributed aggregate diverges:\ngot:  %v\nwant: %v", got, want)
+	}
+
+	// Global aggregate (no GROUP BY): exactly one row, merged across the
+	// mandatory per-shard rows.
+	_, grows := tc.query(t, `SELECT COUNT(*), SUM(o_total) FROM orders WHERE o_id > 90`)
+	if len(grows) != 1 {
+		t.Fatalf("global aggregate returned %d rows", len(grows))
+	}
+	gwant := nodeRows(t, ref, `SELECT COUNT(*), SUM(o_total) FROM orders WHERE o_id > 90`)
+	if !rowsEqual(grows, gwant) {
+		t.Fatalf("global aggregate = %v, want %v", grows, gwant)
+	}
+
+	// Empty everywhere: COUNT comes back 0, not no-rows.
+	_, erows := tc.query(t, `SELECT COUNT(*) FROM orders WHERE o_id > 1000000`)
+	if len(erows) != 1 || int(asFloat(erows[0][0])) != 0 {
+		t.Fatalf("empty-input global aggregate = %v", erows)
+	}
+}
+
+func TestClusterColocatedJoinAggregate(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, []string{"fact:f_k", "dim2:d_k"})
+	tc.exec(t, `CREATE TABLE fact (f_k BIGINT, f_v DOUBLE)`)
+	tc.exec(t, `CREATE TABLE dim2 (d_k BIGINT, d_tag VARCHAR)`)
+	var fv, dv []string
+	for i := 1; i <= 40; i++ {
+		fv = append(fv, fmt.Sprintf("(%d, %d.25)", i, i))
+		dv = append(dv, fmt.Sprintf("(%d, 't%d')", i, i%3))
+	}
+	tc.exec(t, "INSERT INTO fact VALUES "+strings.Join(fv, ", "))
+	tc.exec(t, "INSERT INTO dim2 VALUES "+strings.Join(dv, ", "))
+
+	// Both tables sharded on the join key → co-located, shard-local join.
+	_, rows := tc.query(t, `SELECT d_tag, SUM(f_v) AS s FROM fact JOIN dim2 ON f_k = d_k GROUP BY d_tag ORDER BY d_tag`)
+	if len(rows) != 3 {
+		t.Fatalf("join aggregate rows = %v", rows)
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += asFloat(r[1])
+	}
+	if want := (40*41)/2 + 40*0.25; sum != want {
+		t.Fatalf("join aggregate sum = %v, want %v", sum, want)
+	}
+}
+
+func TestClusterUpdateDelete(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, []string{"orders:o_id"})
+	seedOrders(t, tc, 30)
+	if n := tc.exec(t, `UPDATE orders SET o_total = 0 WHERE o_id <= 5`); n != 5 {
+		t.Fatalf("update affected %d, want 5", n)
+	}
+	if n := tc.exec(t, `DELETE FROM orders WHERE o_id > 25`); n != 5 {
+		t.Fatalf("delete affected %d, want 5", n)
+	}
+	_, rows := tc.query(t, `SELECT COUNT(*), SUM(o_total) FROM orders WHERE o_id <= 5`)
+	if int(asFloat(rows[0][0])) != 5 || asFloat(rows[0][1]) != 0 {
+		t.Fatalf("post-update rows = %v", rows)
+	}
+}
+
+func TestClusterLoadCSV(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, []string{"orders:o_id"})
+	tc.exec(t, ordersDDL)
+	var b strings.Builder
+	b.WriteString("o_id,o_cust,o_total\n")
+	for i := 1; i <= 40; i++ {
+		fmt.Fprintf(&b, "%d,c%d,%d.5\n", i, i%7, i)
+	}
+	n, err := tc.co.LoadCSV(context.Background(), "orders", strings.NewReader(b.String()), LoadOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("loaded %d rows, want 40", n)
+	}
+	var total int64
+	for si := range tc.nodes {
+		rows := nodeRows(t, tc.nodes[si][0], `SELECT COUNT(*) FROM orders`)
+		total += int64(asFloat(rows[0][0]))
+	}
+	if total != 40 {
+		t.Fatalf("shards hold %d rows, want 40", total)
+	}
+
+	// CSV routing and INSERT routing must agree: the same key lands on
+	// the same shard either way.
+	_, rows := tc.query(t, `SELECT SUM(o_total) FROM orders`)
+	if asFloat(rows[0][0]) != (40*41)/2+40*0.5 {
+		t.Fatalf("sum after CSV load = %v", rows[0][0])
+	}
+}
+
+func TestClusterHTTPQueryAndStats(t *testing.T) {
+	tc := newTestCluster(t, 2, 1, []string{"orders:o_id"})
+	seedOrders(t, tc, 20)
+
+	// Plain /v1/query against the coordinator, same wire as a node.
+	body := strings.NewReader(`{"sql":"SELECT COUNT(*) FROM orders"}`)
+	resp, err := http.Post(tc.http.URL+"/v1/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(qr.Rows) != 1 || int(qr.Rows[0][0].(float64)) != 20 {
+		t.Fatalf("coordinator query: status=%d rows=%v", resp.StatusCode, qr.Rows)
+	}
+
+	// Streaming variant ends in a done trailer.
+	sresp, err := http.Post(tc.http.URL+"/v1/query?stream=1", "application/json",
+		strings.NewReader(`{"sql":"SELECT o_id FROM orders"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	dec := json.NewDecoder(sresp.Body)
+	var rows int
+	var done bool
+	for {
+		var line struct {
+			Columns []string `json:"columns"`
+			Rows    [][]any  `json:"rows"`
+			Done    bool     `json:"done"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			break
+		}
+		rows += len(line.Rows)
+		if line.Done {
+			done = true
+		}
+	}
+	if !done || rows != 20 {
+		t.Fatalf("stream: done=%v rows=%d", done, rows)
+	}
+
+	// /v1/cluster reports topology and counters.
+	cresp, err := http.Get(tc.http.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	var cl ClusterResponse
+	if err := json.NewDecoder(cresp.Body).Decode(&cl); err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Shards) != 2 {
+		t.Fatalf("cluster reports %d shards", len(cl.Shards))
+	}
+	if !cl.Tables["orders"].Sharded || cl.Tables["orders"].KeyCol != "o_id" {
+		t.Fatalf("cluster tables = %v", cl.Tables)
+	}
+	if cl.Queries < 2 {
+		t.Fatalf("queries counter = %d, want >= 2", cl.Queries)
+	}
+	var shardQueries int64
+	for _, s := range cl.Shards {
+		shardQueries += s.Stats.Queries
+		if len(s.Replicas) != 1 || !s.Replicas[0].Healthy {
+			t.Fatalf("replica health: %+v", s.Replicas)
+		}
+		if s.Stats.BytesIn <= 0 {
+			t.Fatalf("shard bytes_in = %d, want > 0", s.Stats.BytesIn)
+		}
+	}
+	if shardQueries < 2 {
+		t.Fatalf("per-shard query counters sum to %d", shardQueries)
+	}
+}
+
+func TestClusterRejectsBadStatements(t *testing.T) {
+	tc := newTestCluster(t, 2, 1, []string{"orders:o_id"})
+	tc.exec(t, ordersDDL)
+
+	// Invalid SQL fails on the schema DB before any fan-out.
+	if _, err := tc.co.Query(context.Background(), `SELECT no_such_col FROM orders`); err == nil {
+		t.Fatal("want validation error for unknown column")
+	}
+	if _, err := tc.co.Exec(context.Background(), `SELECT 1 FROM orders`); err == nil {
+		t.Fatal("want error for SELECT via Exec")
+	}
+	if _, err := tc.co.Query(context.Background(), `DELETE FROM orders`); err == nil {
+		t.Fatal("want error for DML via Query")
+	}
+}

@@ -1,0 +1,395 @@
+package cluster
+
+// The coordinator: the initiator node of the distributed exchange. It
+// owns the shard map, mirrors cluster DDL into a local empty "schema
+// DB" (used to validate statements and derive wire schemas before any
+// fan-out), routes ingest by shard key, scatters per-shard partial
+// statements, and merges partial results — either straight through a
+// core.RemoteExchange union or via a scratch staging table re-aggregated
+// by the local engine, so final results always flow through the normal
+// Rows cursor.
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	vectorwise "vectorwise"
+	"vectorwise/internal/sql"
+	"vectorwise/internal/vtypes"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Map is the cluster topology (required).
+	Map *ShardMap
+	// Timeout bounds each shard request (default 30s).
+	Timeout time.Duration
+	// HealthInterval is the replica health poll period (default 2s).
+	HealthInterval time.Duration
+}
+
+// Coordinator fronts a sharded + replicated vwserve cluster.
+type Coordinator struct {
+	m      *ShardMap
+	c      *client
+	health *healthTracker
+	// schema is an empty local engine holding only the cluster's DDL:
+	// incoming statements are planned against it first, so bad SQL fails
+	// before any network fan-out, and its Rows.Schema() supplies the
+	// column kinds the NDJSON wire decode needs.
+	schema  *vectorwise.DB
+	ddlMu   sync.Mutex
+	stats   []*ShardStats
+	queries atomic.Int64
+	rr      atomic.Int64 // round-robin cursor for replicated-only reads
+	started time.Time
+}
+
+// New builds a Coordinator over an existing cluster of vwserve nodes.
+// The nodes are assumed empty (or identically initialized); issue DDL
+// through the coordinator so the schema DB stays in sync.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Map == nil || cfg.Map.NumShards() == 0 {
+		return nil, fmt.Errorf("cluster: config needs a shard map")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	db := vectorwise.OpenMemory()
+	db.SetParallelism(1) // schema DB plans, it never scans data
+	c := newClient(cfg.Timeout)
+	co := &Coordinator{
+		m:       cfg.Map,
+		c:       c,
+		health:  newHealthTracker(c, cfg.Map.AllNodes(), cfg.HealthInterval),
+		schema:  db,
+		stats:   make([]*ShardStats, cfg.Map.NumShards()),
+		started: time.Now(),
+	}
+	for i := range co.stats {
+		co.stats[i] = &ShardStats{}
+	}
+	return co, nil
+}
+
+// Close stops the health prober and the schema DB.
+func (co *Coordinator) Close() error {
+	co.health.close()
+	return co.schema.Close()
+}
+
+// Map returns the shard map.
+func (co *Coordinator) Map() *ShardMap { return co.m }
+
+// broadcast runs fn against every URL concurrently and returns the
+// first error.
+func broadcast(urls []string, fn func(url string) error) error {
+	errs := make([]error, len(urls))
+	var wg sync.WaitGroup
+	for i, u := range urls {
+		i, u := i, u
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = fn(u)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exec runs a DDL or DML statement against the cluster, returning rows
+// affected. DDL and non-routable DML broadcast to every node; INSERTs
+// into sharded tables route each VALUES row by its shard key.
+func (co *Coordinator) Exec(ctx context.Context, sqlText string) (int64, error) {
+	stmt, nParams, err := sql.ParseWithParams(sqlText)
+	if err != nil {
+		return 0, err
+	}
+	if nParams > 0 {
+		return 0, fmt.Errorf("cluster: parameter placeholders are not supported by the coordinator")
+	}
+	switch t := stmt.(type) {
+	case *sql.SelectStmt:
+		return 0, fmt.Errorf("cluster: Exec cannot run SELECT; use Query")
+	case *sql.CreateStmt:
+		return 0, co.execDDL(ctx, sqlText)
+	case *sql.InsertStmt:
+		return co.execInsert(ctx, t, sqlText)
+	case *sql.UpdateStmt:
+		return co.execBroadcastDML(ctx, sqlText, t.Table)
+	case *sql.DeleteStmt:
+		return co.execBroadcastDML(ctx, sqlText, t.Table)
+	default:
+		return 0, fmt.Errorf("cluster: unsupported statement for coordinator execution")
+	}
+}
+
+// execDDL applies DDL locally (validating it) then on every node.
+func (co *Coordinator) execDDL(ctx context.Context, sqlText string) error {
+	co.ddlMu.Lock()
+	defer co.ddlMu.Unlock()
+	if _, err := co.schema.Exec(sqlText); err != nil {
+		return err
+	}
+	return broadcast(co.m.AllNodes(), func(u string) error {
+		_, err := co.c.exec(ctx, u, sqlText)
+		return err
+	})
+}
+
+// execBroadcastDML runs an UPDATE/DELETE on every node. Each sharded
+// row lives on exactly one shard, so summing one replica per shard
+// counts every row once; for replicated tables every node mutates the
+// same rows, so shard 0's count is the answer.
+func (co *Coordinator) execBroadcastDML(ctx context.Context, sqlText, table string) (int64, error) {
+	var mu sync.Mutex
+	perShard := make([]int64, co.m.NumShards())
+	for si, reps := range co.m.Shards {
+		si := si
+		if err := broadcast(reps, func(u string) error {
+			qr, err := co.c.exec(ctx, u, sqlText)
+			if err != nil {
+				return err
+			}
+			if qr.RowsAffected != nil {
+				mu.Lock()
+				perShard[si] = *qr.RowsAffected
+				mu.Unlock()
+			}
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+	}
+	if co.m.Placement(strings.ToLower(table)).Sharded {
+		var total int64
+		for _, n := range perShard {
+			total += n
+		}
+		return total, nil
+	}
+	return perShard[0], nil
+}
+
+// execInsert routes INSERT rows: sharded tables split the VALUES list
+// by hashed shard key, replicated tables broadcast the whole statement.
+func (co *Coordinator) execInsert(ctx context.Context, ins *sql.InsertStmt, sqlText string) (int64, error) {
+	table := strings.ToLower(ins.Table)
+	p := co.m.Placement(table)
+	if !p.Sharded {
+		if err := broadcast(co.m.AllNodes(), func(u string) error {
+			_, err := co.c.exec(ctx, u, sqlText)
+			return err
+		}); err != nil {
+			return 0, err
+		}
+		return int64(len(ins.Rows)), nil
+	}
+	keyIdx, keyKind, err := co.keyColumn(table, p.KeyCol)
+	if err != nil {
+		return 0, err
+	}
+	perShard := make([][][]sql.Expr, co.m.NumShards())
+	for _, row := range ins.Rows {
+		if keyIdx >= len(row) {
+			return 0, fmt.Errorf("cluster: INSERT row has no value for shard key %s", p.KeyCol)
+		}
+		key, err := literalKey(row[keyIdx], keyKind)
+		if err != nil {
+			return 0, err
+		}
+		si := co.m.ShardForKey(key)
+		perShard[si] = append(perShard[si], row)
+	}
+	var total atomic.Int64
+	for si, rows := range perShard {
+		if len(rows) == 0 {
+			continue
+		}
+		stmtText := RenderInsert(ins.Table, rows)
+		n := int64(len(rows))
+		if err := broadcast(co.m.Shards[si], func(u string) error {
+			_, err := co.c.exec(ctx, u, stmtText)
+			return err
+		}); err != nil {
+			return total.Load(), err
+		}
+		total.Add(n)
+	}
+	return total.Load(), nil
+}
+
+// keyColumn resolves a sharded table's key column index and kind from
+// the schema DB.
+func (co *Coordinator) keyColumn(table, keyCol string) (int, vtypes.Kind, error) {
+	ent, err := co.schema.Catalog().Get(table)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: sharded table %s has no DDL yet: %w", table, err)
+	}
+	sch := ent.Table.Schema()
+	ix := sch.ColIndex(keyCol)
+	if ix < 0 {
+		return 0, 0, fmt.Errorf("cluster: table %s has no shard key column %s", table, keyCol)
+	}
+	return ix, sch.Col(ix).Kind, nil
+}
+
+// literalKey canonicalizes an INSERT literal for shard routing. The
+// canonical form must agree with csvKey below: integers in decimal,
+// dates as epoch days, strings verbatim.
+func literalKey(e sql.Expr, kind vtypes.Kind) (string, error) {
+	switch t := e.(type) {
+	case *sql.NumLit:
+		if kind == vtypes.KindI64 {
+			n, err := strconv.ParseInt(t.Text, 10, 64)
+			if err != nil {
+				return "", fmt.Errorf("cluster: shard key %q is not an integer", t.Text)
+			}
+			return strconv.FormatInt(n, 10), nil
+		}
+		return "", fmt.Errorf("cluster: shard key column kind %v does not take numeric literal", kind)
+	case *sql.StrLit:
+		if kind != vtypes.KindStr {
+			return "", fmt.Errorf("cluster: shard key column kind %v does not take string literal", kind)
+		}
+		return t.Val, nil
+	case *sql.DateLit:
+		d, err := vtypes.ParseDate(t.Val)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(d, 10), nil
+	default:
+		return "", fmt.Errorf("cluster: shard key value must be a literal, got %T", e)
+	}
+}
+
+// csvKey canonicalizes one CSV field of the shard key column, matching
+// literalKey.
+func csvKey(field string, kind vtypes.Kind) (string, error) {
+	field = strings.TrimSpace(field)
+	switch kind {
+	case vtypes.KindI64:
+		n, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("cluster: shard key field %q is not an integer", field)
+		}
+		return strconv.FormatInt(n, 10), nil
+	case vtypes.KindDate:
+		d, err := vtypes.ParseDate(field)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(d, 10), nil
+	case vtypes.KindStr:
+		return field, nil
+	default:
+		return "", fmt.Errorf("cluster: unsupported shard key kind %v", kind)
+	}
+}
+
+// LoadOptions mirror the node-side CSV options the coordinator forwards.
+type LoadOptions struct {
+	// Header skips the first CSV record.
+	Header bool
+	// Null is the token read as NULL on the nodes.
+	Null string
+}
+
+// LoadCSV bulk-loads CSV into a cluster table: sharded tables fan rows
+// out by hashed shard key (every replica of the owning shard receives
+// the row), replicated tables receive the full input on every node.
+// Returns total rows loaded (counting each logical row once).
+func (co *Coordinator) LoadCSV(ctx context.Context, table string, r io.Reader, opts LoadOptions) (int64, error) {
+	table = strings.ToLower(table)
+	p := co.m.Placement(table)
+	if !p.Sharded {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return 0, err
+		}
+		var rows atomic.Int64
+		if err := broadcast(co.m.AllNodes(), func(u string) error {
+			n, err := co.c.load(ctx, u, table, opts.Header, opts.Null, data)
+			rows.Store(n)
+			return err
+		}); err != nil {
+			return 0, err
+		}
+		return rows.Load(), nil
+	}
+
+	keyIdx, keyKind, err := co.keyColumn(table, p.KeyCol)
+	if err != nil {
+		return 0, err
+	}
+	bufs := make([]bytes.Buffer, co.m.NumShards())
+	writers := make([]*csv.Writer, co.m.NumShards())
+	for i := range writers {
+		writers[i] = csv.NewWriter(&bufs[i])
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	if opts.Header {
+		if _, err := cr.Read(); err != nil && err != io.EOF {
+			return 0, err
+		}
+	}
+	var total int64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if keyIdx >= len(rec) {
+			return 0, fmt.Errorf("cluster: CSV record has %d fields, shard key is column %d", len(rec), keyIdx+1)
+		}
+		key, err := csvKey(rec[keyIdx], keyKind)
+		if err != nil {
+			return 0, err
+		}
+		si := co.m.ShardForKey(key)
+		if err := writers[si].Write(rec); err != nil {
+			return 0, err
+		}
+		total++
+	}
+	for si := range writers {
+		writers[si].Flush()
+		if err := writers[si].Error(); err != nil {
+			return 0, err
+		}
+		if bufs[si].Len() == 0 {
+			continue
+		}
+		data := bufs[si].Bytes()
+		if err := broadcast(co.m.Shards[si], func(u string) error {
+			// Header already consumed above; the re-emitted CSV has none.
+			_, err := co.c.load(ctx, u, table, false, opts.Null, data)
+			return err
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,136 @@
+package cluster
+
+// Replica health tracking. The coordinator polls every node's
+// /v1/health on an interval; the result only reorders failover
+// preference (healthy replicas first) — it never removes a replica,
+// because a probe can be stale in both directions and the per-request
+// retry path is what actually decides liveness.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// ReplicaHealth is one node's last observed health state.
+type ReplicaHealth struct {
+	URL       string    `json:"url"`
+	Healthy   bool      `json:"healthy"`
+	Status    string    `json:"status,omitempty"`
+	DataEpoch uint64    `json:"data_epoch,omitempty"`
+	LastErr   string    `json:"last_error,omitempty"`
+	CheckedAt time.Time `json:"checked_at"`
+}
+
+// healthTracker polls node health in the background.
+type healthTracker struct {
+	c        *client
+	nodes    []string
+	interval time.Duration
+
+	mu    sync.Mutex
+	state map[string]ReplicaHealth
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func newHealthTracker(c *client, nodes []string, interval time.Duration) *healthTracker {
+	t := &healthTracker{
+		c:        c,
+		nodes:    nodes,
+		interval: interval,
+		state:    make(map[string]ReplicaHealth, len(nodes)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	// Unprobed nodes start healthy: the request path must not shun a
+	// replica just because the first poll hasn't completed.
+	for _, n := range nodes {
+		t.state[n] = ReplicaHealth{URL: n, Healthy: true}
+	}
+	go t.run()
+	return t
+}
+
+func (t *healthTracker) run() {
+	defer close(t.done)
+	t.sweep() // immediate first pass so startup state is real
+	tick := time.NewTicker(t.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			t.sweep()
+		}
+	}
+}
+
+// sweep probes every node once, concurrently.
+func (t *healthTracker) sweep() {
+	var wg sync.WaitGroup
+	for _, n := range t.nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), t.interval)
+			defer cancel()
+			h := ReplicaHealth{URL: n, CheckedAt: time.Now()}
+			hr, err := t.c.health(ctx, n)
+			if err != nil {
+				h.LastErr = err.Error()
+			} else {
+				h.Status = hr.Status
+				h.DataEpoch = hr.DataEpoch
+				h.Healthy = hr.Status == "ok"
+				if !h.Healthy {
+					h.LastErr = "status " + hr.Status
+				}
+			}
+			t.mu.Lock()
+			t.state[n] = h
+			t.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// healthy reports the last probed health of a node.
+func (t *healthTracker) healthy(url string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state[url].Healthy
+}
+
+// order returns replicas reordered healthy-first, preserving relative
+// order within each class (primary-preference inside the healthy set).
+func (t *healthTracker) order(replicas []string) []string {
+	out := make([]string, 0, len(replicas))
+	var down []string
+	for _, r := range replicas {
+		if t.healthy(r) {
+			out = append(out, r)
+		} else {
+			down = append(down, r)
+		}
+	}
+	return append(out, down...)
+}
+
+// snapshot returns the health state of the given nodes in order.
+func (t *healthTracker) snapshot(nodes []string) []ReplicaHealth {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ReplicaHealth, len(nodes))
+	for i, n := range nodes {
+		out[i] = t.state[n]
+	}
+	return out
+}
+
+func (t *healthTracker) close() {
+	close(t.stop)
+	<-t.done
+}

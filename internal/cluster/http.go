@@ -1,0 +1,203 @@
+package cluster
+
+// The coordinator's HTTP face. It speaks the same /v1/query wire as a
+// single vwserve node — including ?stream=1 NDJSON with the typed
+// error trailer — so clients (and the TPC-H differential harness) can
+// point at a coordinator or a node interchangeably. /v1/cluster adds
+// the distributed observability a node does not have: topology, replica
+// health, and per-shard query/bytes/failover counters.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vectorwise/internal/server"
+	"vectorwise/internal/sql"
+)
+
+// Handler returns the coordinator's HTTP API.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", co.handleQuery)
+	mux.HandleFunc("POST /v1/load", co.handleLoad)
+	mux.HandleFunc("GET /v1/cluster", co.handleCluster)
+	mux.HandleFunc("GET /v1/stats", co.handleCluster)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, server.ErrorResponse{Error: server.ErrorBody{Code: code, Message: msg}})
+}
+
+func (co *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req server.QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if req.SQL == "" || req.Stmt != "" || req.Session != "" || len(req.Params) > 0 || req.Explain {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			`the coordinator supports plain "sql" statements only (no sessions, prepared statements, params or explain yet)`)
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	stmt, err := sql.Parse(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	start := time.Now()
+	if _, isSelect := stmt.(*sql.SelectStmt); !isSelect {
+		n, err := co.Exec(ctx, req.SQL)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, server.QueryResponse{
+			RowsAffected: &n,
+			ElapsedMs:    float64(time.Since(start)) / float64(time.Millisecond),
+		})
+		return
+	}
+	res, err := co.Query(ctx, req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	defer res.Close()
+	if r.URL.Query().Get("stream") == "1" {
+		co.streamResult(w, res, start)
+		return
+	}
+	var rows [][]any
+	for {
+		b, err := res.NextBatch()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "query_failed", err.Error())
+			return
+		}
+		if b == nil {
+			break
+		}
+		rows = append(rows, server.EncodeBatch(b)...)
+	}
+	writeJSON(w, http.StatusOK, server.QueryResponse{
+		Columns:   res.Columns(),
+		Rows:      rows,
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// streamResult streams a distributed result as the same NDJSON protocol
+// a node emits, typed error trailer included.
+func (co *Coordinator) streamResult(w http.ResponseWriter, res *Result, start time.Time) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	writeLine := func(v any) error {
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		return rc.Flush()
+	}
+	if err := writeLine(server.StreamHeader{Columns: res.Columns()}); err != nil {
+		return
+	}
+	var total int64
+	for {
+		b, err := res.NextBatch()
+		if err != nil {
+			kind := "query"
+			if errors.Is(err, context.DeadlineExceeded) {
+				kind = "timeout"
+			} else if errors.Is(err, context.Canceled) {
+				kind = "canceled"
+			}
+			_ = writeLine(server.StreamErrorTrailer{
+				Error: server.ErrorBody{Code: "query_failed", Message: err.Error()},
+				Kind:  kind,
+			})
+			return
+		}
+		if b == nil {
+			break
+		}
+		if err := writeLine(server.StreamBatch{Rows: server.EncodeBatch(b)}); err != nil {
+			return
+		}
+		total += int64(b.N)
+	}
+	_ = writeLine(server.StreamTrailer{
+		Done:      true,
+		RowsTotal: total,
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (co *Coordinator) handleLoad(w http.ResponseWriter, r *http.Request) {
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "table" query parameter`)
+		return
+	}
+	header, _ := strconv.ParseBool(r.URL.Query().Get("header"))
+	opts := LoadOptions{
+		Header: header,
+		Null:   r.URL.Query().Get("null"),
+	}
+	n, err := co.LoadCSV(r.Context(), table, http.MaxBytesReader(w, r.Body, 1<<30), opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, server.LoadResponse{RowsLoaded: n})
+}
+
+// ShardInfo is one shard's slice of the /v1/cluster response.
+type ShardInfo struct {
+	Replicas []ReplicaHealth    `json:"replicas"`
+	Stats    ShardStatsSnapshot `json:"stats"`
+}
+
+// ClusterResponse is the /v1/cluster (and coordinator /v1/stats) body.
+type ClusterResponse struct {
+	Shards  []ShardInfo          `json:"shards"`
+	Tables  map[string]Placement `json:"tables"`
+	Queries int64                `json:"queries"`
+	Uptime  string               `json:"uptime"`
+}
+
+func (co *Coordinator) handleCluster(w http.ResponseWriter, r *http.Request) {
+	resp := ClusterResponse{
+		Tables:  co.m.Tables,
+		Queries: co.queries.Load(),
+		Uptime:  fmt.Sprintf("%dms", time.Since(co.started).Milliseconds()),
+	}
+	for si, reps := range co.m.Shards {
+		resp.Shards = append(resp.Shards, ShardInfo{
+			Replicas: co.health.snapshot(reps),
+			Stats:    co.stats[si].Snapshot(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

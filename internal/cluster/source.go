@@ -1,0 +1,181 @@
+package cluster
+
+// shardSource adapts one shard's streaming query — with replica
+// failover — to core.BatchSource, so core.RemoteExchange can union
+// shards exactly the way XchgUnion unions local partitions.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+)
+
+// ShardStats carries one shard's cumulative coordinator-side counters.
+type ShardStats struct {
+	Queries   atomic.Int64
+	BytesIn   atomic.Int64
+	Failovers atomic.Int64
+}
+
+// ShardStatsSnapshot is the JSON form of ShardStats.
+type ShardStatsSnapshot struct {
+	Queries   int64 `json:"queries"`
+	BytesIn   int64 `json:"bytes_in"`
+	Failovers int64 `json:"failovers"`
+}
+
+// Snapshot reads the counters.
+func (s *ShardStats) Snapshot() ShardStatsSnapshot {
+	return ShardStatsSnapshot{
+		Queries:   s.Queries.Load(),
+		BytesIn:   s.BytesIn.Load(),
+		Failovers: s.Failovers.Load(),
+	}
+}
+
+// shardSource streams one shard's result for one statement, failing
+// over across the shard's replicas.
+//
+// Failover discipline: a retry re-runs the whole statement on the next
+// replica, so it is only transparent if nothing from the failed attempt
+// has been emitted downstream. In buffered mode the source drains the
+// entire stream into memory before emitting anything, making failover
+// safe at any point — the right trade for partial-aggregate streams,
+// which are small (one row per group per shard). In unbuffered mode
+// batches flow through as they arrive and failover is possible only
+// until the first batch has been emitted; after that a dying node fails
+// the query. Retries happen at most once per replica, in health order.
+type shardSource struct {
+	ctx      context.Context
+	c        *client
+	shard    int
+	replicas []string // preferred order: healthy first
+	sql      string
+	kinds    []vtypes.Kind
+	buffered bool
+	stats    *ShardStats
+
+	stream  *nodeStream // live stream (unbuffered mode)
+	rep     int         // replica index of the live/buffering attempt
+	emitted bool
+	buf     []*vector.Batch
+	bufPos  int
+}
+
+// Open implements core.BatchSource: start the stream on the first
+// replica that accepts it (buffered mode also drains it here, failing
+// over mid-drain as needed).
+func (s *shardSource) Open() error {
+	s.stats.Queries.Add(1)
+	if s.buffered {
+		return s.fill()
+	}
+	for s.rep = 0; s.rep < len(s.replicas); s.rep++ {
+		st, err := s.c.openStream(s.ctx, s.replicas[s.rep], s.sql, &s.stats.BytesIn)
+		if err == nil {
+			s.stream = st
+			return nil
+		}
+		if !isRetryable(err) || s.rep == len(s.replicas)-1 {
+			return fmt.Errorf("shard %d: %w", s.shard, err)
+		}
+		s.stats.Failovers.Add(1)
+	}
+	return fmt.Errorf("shard %d: no replicas", s.shard)
+}
+
+// fill drains the whole stream into s.buf, restarting on the next
+// replica on any retryable failure.
+func (s *shardSource) fill() error {
+	var lastErr error
+	for rep := 0; rep < len(s.replicas); rep++ {
+		if rep > 0 {
+			s.stats.Failovers.Add(1)
+		}
+		st, err := s.c.openStream(s.ctx, s.replicas[rep], s.sql, &s.stats.BytesIn)
+		if err != nil {
+			lastErr = err
+			if isRetryable(err) {
+				continue
+			}
+			return fmt.Errorf("shard %d: %w", s.shard, err)
+		}
+		s.buf = s.buf[:0]
+		s.bufPos = 0
+		for {
+			b, err := st.next(s.kinds)
+			if err != nil {
+				st.close()
+				lastErr = err
+				if isRetryable(err) {
+					break // next replica
+				}
+				return fmt.Errorf("shard %d: %w", s.shard, err)
+			}
+			if b == nil {
+				st.close()
+				return nil
+			}
+			s.buf = append(s.buf, b)
+		}
+	}
+	return fmt.Errorf("shard %d: all replicas failed: %w", s.shard, lastErr)
+}
+
+// Next implements core.BatchSource.
+func (s *shardSource) Next() (*vector.Batch, error) {
+	if s.buffered {
+		if s.bufPos >= len(s.buf) {
+			return nil, nil
+		}
+		b := s.buf[s.bufPos]
+		s.buf[s.bufPos] = nil
+		s.bufPos++
+		return b, nil
+	}
+	for {
+		b, err := s.stream.next(s.kinds)
+		if err == nil {
+			if b != nil {
+				s.emitted = true
+			}
+			return b, nil
+		}
+		// A replica died mid-stream. If nothing has been emitted yet the
+		// retry is invisible; otherwise rows are already downstream and
+		// re-running would duplicate them.
+		if !isRetryable(err) || s.emitted {
+			return nil, fmt.Errorf("shard %d: %w", s.shard, err)
+		}
+		s.stream.close()
+		s.stream = nil
+		for s.rep++; s.rep < len(s.replicas); s.rep++ {
+			s.stats.Failovers.Add(1)
+			st, oerr := s.c.openStream(s.ctx, s.replicas[s.rep], s.sql, &s.stats.BytesIn)
+			if oerr == nil {
+				s.stream = st
+				break
+			}
+			err = oerr
+			if !isRetryable(oerr) {
+				return nil, fmt.Errorf("shard %d: %w", s.shard, oerr)
+			}
+		}
+		if s.stream == nil {
+			return nil, fmt.Errorf("shard %d: all replicas failed: %w", s.shard, err)
+		}
+	}
+}
+
+// Close implements core.BatchSource.
+func (s *shardSource) Close() error {
+	if s.stream != nil {
+		s.stream.close()
+		s.stream = nil
+	}
+	s.buf = nil
+	return nil
+}

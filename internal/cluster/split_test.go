@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"vectorwise/internal/sql"
+)
+
+func testMap(t *testing.T) *ShardMap {
+	t.Helper()
+	m, err := ParseShardFlags(
+		[]string{"http://a:1", "http://b:1", "http://c:1"},
+		[]string{"lineitem:l_orderkey", "orders:o_orderkey"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustSplit(t *testing.T, m *ShardMap, src string) *distPlan {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	dp, err := split(stmt.(*sql.SelectStmt), src, m)
+	if err != nil {
+		t.Fatalf("split %q: %v", src, err)
+	}
+	return dp
+}
+
+func TestSplitClassLocal(t *testing.T) {
+	m := testMap(t)
+	src := `SELECT n_name FROM nation JOIN region ON n_regionkey = r_regionkey`
+	dp := mustSplit(t, m, src)
+	if dp.class != classLocal {
+		t.Fatalf("class = %v, want classLocal", dp.class)
+	}
+	if dp.shardSQL != src {
+		t.Fatalf("local plan must forward the raw SQL, got %q", dp.shardSQL)
+	}
+	if dp.mergeSQL != "" {
+		t.Fatalf("local plan has merge SQL: %q", dp.mergeSQL)
+	}
+}
+
+func TestSplitClassGather(t *testing.T) {
+	m := testMap(t)
+
+	// Plain scan: union of shard streams, no merge.
+	dp := mustSplit(t, m, `SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity > 40`)
+	if dp.class != classGather || dp.mergeSQL != "" {
+		t.Fatalf("plain gather: class=%v merge=%q", dp.class, dp.mergeSQL)
+	}
+
+	// ORDER BY + LIMIT: each shard ships its own top-N, merge re-sorts
+	// and re-limits over the staging table.
+	dp = mustSplit(t, m, `SELECT l_orderkey FROM lineitem ORDER BY l_orderkey LIMIT 10`)
+	if dp.class != classGather {
+		t.Fatalf("class = %v", dp.class)
+	}
+	if !strings.Contains(dp.shardSQL, "ORDER BY") || !strings.Contains(dp.shardSQL, "LIMIT 10") {
+		t.Fatalf("shard SQL should keep top-N: %q", dp.shardSQL)
+	}
+	if !strings.Contains(dp.mergeSQL, StagingTable) || !strings.Contains(dp.mergeSQL, "LIMIT 10") {
+		t.Fatalf("merge SQL: %q", dp.mergeSQL)
+	}
+
+	// ORDER BY without LIMIT: the per-shard sort is dropped (pure
+	// waste), the merge re-sorts globally.
+	dp = mustSplit(t, m, `SELECT l_orderkey FROM lineitem ORDER BY l_orderkey`)
+	if strings.Contains(dp.shardSQL, "ORDER BY") {
+		t.Fatalf("unlimited shard sort should be dropped: %q", dp.shardSQL)
+	}
+	if !strings.Contains(dp.mergeSQL, "ORDER BY") {
+		t.Fatalf("merge SQL must sort: %q", dp.mergeSQL)
+	}
+
+	// ORDER BY a column the projection drops: the staging table will not
+	// carry it, so the sort key ships as a hidden _s0 column the merge
+	// sorts by and projects away.
+	dp = mustSplit(t, m, `SELECT l_orderkey FROM lineitem ORDER BY l_quantity DESC LIMIT 5`)
+	if !strings.Contains(dp.shardSQL, "l_quantity AS _s0") {
+		t.Fatalf("shard SQL must ship the hidden sort key: %q", dp.shardSQL)
+	}
+	if !strings.Contains(dp.mergeSQL, "ORDER BY _s0 DESC") {
+		t.Fatalf("merge SQL must sort by the hidden key: %q", dp.mergeSQL)
+	}
+	if strings.Contains(dp.mergeSQL, "*") {
+		t.Fatalf("merge SQL must project the hidden key away: %q", dp.mergeSQL)
+	}
+	if !strings.Contains(dp.mergeSQL, "SELECT l_orderkey") {
+		t.Fatalf("merge SQL must keep the original outputs: %q", dp.mergeSQL)
+	}
+
+	// SELECT * ships every base column, so even a dropped-looking sort
+	// key is resolvable against the staging table as-is.
+	dp = mustSplit(t, m, `SELECT * FROM lineitem ORDER BY l_quantity LIMIT 5`)
+	if strings.Contains(dp.shardSQL, "_s0") {
+		t.Fatalf("star gather needs no hidden key: %q", dp.shardSQL)
+	}
+	if !strings.Contains(dp.mergeSQL, "ORDER BY l_quantity") {
+		t.Fatalf("star merge sorts by the column directly: %q", dp.mergeSQL)
+	}
+}
+
+func TestSplitAggregate(t *testing.T) {
+	m := testMap(t)
+	dp := mustSplit(t, m, `
+		SELECT l_returnflag, SUM(l_quantity) AS sq, COUNT(*) AS n, AVG(l_discount) AS ad,
+		       MIN(l_tax) AS mn, MAX(l_tax) AS mx
+		FROM lineitem
+		WHERE l_quantity > 0
+		GROUP BY l_returnflag
+		HAVING COUNT(*) > 1
+		ORDER BY sq DESC
+		LIMIT 3`)
+	if dp.class != classAggregate {
+		t.Fatalf("class = %v", dp.class)
+	}
+
+	// Shard side: group keys as _gN, partials as _pN, WHERE and GROUP BY
+	// kept, HAVING/ORDER/LIMIT stripped (they only make sense globally).
+	s := dp.shardSQL
+	for _, want := range []string{"_g0", "_p0", "WHERE", "GROUP BY",
+		"SUM((1.0 * l_discount))", // AVG partial sum forced to DOUBLE
+		"COUNT(l_discount)",       // AVG partial count
+		"MIN(l_tax)", "MAX(l_tax)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("shard SQL missing %q:\n%s", want, s)
+		}
+	}
+	for _, banned := range []string{"HAVING", "ORDER BY", "LIMIT"} {
+		if strings.Contains(s, banned) {
+			t.Errorf("shard SQL must not contain %q:\n%s", banned, s)
+		}
+	}
+
+	// Merge side: re-aggregates partials over the staging table with the
+	// original HAVING/ORDER/LIMIT. COUNT merges as SUM of partial counts;
+	// AVG as a division of summed partials.
+	mg := dp.mergeSQL
+	for _, want := range []string{StagingTable, "GROUP BY", "HAVING", "ORDER BY", "LIMIT 3",
+		"SUM(_p", "MIN(_p", "MAX(_p", "/"} {
+		if !strings.Contains(mg, want) {
+			t.Errorf("merge SQL missing %q:\n%s", want, mg)
+		}
+	}
+	if strings.Contains(mg, "COUNT(") {
+		t.Errorf("merge must re-aggregate COUNT as SUM:\n%s", mg)
+	}
+
+	// Both halves must parse in the engine's dialect.
+	if _, err := sql.Parse(s); err != nil {
+		t.Fatalf("shard SQL does not parse: %v\n%s", err, s)
+	}
+	if _, err := sql.Parse(mg); err != nil {
+		t.Fatalf("merge SQL does not parse: %v\n%s", err, mg)
+	}
+}
+
+func TestSplitColocatedJoinAllowed(t *testing.T) {
+	m := testMap(t)
+	dp := mustSplit(t, m, `
+		SELECT o_orderpriority, COUNT(*) AS n
+		FROM lineitem JOIN orders ON l_orderkey = o_orderkey
+		GROUP BY o_orderpriority`)
+	if dp.class != classAggregate {
+		t.Fatalf("co-located join should split, class = %v", dp.class)
+	}
+}
+
+func TestSplitCrossShardJoinRejected(t *testing.T) {
+	m := testMap(t)
+	src := `SELECT COUNT(*) FROM lineitem JOIN orders ON l_partkey = o_custkey`
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := split(stmt.(*sql.SelectStmt), src, m); err == nil {
+		t.Fatal("want cross-shard join rejection")
+	}
+}
+
+func TestSplitGlobalAggregate(t *testing.T) {
+	// No GROUP BY: shard emits one mandatory row each; merge collapses
+	// them into the single global row.
+	m := testMap(t)
+	dp := mustSplit(t, m, `SELECT SUM(l_quantity), COUNT(*) FROM lineitem`)
+	if dp.class != classAggregate {
+		t.Fatalf("class = %v", dp.class)
+	}
+	if strings.Contains(dp.shardSQL, "_g0") || strings.Contains(dp.mergeSQL, "GROUP BY") {
+		t.Fatalf("global aggregate must not group:\nshard: %s\nmerge: %s", dp.shardSQL, dp.mergeSQL)
+	}
+}

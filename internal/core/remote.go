@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+)
+
+// BatchSource is a stream of vector batches produced outside the local
+// operator tree — in practice a remote shard's partial result arriving
+// over the network. Unlike Operator, a BatchSource owns its batches:
+// every batch it returns is freshly allocated and never reused, so the
+// exchange can forward them without the ownership-transfer copy a local
+// child requires. Next returning (nil, nil) ends the stream.
+type BatchSource interface {
+	// Open starts (or restarts) the stream. Implementations that can
+	// fail over between replicas do so behind Open/Next transparently.
+	Open() error
+	Next() (*vector.Batch, error)
+	Close() error
+}
+
+// RemoteExchange is the distributed form of XchgUnion: it unions the
+// output of N remote batch sources, one goroutine per source, so every
+// shard of a scattered query executes and ships its partial result
+// concurrently. It is the paper's exchange operator generalized across
+// processes — the operator tree above it cannot tell a remote shard
+// from a local partition.
+type RemoteExchange struct {
+	sources []BatchSource
+	schema  *vtypes.Schema
+	ch      chan *vector.Batch
+	errCh   chan error
+	wg      sync.WaitGroup
+	ctx     context.Context
+
+	firstErr error
+	done     int
+}
+
+// NewRemoteExchange unions the sources, which must all produce batches
+// of the given schema.
+func NewRemoteExchange(schema *vtypes.Schema, sources []BatchSource) (*RemoteExchange, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("core: remote exchange needs sources")
+	}
+	return &RemoteExchange{sources: sources, schema: schema}, nil
+}
+
+// Schema implements Operator.
+func (x *RemoteExchange) Schema() *vtypes.Schema { return x.schema }
+
+// SetContext implements ContextSetter: cancellation unblocks both the
+// per-batch pulls and producers stalled on the transfer channel.
+func (x *RemoteExchange) SetContext(ctx context.Context) { x.ctx = ctx }
+
+// Open implements Operator: one producer goroutine per source.
+func (x *RemoteExchange) Open() error {
+	x.ch = make(chan *vector.Batch, len(x.sources)*2)
+	x.errCh = make(chan error, len(x.sources))
+	var done <-chan struct{} // nil channel: never ready
+	if x.ctx != nil {
+		done = x.ctx.Done()
+	}
+	for _, s := range x.sources {
+		s := s
+		x.wg.Add(1)
+		go func() {
+			defer x.wg.Done()
+			if err := s.Open(); err != nil {
+				x.errCh <- err
+				return
+			}
+			for {
+				if err := ctxErr(x.ctx); err != nil {
+					x.errCh <- err
+					return
+				}
+				b, err := s.Next()
+				if err != nil {
+					x.errCh <- err
+					return
+				}
+				if b == nil {
+					x.errCh <- nil
+					return
+				}
+				if b.N == 0 {
+					continue
+				}
+				// Sources own their batches (fresh allocations), so no
+				// ownership-transfer copy is needed here.
+				select {
+				case x.ch <- b:
+				case <-done:
+					x.errCh <- x.ctx.Err()
+					return
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (x *RemoteExchange) Next() (*vector.Batch, error) {
+	for {
+		if err := ctxErr(x.ctx); err != nil {
+			return nil, err
+		}
+		if x.done == len(x.sources) {
+			select {
+			case b := <-x.ch:
+				return b, nil
+			default:
+				return nil, x.firstErr
+			}
+		}
+		var done <-chan struct{}
+		if x.ctx != nil {
+			done = x.ctx.Done()
+		}
+		select {
+		case b := <-x.ch:
+			return b, nil
+		case err := <-x.errCh:
+			x.done++
+			if err != nil && x.firstErr == nil {
+				x.firstErr = err
+			}
+		case <-done:
+			return nil, x.ctx.Err()
+		}
+	}
+}
+
+// Close implements Operator: joins the producers and closes every
+// source.
+func (x *RemoteExchange) Close() error {
+	if x.ch != nil {
+		go func() {
+			for range x.ch {
+			}
+		}()
+		x.wg.Wait()
+		close(x.ch)
+	}
+	var first error
+	for _, s := range x.sources {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -49,6 +49,8 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	vectorwise "vectorwise"
@@ -81,6 +83,10 @@ type Config struct {
 	// SessionTTL expires sessions idle longer than this (default 15m;
 	// <0 disables expiry).
 	SessionTTL time.Duration
+	// Name labels this node in /v1/health and /v1/stats — cluster
+	// deployments set it to the node's shard/replica identity so
+	// coordinator health checks and humans can tell nodes apart.
+	Name string
 }
 
 func (c Config) withDefaults(parallelism int) Config {
@@ -117,6 +123,11 @@ type Server struct {
 	mux      *http.ServeMux
 	started  time.Time
 	stop     chan struct{}
+	// draining is set by BeginDrain: new statements are refused with
+	// 503 while in-flight streaming cursors finish — the graceful
+	// shutdown handshake a cluster coordinator observes via /v1/health
+	// (it fails this node over instead of queueing behind the drain).
+	draining atomic.Bool
 }
 
 // New builds a Server around db. Close it to stop the session reaper;
@@ -134,7 +145,9 @@ func New(db *vectorwise.DB, cfg Config) *Server {
 		stop:     make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/load", s.handleLoad)
 	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
 	s.mux.HandleFunc("DELETE /v1/prepare/{name}", s.handlePrepareDelete)
 	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
@@ -150,6 +163,29 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close stops the background session reaper.
 func (s *Server) Close() { close(s.stop) }
+
+// BeginDrain puts the server into draining mode: every subsequent
+// statement (query, load, prepare) is refused with 503/"draining",
+// while statements already executing — including open streaming
+// cursors — run to completion. Callers then use http.Server.Shutdown,
+// which waits for those in-flight responses, so a drained process never
+// truncates a stream mid-flight. /v1/health reports "draining" so
+// cluster coordinators stop routing here immediately.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// refuseDraining writes the 503 drain response if the server is
+// draining, reporting whether it did.
+func (s *Server) refuseDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	writeError(w, http.StatusServiceUnavailable, "draining",
+		"server is draining before shutdown; retry on another replica")
+	return true
+}
 
 // reap expires idle sessions until Close.
 func (s *Server) reap() {
@@ -352,6 +388,9 @@ func writePrepareError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	var req QueryRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -567,7 +606,7 @@ func collectEncoded(rows *vectorwise.Rows) ([][]any, error) {
 		if b == nil {
 			return out, nil
 		}
-		out = append(out, encodeBatch(b)...)
+		out = append(out, EncodeBatch(b)...)
 	}
 }
 
@@ -586,6 +625,32 @@ type StreamTrailer struct {
 	Done      bool    `json:"done"`
 	RowsTotal int64   `json:"rows_total"`
 	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// StreamErrorTrailer is the final NDJSON line of a failed stream. Kind
+// types the failure so a consumer retrying against a replica (the
+// cluster coordinator) can decide retry-vs-fail without parsing
+// message text: a "query" failure is deterministic and will fail
+// identically on every replica, while "timeout"/"canceled" reflect
+// this request's lifecycle, not the statement.
+type StreamErrorTrailer struct {
+	Error ErrorBody `json:"error"`
+	// Kind is "timeout" (request deadline), "canceled" (client
+	// disconnect or server-side cancellation) or "query" (the statement
+	// itself failed).
+	Kind string `json:"error_kind"`
+}
+
+// errorKind classifies a streaming failure for StreamErrorTrailer.
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "query"
+	}
 }
 
 // streamQuery streams a SELECT as chunked NDJSON: a StreamHeader line,
@@ -635,13 +700,13 @@ func (s *Server) streamQuery(w http.ResponseWriter, ctx context.Context, stmt *v
 			// Too late for an HTTP status; the error travels as the
 			// trailer line and the missing "done" marks truncation.
 			_, body := engineErrorBody(err)
-			_ = writeLine(ErrorResponse{Error: body})
+			_ = writeLine(StreamErrorTrailer{Error: body, Kind: errorKind(err)})
 			return
 		}
 		if b == nil {
 			break
 		}
-		if err := writeLine(StreamBatch{Rows: encodeBatch(b)}); err != nil {
+		if err := writeLine(StreamBatch{Rows: EncodeBatch(b)}); err != nil {
 			// Conn dead or stalled past the deadline: stop pulling.
 			return
 		}
@@ -654,10 +719,10 @@ func (s *Server) streamQuery(w http.ResponseWriter, ctx context.Context, stmt *v
 	})
 }
 
-// encodeBatch encodes one engine vector batch for JSON: NULL → null,
+// EncodeBatch encodes one engine vector batch for JSON: NULL → null,
 // BIGINT → number, DOUBLE → number, VARCHAR → string, BOOLEAN → bool,
 // DATE → "YYYY-MM-DD".
-func encodeBatch(b *vector.Batch) [][]any {
+func EncodeBatch(b *vector.Batch) [][]any {
 	out := make([][]any, b.N)
 	for i := 0; i < b.N; i++ {
 		ix := b.LiveIndex(i)
@@ -695,6 +760,9 @@ func encodeValue(v vtypes.Value) any {
 const maxSessionStmts = 64
 
 func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	var req PrepareRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -791,4 +859,95 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// HealthResponse is the /v1/health body — the cheap liveness probe a
+// cluster coordinator polls per replica. Status is "ok" or "draining";
+// DataEpoch lets the prober detect replicas whose committed state has
+// stopped advancing relative to their peers.
+type HealthResponse struct {
+	Status    string `json:"status"`
+	Name      string `json:"name,omitempty"`
+	DataEpoch uint64 `json:"data_epoch"`
+	UptimeMs  int64  `json:"uptime_ms"`
+}
+
+// handleHealth serves the liveness probe. It takes no admission slot
+// and no DB lock beyond the atomic epoch read, so it stays responsive
+// under full query load — exactly what a failover health check needs.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:    status,
+		Name:      s.cfg.Name,
+		DataEpoch: s.db.Epoch(),
+		UptimeMs:  time.Since(s.started).Milliseconds(),
+	})
+}
+
+// LoadResponse is the /v1/load success body.
+type LoadResponse struct {
+	RowsLoaded int64   `json:"rows_loaded"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+}
+
+// maxLoadBytes bounds /v1/load request bodies (bulk CSV is allowed to
+// be much larger than a statement body).
+const maxLoadBytes = 1 << 30
+
+// handleLoad bulk-loads CSV from the request body into the table named
+// by the ?table= query parameter via DB.CopyFrom — the per-node half of
+// the cluster's sharded ingest fan-out. Options mirror CopyOptions:
+// ?header=1 (or header=true) skips a header record, ?null=TOK reads TOK
+// as NULL.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "table" query parameter`)
+		return
+	}
+	opts := vectorwise.CopyOptions{
+		Header: boolParam(r, "header"),
+		Null:   r.URL.Query().Get("null"),
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
+		} else {
+			writeError(w, http.StatusGatewayTimeout, "timeout",
+				"timed out waiting for an execution slot")
+		}
+		return
+	}
+	defer s.adm.release()
+	start := time.Now()
+	n, err := s.db.CopyFrom(table, http.MaxBytesReader(w, r.Body, maxLoadBytes), opts)
+	if err != nil {
+		if errors.Is(err, catalog.ErrUnknownTable) {
+			writeError(w, http.StatusNotFound, "not_found", err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, LoadResponse{
+		RowsLoaded: n,
+		ElapsedMs:  float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// boolParam reads a boolean query parameter, accepting any form
+// strconv.ParseBool does ("1", "true", "TRUE", ...). Absent or
+// unparseable values read as false.
+func boolParam(r *http.Request, name string) bool {
+	b, err := strconv.ParseBool(r.URL.Query().Get(name))
+	return err == nil && b
 }
