@@ -19,6 +19,7 @@ import (
 	"time"
 
 	vectorwise "vectorwise"
+	"vectorwise/internal/sql"
 	"vectorwise/internal/tpch"
 	"vectorwise/internal/tpchdb"
 )
@@ -85,9 +86,44 @@ type benchFile struct {
 	GOARCH        string  `json:"goarch"`
 	// Ingest covers tpchdb.Load: data generation + CREATE TABLE +
 	// LoadBatch through the public bulk path.
-	IngestRows int64         `json:"ingest_rows"`
-	IngestNs   int64         `json:"ingest_ns"`
-	Results    []queryResult `json:"results"`
+	IngestRows int64 `json:"ingest_rows"`
+	IngestNs   int64 `json:"ingest_ns"`
+	// ParseMBs is warm-arena parse throughput over the whole SQL suite
+	// (front end only, best pass) — the lexer+parser budget, tracked so
+	// front-end regressions show up even when execution dominates the
+	// per-query timings.
+	ParseMBs float64       `json:"parse_mb_s"`
+	Results  []queryResult `json:"results"`
+}
+
+// measureParseMBs reports warm parse throughput: the full SQL suite
+// parsed repeatedly into one reused arena for a fixed wall budget, best
+// whole-suite pass wins (matches BenchmarkParse/corpus in internal/sql).
+func measureParseMBs() float64 {
+	suite := tpch.SQLSuite()
+	var total int64
+	for _, q := range suite {
+		total += int64(len(q.SQL))
+	}
+	if total == 0 {
+		return 0
+	}
+	a := sql.NewArena()
+	best := 0.0
+	for deadline := time.Now().Add(300 * time.Millisecond); time.Now().Before(deadline); {
+		start := time.Now()
+		for _, q := range suite {
+			if _, err := sql.Parse(q.SQL, sql.WithArena(a)); err != nil {
+				fatal(fmt.Errorf("parse %s: %w", q.Name, err))
+			}
+		}
+		if el := time.Since(start).Seconds(); el > 0 {
+			if mbs := float64(total) / el / 1e6; mbs > best {
+				best = mbs
+			}
+		}
+	}
+	return best
 }
 
 func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, baselinePath string, warmRuns int) {
@@ -107,7 +143,9 @@ func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, basel
 		GOARCH:        runtime.GOARCH,
 		IngestRows:    load.Rows,
 		IngestNs:      load.Elapsed.Nanoseconds(),
+		ParseMBs:      measureParseMBs(),
 	}
+	fmt.Printf("parse throughput (warm arena, whole suite): %.0f MB/s\n", bf.ParseMBs)
 	fmt.Printf("%-6s %4s %12s %12s %12s %7s %12s %6s %7s\n",
 		"query", "par", "cold", "warm", "stream", "rows", "boxing-B", "h/m", "pruned")
 	for _, par := range pars {
@@ -305,6 +343,18 @@ func compareBaseline(cur benchFile, path string) {
 			time.Duration(r.WarmNs).Round(time.Microsecond), delta*100, mark)
 	}
 	fmt.Println()
+	// Front-end throughput: advisory like the rest, skipped when the
+	// baseline predates the field (unmarshals as 0).
+	if base.ParseMBs > 0 && cur.ParseMBs > 0 {
+		delta := (cur.ParseMBs - base.ParseMBs) / base.ParseMBs
+		fmt.Printf("parse throughput: %.0f MB/s baseline → %.0f MB/s current (%+.0f%%)\n",
+			base.ParseMBs, cur.ParseMBs, delta*100)
+		if delta < -regressionThreshold {
+			regressions++
+			fmt.Printf("::warning title=SQL parse throughput regression::parse_mb_s %.0f → %.0f (%+.0f%%)\n",
+				base.ParseMBs, cur.ParseMBs, delta*100)
+		}
+	}
 	if regressions == 0 {
 		fmt.Println("No per-query warm regressions beyond 25%.")
 	} else {

@@ -338,7 +338,7 @@ type cachedStmt struct {
 func classifyStmt(stmt sql.Stmt, numParams int) *cachedStmt {
 	cs := &cachedStmt{numParams: numParams}
 	switch stmt.(type) {
-	case *sql.SelectStmt:
+	case *sql.SelectStmt, *sql.SetOpStmt:
 		cs.kind = stmtSelect
 	case *sql.TxStmt:
 		cs.kind = stmtTx
@@ -359,14 +359,14 @@ func (db *DB) getStmtLocked(norm string) (*cachedStmt, error) {
 	if v, ok := db.plans.Get(key); ok {
 		return v.(*cachedStmt), nil
 	}
-	stmt, numParams, err := sql.ParseWithParams(norm)
+	st, err := sql.Parse(norm)
 	if err != nil {
 		return nil, err
 	}
-	cs := classifyStmt(stmt, numParams)
-	if s, ok := stmt.(*sql.SelectStmt); ok {
+	cs := classifyStmt(st.AST, st.NumParams)
+	if cs.kind == stmtSelect {
 		planner := &sql.Planner{Cat: db.cat}
-		plan, err := planner.PlanSelect(s)
+		plan, err := planner.PlanQuery(st.AST)
 		if err != nil {
 			return nil, err
 		}
@@ -375,6 +375,9 @@ func (db *DB) getStmtLocked(norm string) (*cachedStmt, error) {
 			plan = rewriter.Parallelize(plan, db.cat, db.Parallelism)
 		}
 		cs.plan = plan
+		// The plan template is pure algebra — the arena-backed AST is
+		// no longer referenced, so its arena can go back to the pool.
+		st.Release()
 	}
 	db.plans.Put(key, cs)
 	return cs, nil
@@ -460,11 +463,13 @@ func (db *DB) ExecArgs(sqlText string, args ...any) (int64, error) {
 		// Cold: lex and parse before taking the exclusive lock, so a
 		// one-off DML text (bulk INSERT strings, say) never stalls
 		// concurrent readers on front-end work.
-		stmt, numParams, err := sql.ParseWithParams(norm)
+		st, err := sql.Parse(norm)
 		if err != nil {
 			return 0, err
 		}
-		cs = classifyStmt(stmt, numParams)
+		// The AST is retained in the cache artifact, so the arena stays
+		// live with it (never released back to the pool).
+		cs = classifyStmt(st.AST, st.NumParams)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -936,14 +941,14 @@ func (db *DB) execUpdate(s *sql.UpdateStmt, params []vtypes.Value) (int64, error
 		return 0, err
 	}
 	for _, rid := range rids {
-		for _, colName := range s.SetOrder {
+		for si, colName := range s.SetCols {
 			ci := schema.ColIndex(colName)
 			if ci < 0 {
 				tx.Abort()
 				return 0, fmt.Errorf("vectorwise: unknown column %q", colName)
 			}
 			// SET expressions may reference the current row.
-			valExpr, err := planner.LowerSet(s.Set[colName], schema, schema.Col(ci).Kind)
+			valExpr, err := planner.LowerSet(s.SetExprs[si], schema, schema.Col(ci).Kind)
 			if err != nil {
 				tx.Abort()
 				return 0, err

@@ -118,15 +118,16 @@ func broadcast(urls []string, fn func(url string) error) error {
 // affected. DDL and non-routable DML broadcast to every node; INSERTs
 // into sharded tables route each VALUES row by its shard key.
 func (co *Coordinator) Exec(ctx context.Context, sqlText string) (int64, error) {
-	stmt, nParams, err := sql.ParseWithParams(sqlText)
+	st, err := sql.Parse(sqlText)
 	if err != nil {
 		return 0, err
 	}
-	if nParams > 0 {
+	defer st.Release()
+	if st.NumParams > 0 {
 		return 0, fmt.Errorf("cluster: parameter placeholders are not supported by the coordinator")
 	}
-	switch t := stmt.(type) {
-	case *sql.SelectStmt:
+	switch t := st.AST.(type) {
+	case *sql.SelectStmt, *sql.SetOpStmt:
 		return 0, fmt.Errorf("cluster: Exec cannot run SELECT; use Query")
 	case *sql.CreateStmt:
 		return 0, co.execDDL(ctx, sqlText)

@@ -160,7 +160,12 @@ func TestFailoverMidQueryTPCH(t *testing.T) {
 		}
 	}
 
-	suite := tpch.SQLSuite()
+	var suite []tpch.SQLQuery
+	for _, q := range tpch.SQLSuite() {
+		if distributable(co.m, q.SQL) {
+			suite = append(suite, q)
+		}
+	}
 	baseline := make(map[string][][]any)
 	for _, q := range suite {
 		baseline[q.Name] = coQuery(t, co, q.SQL)

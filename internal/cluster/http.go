@@ -60,13 +60,20 @@ func (co *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
 		defer cancel()
 	}
-	stmt, err := sql.Parse(req.SQL)
+	st, err := sql.Parse(req.SQL)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		body := server.ErrorBody{Code: "bad_request", Message: err.Error(), Position: server.PositionOf(err)}
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: body})
 		return
 	}
+	var isSelect bool
+	switch st.AST.(type) {
+	case *sql.SelectStmt, *sql.SetOpStmt:
+		isSelect = true
+	}
+	st.Release()
 	start := time.Now()
-	if _, isSelect := stmt.(*sql.SelectStmt); !isSelect {
+	if !isSelect {
 		n, err := co.Exec(ctx, req.SQL)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad_request", err.Error())

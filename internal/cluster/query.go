@@ -36,21 +36,27 @@ func (r *Result) NextBatch() (*vector.Batch, error) { return r.next() }
 // Close releases the result's resources.
 func (r *Result) Close() error { return r.close() }
 
-// Query runs a SELECT against the cluster.
+// Query runs a SELECT (or set-operation) statement against the cluster.
 func (co *Coordinator) Query(ctx context.Context, sqlText string) (*Result, error) {
-	stmt, nParams, err := sql.ParseWithParams(sqlText)
+	st, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	if nParams > 0 {
+	if st.NumParams > 0 {
+		st.Release()
 		return nil, fmt.Errorf("cluster: parameter placeholders are not supported by the coordinator")
 	}
-	sel, ok := stmt.(*sql.SelectStmt)
-	if !ok {
+	switch st.AST.(type) {
+	case *sql.SelectStmt, *sql.SetOpStmt:
+	default:
+		st.Release()
 		return nil, fmt.Errorf("cluster: Query needs a SELECT; use Exec for DDL/DML")
 	}
 	co.queries.Add(1)
-	dp, err := split(sel, sqlText, co.m)
+	dp, err := splitStmt(st.AST, sqlText, co.m)
+	// The distributed plan carries rendered SQL text only, so the AST's
+	// arena can go back to the pool before any fan-out.
+	st.Release()
 	if err != nil {
 		return nil, err
 	}

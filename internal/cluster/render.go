@@ -1,202 +1,17 @@
 package cluster
 
-// AST → SQL text rendering. The inter-node wire carries SQL (the nodes'
-// /v1/query endpoint), so the coordinator's distributed planner works
-// at the AST level: it parses the client statement, splits it into a
-// per-shard partial SelectStmt and a coordinator merge SelectStmt, and
-// renders both back to text. The renderer emits exactly the dialect the
-// parser accepts — every rendered statement must re-parse.
+// AST → SQL text rendering now lives in internal/sql (the fuzz suite
+// round-trips through it too); these wrappers keep the cluster-local
+// names the splitter and coordinator use.
 
-import (
-	"fmt"
-	"strings"
-
-	"vectorwise/internal/sql"
-)
+import "vectorwise/internal/sql"
 
 // RenderSelect renders a SELECT statement as parseable SQL text.
-func RenderSelect(s *sql.SelectStmt) string {
-	var b strings.Builder
-	b.WriteString("SELECT ")
-	for i, it := range s.Items {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		if it.Star {
-			b.WriteString("*")
-			continue
-		}
-		b.WriteString(RenderExpr(it.Expr))
-		if it.Alias != "" {
-			b.WriteString(" AS ")
-			b.WriteString(it.Alias)
-		}
-	}
-	b.WriteString(" FROM ")
-	for i, tr := range s.From {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		writeTableRef(&b, tr)
-	}
-	for _, j := range s.Joins {
-		switch j.Kind {
-		case "left":
-			b.WriteString(" LEFT JOIN ")
-		case "semi":
-			b.WriteString(" SEMI JOIN ")
-		case "anti":
-			b.WriteString(" ANTI JOIN ")
-		default:
-			b.WriteString(" JOIN ")
-		}
-		writeTableRef(&b, j.Table)
-		b.WriteString(" ON ")
-		for i, on := range j.On {
-			if i > 0 {
-				b.WriteString(" AND ")
-			}
-			b.WriteString(RenderExpr(on.L))
-			b.WriteString(" = ")
-			b.WriteString(RenderExpr(on.R))
-		}
-	}
-	if s.Where != nil {
-		b.WriteString(" WHERE ")
-		b.WriteString(RenderExpr(s.Where))
-	}
-	if len(s.GroupBy) > 0 {
-		b.WriteString(" GROUP BY ")
-		for i, g := range s.GroupBy {
-			if i > 0 {
-				b.WriteString(", ")
-			}
-			b.WriteString(RenderExpr(g))
-		}
-	}
-	if s.Having != nil {
-		b.WriteString(" HAVING ")
-		b.WriteString(RenderExpr(s.Having))
-	}
-	if len(s.OrderBy) > 0 {
-		b.WriteString(" ORDER BY ")
-		for i, o := range s.OrderBy {
-			if i > 0 {
-				b.WriteString(", ")
-			}
-			b.WriteString(RenderExpr(o.Expr))
-			if o.Desc {
-				b.WriteString(" DESC")
-			}
-		}
-	}
-	if s.Limit >= 0 {
-		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
-	}
-	return b.String()
-}
+func RenderSelect(s *sql.SelectStmt) string { return sql.RenderSelect(s) }
 
-func writeTableRef(b *strings.Builder, tr sql.TableRef) {
-	b.WriteString(tr.Table)
-	if tr.Alias != "" && tr.Alias != tr.Table {
-		b.WriteString(" ")
-		b.WriteString(tr.Alias)
-	}
-}
-
-// RenderExpr renders an expression as parseable SQL text. Binary
-// operations are fully parenthesized, so rendering never needs the
-// parser's precedence table.
-func RenderExpr(e sql.Expr) string {
-	switch t := e.(type) {
-	case *sql.Ident:
-		if t.Qualifier != "" {
-			return t.Qualifier + "." + t.Name
-		}
-		return t.Name
-	case *sql.NumLit:
-		return t.Text
-	case *sql.StrLit:
-		return quoteStr(t.Val)
-	case *sql.DateLit:
-		return "DATE '" + t.Val + "'"
-	case *sql.BoolLit:
-		if t.Val {
-			return "TRUE"
-		}
-		return "FALSE"
-	case *sql.NullLit:
-		return "NULL"
-	case *sql.ParamExpr:
-		return fmt.Sprintf("$%d", t.Idx)
-	case *sql.BinExpr:
-		return "(" + RenderExpr(t.L) + " " + t.Op + " " + RenderExpr(t.R) + ")"
-	case *sql.NotExpr:
-		return "(NOT " + RenderExpr(t.In) + ")"
-	case *sql.BetweenExpr:
-		return "(" + RenderExpr(t.In) + " BETWEEN " + RenderExpr(t.Lo) +
-			" AND " + RenderExpr(t.Hi) + ")"
-	case *sql.InExpr:
-		var b strings.Builder
-		b.WriteString(RenderExpr(t.In))
-		b.WriteString(" IN (")
-		for i, m := range t.List {
-			if i > 0 {
-				b.WriteString(", ")
-			}
-			b.WriteString(RenderExpr(m))
-		}
-		b.WriteString(")")
-		return b.String()
-	case *sql.LikeExpr:
-		op := " LIKE "
-		if t.Negate {
-			op = " NOT LIKE "
-		}
-		return RenderExpr(t.In) + op + quoteStr(t.Pattern)
-	case *sql.IsNullExpr:
-		if t.Negate {
-			return RenderExpr(t.In) + " IS NOT NULL"
-		}
-		return RenderExpr(t.In) + " IS NULL"
-	case *sql.CaseExpr:
-		return "CASE WHEN " + RenderExpr(t.Cond) + " THEN " + RenderExpr(t.Then) +
-			" ELSE " + RenderExpr(t.Else) + " END"
-	case *sql.AggCall:
-		if t.Arg == nil {
-			return t.Fn + "(*)"
-		}
-		return t.Fn + "(" + RenderExpr(t.Arg) + ")"
-	case *sql.FuncCall:
-		return t.Fn + "(" + RenderExpr(t.Arg) + ")"
-	default:
-		return fmt.Sprintf("/*unrenderable %T*/", e)
-	}
-}
+// RenderExpr renders an expression as parseable SQL text.
+func RenderExpr(e sql.Expr) string { return sql.RenderExpr(e) }
 
 // RenderInsert renders an INSERT statement (the coordinator re-renders
 // inserts after routing each VALUES row to its shard).
-func RenderInsert(table string, rows [][]sql.Expr) string {
-	var b strings.Builder
-	b.WriteString("INSERT INTO ")
-	b.WriteString(table)
-	b.WriteString(" VALUES ")
-	for i, row := range rows {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString("(")
-		for j, v := range row {
-			if j > 0 {
-				b.WriteString(", ")
-			}
-			b.WriteString(RenderExpr(v))
-		}
-		b.WriteString(")")
-	}
-	return b.String()
-}
-
-func quoteStr(s string) string {
-	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
-}
+func RenderInsert(table string, rows [][]sql.Expr) string { return sql.RenderInsert(table, rows) }

@@ -18,7 +18,7 @@ func TestRenderRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatalf("parse original: %v", err)
 			}
-			sel, ok := stmt.(*sql.SelectStmt)
+			sel, ok := stmt.AST.(*sql.SelectStmt)
 			if !ok {
 				t.Fatalf("not a SELECT: %T", stmt)
 			}
@@ -27,7 +27,7 @@ func TestRenderRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatalf("re-parse rendered SQL: %v\n%s", err, r1)
 			}
-			r2 := RenderSelect(stmt2.(*sql.SelectStmt))
+			r2 := RenderSelect(stmt2.AST.(*sql.SelectStmt))
 			if r1 != r2 {
 				t.Fatalf("render not a fixed point:\n1: %s\n2: %s", r1, r2)
 			}
@@ -52,12 +52,12 @@ func TestRenderExprForms(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", src, err)
 		}
-		r1 := RenderSelect(stmt.(*sql.SelectStmt))
+		r1 := RenderSelect(stmt.AST.(*sql.SelectStmt))
 		stmt2, err := sql.Parse(r1)
 		if err != nil {
 			t.Fatalf("re-parse %q (rendered from %q): %v", r1, src, err)
 		}
-		r2 := RenderSelect(stmt2.(*sql.SelectStmt))
+		r2 := RenderSelect(stmt2.AST.(*sql.SelectStmt))
 		if r1 != r2 {
 			t.Fatalf("not a fixed point for %q:\n1: %s\n2: %s", src, r1, r2)
 		}
@@ -70,13 +70,13 @@ func TestRenderInsert(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ins := stmt.(*sql.InsertStmt)
+	ins := stmt.AST.(*sql.InsertStmt)
 	r := RenderInsert(ins.Table, ins.Rows)
 	stmt2, err := sql.Parse(r)
 	if err != nil {
 		t.Fatalf("re-parse %q: %v", r, err)
 	}
-	ins2 := stmt2.(*sql.InsertStmt)
+	ins2 := stmt2.AST.(*sql.InsertStmt)
 	if ins2.Table != "t" || len(ins2.Rows) != 2 || len(ins2.Rows[0]) != 3 {
 		t.Fatalf("round trip mangled insert: %q", r)
 	}

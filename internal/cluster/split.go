@@ -9,11 +9,18 @@ package cluster
 // processes instead of goroutines.
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"vectorwise/internal/sql"
 )
+
+// errNotDistributable marks a statement shape the splitter cannot fan
+// out — set operations and subqueries touching sharded data. Callers
+// that probe distributability (the differential harness) match on it.
+var errNotDistributable = errors.New(
+	"cluster: set operations and subqueries are only supported when every referenced table is replicated")
 
 // planClass says how a SELECT executes against the cluster.
 type planClass int
@@ -44,6 +51,79 @@ type distPlan struct {
 	// mergeSQL, when non-empty, runs on the coordinator's scratch DB
 	// over StagingTable filled with the shards' rows.
 	mergeSQL string
+}
+
+// splitStmt classifies any query statement. Set operations and SELECTs
+// with subqueries execute whole on one node, so they are legal only
+// over replicated tables (any node holds all the data); plain SELECTs
+// take the splitting path.
+func splitStmt(stmt sql.Stmt, rawSQL string, m *ShardMap) (*distPlan, error) {
+	sel, isSel := stmt.(*sql.SelectStmt)
+	if !isSel || containsSubqueries(sel) {
+		for _, t := range stmtTables(stmt) {
+			if m.Placement(t).Sharded {
+				return nil, errNotDistributable
+			}
+		}
+		return &distPlan{class: classLocal, shardSQL: rawSQL}, nil
+	}
+	return split(sel, rawSQL, m)
+}
+
+// stmtTables collects every table a query statement references,
+// descending through set-operation branches and subqueries.
+func stmtTables(stmt sql.Stmt) []string {
+	var out []string
+	var walkSel func(s *sql.SelectStmt)
+	var walkStmt func(s sql.Stmt)
+	noteSubs := func(e sql.Expr) {
+		walkExpr(e, func(x sql.Expr) {
+			switch t := x.(type) {
+			case *sql.SubqueryExpr:
+				walkSel(t.Sel)
+			case *sql.InSubExpr:
+				walkSel(t.Sel)
+			}
+		})
+	}
+	walkSel = func(s *sql.SelectStmt) {
+		for _, tr := range s.From {
+			out = append(out, strings.ToLower(tr.Table))
+		}
+		for _, j := range s.Joins {
+			out = append(out, strings.ToLower(j.Table.Table))
+		}
+		noteSubs(s.Where)
+		noteSubs(s.Having)
+	}
+	walkStmt = func(s sql.Stmt) {
+		switch t := s.(type) {
+		case *sql.SelectStmt:
+			walkSel(t)
+		case *sql.SetOpStmt:
+			walkStmt(t.Left)
+			walkStmt(t.Right)
+		}
+	}
+	walkStmt(stmt)
+	return out
+}
+
+// containsSubqueries reports whether the SELECT has a subquery in its
+// WHERE or HAVING clause.
+func containsSubqueries(s *sql.SelectStmt) bool {
+	found := false
+	note := func(e sql.Expr) {
+		walkExpr(e, func(x sql.Expr) {
+			switch x.(type) {
+			case *sql.SubqueryExpr, *sql.InSubExpr:
+				found = true
+			}
+		})
+	}
+	note(s.Where)
+	note(s.Having)
+	return found
 }
 
 // split classifies stmt against the shard map and builds its
@@ -475,6 +555,11 @@ func walkExpr(e sql.Expr, fn func(sql.Expr)) {
 		walkExpr(t.Arg, fn)
 	case *sql.FuncCall:
 		walkExpr(t.Arg, fn)
+	case *sql.InSubExpr:
+		// The probe side is an ordinary expression; the subquery's own
+		// tree (like SubqueryExpr's) is the visitor's to descend if it
+		// cares — see stmtTables.
+		walkExpr(t.In, fn)
 	}
 }
 

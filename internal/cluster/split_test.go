@@ -25,7 +25,7 @@ func mustSplit(t *testing.T, m *ShardMap, src string) *distPlan {
 	if err != nil {
 		t.Fatalf("parse %q: %v", src, err)
 	}
-	dp, err := split(stmt.(*sql.SelectStmt), src, m)
+	dp, err := split(stmt.AST.(*sql.SelectStmt), src, m)
 	if err != nil {
 		t.Fatalf("split %q: %v", src, err)
 	}
@@ -180,7 +180,7 @@ func TestSplitCrossShardJoinRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := split(stmt.(*sql.SelectStmt), src, m); err == nil {
+	if _, err := split(stmt.AST.(*sql.SelectStmt), src, m); err == nil {
 		t.Fatal("want cross-shard join rejection")
 	}
 }

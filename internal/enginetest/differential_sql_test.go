@@ -49,12 +49,8 @@ func planSQL(t *testing.T, cat *catalog.Catalog, text string, parallel int) alge
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	sel, ok := stmt.(*sql.SelectStmt)
-	if !ok {
-		t.Fatalf("not a SELECT: %T", stmt)
-	}
 	p := &sql.Planner{Cat: cat}
-	plan, err := p.PlanSelect(sel)
+	plan, err := p.PlanQuery(stmt.AST)
 	if err != nil {
 		t.Fatalf("plan: %v", err)
 	}

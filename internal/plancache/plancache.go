@@ -15,8 +15,9 @@ package plancache
 
 import (
 	"container/list"
-	"strings"
 	"sync"
+
+	"vectorwise/internal/sql"
 )
 
 // Key identifies one cached compilation.
@@ -150,55 +151,12 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
-// Normalize canonicalizes statement text for cache keying: outside
-// string literals it lower-cases, strips `--` comments, collapses
-// whitespace runs to one space, and drops a trailing semicolon — so
-// `SELECT  V FROM T;` and `select v from t` share one entry. Inside
-// quotes the text is preserved byte for byte, escaped quotes included.
-func Normalize(sql string) string {
-	var b strings.Builder
-	b.Grow(len(sql))
-	inSpace := false
-	i, n := 0, len(sql)
-	for i < n {
-		c := sql[i]
-		switch {
-		case c == '\'':
-			// Copy the whole literal, honoring '' escapes.
-			j := i + 1
-			for j < n {
-				if sql[j] == '\'' {
-					if j+1 < n && sql[j+1] == '\'' {
-						j += 2
-						continue
-					}
-					j++
-					break
-				}
-				j++
-			}
-			b.WriteString(sql[i:j])
-			i = j
-			inSpace = false
-		case c == '-' && i+1 < n && sql[i+1] == '-':
-			for i < n && sql[i] != '\n' {
-				i++
-			}
-		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
-			if !inSpace && b.Len() > 0 {
-				b.WriteByte(' ')
-				inSpace = true
-			}
-			i++
-		default:
-			if c >= 'A' && c <= 'Z' {
-				c += 'a' - 'A'
-			}
-			b.WriteByte(c)
-			inSpace = false
-			i++
-		}
-	}
-	out := strings.TrimRight(b.String(), " ;")
-	return out
+// Normalize canonicalizes statement text for cache keying. It rides the
+// SQL front end's lexer: one token-stream pass that lower-cases keywords
+// and identifiers, strips comments, collapses whitespace, folds `!=` to
+// `<>` and drops semicolons — so `SELECT  V FROM T;` and `select v from
+// t` share one entry. String literals are preserved byte for byte,
+// escaped quotes included; unlexable text keys as itself.
+func Normalize(text string) string {
+	return sql.Normalize(text)
 }

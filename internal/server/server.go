@@ -261,6 +261,28 @@ type ErrorBody struct {
 	// too_large, overloaded, timeout, conflict, not_found, internal.
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Position locates a SQL parse error in the statement text; absent
+	// for every other error class.
+	Position *ErrorPosition `json:"position,omitempty"`
+}
+
+// ErrorPosition pinpoints a parse error: byte offset into the
+// statement, 1-based line and column, and the offending token text.
+type ErrorPosition struct {
+	Offset int    `json:"offset"`
+	Line   int    `json:"line"`
+	Col    int    `json:"col"`
+	Near   string `json:"near,omitempty"`
+}
+
+// PositionOf extracts the statement position from a parse error, or
+// nil if err carries none.
+func PositionOf(err error) *ErrorPosition {
+	var pe *sql.ParseError
+	if errors.As(err, &pe) {
+		return &ErrorPosition{Offset: pe.Offset, Line: pe.Line, Col: pe.Col, Near: pe.Near}
+	}
+	return nil
 }
 
 // ErrorResponse wraps every non-2xx body.
@@ -312,6 +334,11 @@ func engineErrorBody(err error) (int, ErrorBody) {
 		return http.StatusConflict, ErrorBody{Code: "conflict", Message: err.Error()}
 	case errors.Is(err, catalog.ErrUnknownTable):
 		return http.StatusNotFound, ErrorBody{Code: "not_found", Message: err.Error()}
+	case PositionOf(err) != nil:
+		// A parse error surfacing from the engine (e.g. a statement that
+		// bypassed the front-door classification) is the client's fault,
+		// and it keeps its position.
+		return http.StatusBadRequest, ErrorBody{Code: "bad_request", Message: err.Error(), Position: PositionOf(err)}
 	default:
 		return http.StatusInternalServerError, ErrorBody{Code: "internal", Message: err.Error()}
 	}
@@ -438,18 +465,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// execution. Folding the two would mean garbage statements
 		// consume admission slots; parse is the cheap half of the
 		// front end, and warm texts skip both parses entirely.
-		parsed, n, err := sql.ParseWithParams(req.SQL)
+		st, err := sql.Parse(req.SQL)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: ErrorBody{
+				Code: "bad_request", Message: err.Error(), Position: PositionOf(err),
+			}})
 			return
 		}
-		if _, ok := parsed.(*sql.TxStmt); ok {
+		if _, ok := st.AST.(*sql.TxStmt); ok {
+			st.Release()
 			writeError(w, http.StatusBadRequest, "bad_request",
 				"explicit transactions are not supported over HTTP; each statement commits atomically")
 			return
 		}
-		_, isSelect = parsed.(*sql.SelectStmt)
-		numParams = n
+		switch st.AST.(type) {
+		case *sql.SelectStmt, *sql.SetOpStmt:
+			isSelect = true
+		}
+		numParams = st.NumParams
+		st.Release()
 	}
 	if req.Explain && !isSelect {
 		writeError(w, http.StatusBadRequest, "bad_request", "explain supports SELECT only")

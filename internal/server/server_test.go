@@ -146,6 +146,64 @@ func TestStructuredErrors(t *testing.T) {
 	}
 }
 
+// TestParseErrorPositionWire pins the wire shape of a parse error: the
+// /v1/query JSON error body carries a "position" object with exactly
+// the field names clients key on (offset/line/col/near), on both the
+// buffered and the streaming entry points. Decoding into a generic map
+// keeps the test honest about the raw JSON keys.
+func TestParseErrorPositionWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/query", "/v1/query?stream=1"} {
+		t.Run(path, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+path, "application/json",
+				strings.NewReader(`{"sql": "SELECT k\nFROM kv WHERE ***"}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			var raw map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+				t.Fatal(err)
+			}
+			errObj, ok := raw["error"].(map[string]any)
+			if !ok {
+				t.Fatalf("no error object: %v", raw)
+			}
+			if errObj["code"] != "bad_request" {
+				t.Fatalf("code %v, want bad_request", errObj["code"])
+			}
+			pos, ok := errObj["position"].(map[string]any)
+			if !ok {
+				t.Fatalf("no position object: %v", errObj)
+			}
+			// The offending token is the `*` on line 2.
+			if pos["line"] != float64(2) || pos["col"] != float64(15) || pos["offset"] != float64(23) {
+				t.Fatalf("position %v, want line 2 col 15 offset 23", pos)
+			}
+			if near, _ := pos["near"].(string); near == "" {
+				t.Fatalf("position lacks near: %v", pos)
+			}
+		})
+	}
+	// A valid statement must not grow a position field.
+	var okRaw map[string]any
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"sql": "SELEC nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&okRaw); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := okRaw["error"].(map[string]any); !ok || e["position"] == nil {
+		t.Fatalf("misspelled keyword should still carry a position: %v", okRaw)
+	}
+}
+
 func TestOversizedBodyRejected(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	// Valid JSON framing so the decoder reads past the byte cap

@@ -1,0 +1,202 @@
+package sql
+
+// Arena-allocated ASTs: every node and every AST slice a parse produces
+// comes out of chunked, reusable blocks owned by an Arena. A warm parse
+// (arena reused, capacities grown) performs near-zero heap allocations;
+// reset is O(number of block lists), not O(nodes). The Statement header
+// itself lives in the arena too.
+//
+// Ownership: a Statement returned by Parse keeps its arena alive; the
+// AST is valid until Statement.Release. Callers that cache ASTs (the
+// plan cache) simply never call Release and let the arena ride along
+// with the AST.
+
+// nodeBlock is the per-type node-block size; sliceBlock the element
+// capacity of each slice block.
+const (
+	nodeBlock  = 64
+	sliceBlock = 256
+)
+
+// nodePool hands out *T from chunked blocks with bump allocation.
+// reset rewinds without freeing, so block capacity persists across
+// parses.
+type nodePool[T any] struct {
+	blocks [][]T
+	bi     int // current block
+	off    int // next free slot in blocks[bi]
+}
+
+func (p *nodePool[T]) get() *T {
+	for {
+		if p.bi == len(p.blocks) {
+			p.blocks = append(p.blocks, make([]T, nodeBlock))
+		}
+		blk := p.blocks[p.bi]
+		if p.off < len(blk) {
+			v := &blk[p.off]
+			p.off++
+			var zero T
+			*v = zero
+			return v
+		}
+		p.bi++
+		p.off = 0
+	}
+}
+
+func (p *nodePool[T]) reset() { p.bi, p.off = 0, 0 }
+
+// slicePool carves exact-length []T out of chunked blocks. Oversize
+// requests (> sliceBlock) get a dedicated allocation and are not
+// reused.
+type slicePool[T any] struct {
+	blocks [][]T
+	bi     int
+	off    int
+}
+
+func (p *slicePool[T]) alloc(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if n > sliceBlock {
+		return make([]T, n)
+	}
+	for {
+		if p.bi == len(p.blocks) {
+			p.blocks = append(p.blocks, make([]T, sliceBlock))
+		}
+		blk := p.blocks[p.bi]
+		if p.off+n <= len(blk) {
+			s := blk[p.off : p.off+n : p.off+n]
+			p.off += n
+			var zero T
+			for i := range s {
+				s[i] = zero
+			}
+			return s
+		}
+		p.bi++
+		p.off = 0
+	}
+}
+
+func (p *slicePool[T]) reset() { p.bi, p.off = 0, 0 }
+
+// scratch is a shared append stack for building lists during recursive
+// descent. Usage is strictly LIFO: m := mark(); push...; takeSlice(m).
+// Capacity persists across parses.
+type scratch[T any] struct{ buf []T }
+
+func (s *scratch[T]) mark() int    { return len(s.buf) }
+func (s *scratch[T]) push(v T)     { s.buf = append(s.buf, v) }
+func (s *scratch[T]) reset()       { s.buf = s.buf[:0] }
+func (s *scratch[T]) at(m int) []T { return s.buf[m:] }
+
+// takeSlice copies everything pushed since mark m into an arena slice
+// and pops it from the scratch stack.
+func takeSlice[T any](sc *scratch[T], sp *slicePool[T], m int) []T {
+	n := len(sc.buf) - m
+	if n == 0 {
+		sc.buf = sc.buf[:m]
+		return nil
+	}
+	out := sp.alloc(n)
+	copy(out, sc.buf[m:])
+	sc.buf = sc.buf[:m]
+	return out
+}
+
+// Arena owns all memory behind one parsed Statement. Zero value is
+// ready to use; see NewArena.
+type Arena struct {
+	stmt Statement
+
+	// toks is the reusable token buffer Parse lexes into; its capacity
+	// persists across parses (the AST never references tokens).
+	toks []token
+
+	idents   nodePool[Ident]
+	nums     nodePool[NumLit]
+	strs     nodePool[StrLit]
+	dates    nodePool[DateLit]
+	paramsP  nodePool[ParamExpr]
+	bins     nodePool[BinExpr]
+	nots     nodePool[NotExpr]
+	betweens nodePool[BetweenExpr]
+	ins      nodePool[InExpr]
+	likes    nodePool[LikeExpr]
+	isnulls  nodePool[IsNullExpr]
+	cases    nodePool[CaseExpr]
+	aggsP    nodePool[AggCall]
+	funcs    nodePool[FuncCall]
+	subs     nodePool[SubqueryExpr]
+	insubs   nodePool[InSubExpr]
+	selects  nodePool[SelectStmt]
+	setops   nodePool[SetOpStmt]
+
+	exprSlices  slicePool[Expr]
+	itemSlices  slicePool[SelectItem]
+	tableSlices slicePool[TableRef]
+	joinSlices  slicePool[JoinClause]
+	oneqSlices  slicePool[OnEq]
+	orderSlices slicePool[OrderItem]
+	rowSlices   slicePool[[]Expr]
+	colSlices   slicePool[CreateCol]
+	strSlices   slicePool[string]
+
+	sExprs  scratch[Expr]
+	sItems  scratch[SelectItem]
+	sJoins  scratch[JoinClause]
+	sOneqs  scratch[OnEq]
+	sOrders scratch[OrderItem]
+	sRows   scratch[[]Expr]
+	sCols   scratch[CreateCol]
+	sStrs   scratch[string]
+}
+
+// NewArena returns an empty arena for use with WithArena. Reusing one
+// arena across sequential parses keeps warm parses allocation-free;
+// the AST from parse N is invalidated by parse N+1.
+func NewArena() *Arena { return &Arena{} }
+
+func (a *Arena) reset() {
+	a.idents.reset()
+	a.nums.reset()
+	a.strs.reset()
+	a.dates.reset()
+	a.paramsP.reset()
+	a.bins.reset()
+	a.nots.reset()
+	a.betweens.reset()
+	a.ins.reset()
+	a.likes.reset()
+	a.isnulls.reset()
+	a.cases.reset()
+	a.aggsP.reset()
+	a.funcs.reset()
+	a.subs.reset()
+	a.insubs.reset()
+	a.selects.reset()
+	a.setops.reset()
+
+	a.exprSlices.reset()
+	a.itemSlices.reset()
+	a.tableSlices.reset()
+	a.joinSlices.reset()
+	a.oneqSlices.reset()
+	a.orderSlices.reset()
+	a.rowSlices.reset()
+	a.colSlices.reset()
+	a.strSlices.reset()
+
+	a.sExprs.reset()
+	a.sItems.reset()
+	a.sJoins.reset()
+	a.sOneqs.reset()
+	a.sOrders.reset()
+	a.sRows.reset()
+	a.sCols.reset()
+	a.sStrs.reset()
+}

@@ -20,6 +20,18 @@ type SelectStmt struct {
 
 func (*SelectStmt) stmt() {}
 
+// SetOpStmt combines two queries with UNION [ALL], EXCEPT or
+// INTERSECT. Chains fold left-associatively, so Left may itself be a
+// SetOpStmt. ORDER BY and LIMIT apply to the combined result.
+type SetOpStmt struct {
+	Op          string // "union", "union all", "except", "intersect"
+	Left, Right Stmt   // *SelectStmt or *SetOpStmt
+	OrderBy     []OrderItem
+	Limit       int64 // -1 when absent
+}
+
+func (*SetOpStmt) stmt() {}
+
 // SelectItem is one projection (Star means `*`).
 type SelectItem struct {
 	Expr  Expr
@@ -72,12 +84,13 @@ type InsertStmt struct {
 
 func (*InsertStmt) stmt() {}
 
-// UpdateStmt is UPDATE ... SET ... WHERE.
+// UpdateStmt is UPDATE ... SET ... WHERE. SetCols and SetExprs are
+// parallel slices in source order (deterministic errors, arena
+// friendly).
 type UpdateStmt struct {
-	Table string
-	Set   map[string]Expr
-	// SetOrder preserves assignment order for deterministic errors.
-	SetOrder []string
+	Table    string
+	SetCols  []string
+	SetExprs []Expr
 	Where    Expr
 }
 
@@ -169,19 +182,33 @@ type FuncCall struct {
 	Arg Expr
 }
 
-func (*Ident) expr()       {}
-func (*NumLit) expr()      {}
-func (*ParamExpr) expr()   {}
-func (*StrLit) expr()      {}
-func (*DateLit) expr()     {}
-func (*BoolLit) expr()     {}
-func (*NullLit) expr()     {}
-func (*BinExpr) expr()     {}
-func (*NotExpr) expr()     {}
-func (*BetweenExpr) expr() {}
-func (*InExpr) expr()      {}
-func (*LikeExpr) expr()    {}
-func (*IsNullExpr) expr()  {}
-func (*CaseExpr) expr()    {}
-func (*AggCall) expr()     {}
-func (*FuncCall) expr()    {}
+// SubqueryExpr is an uncorrelated scalar subquery: (SELECT <agg> ...).
+// The planner requires exactly one select item containing an aggregate
+// and no GROUP BY, which guarantees a single row.
+type SubqueryExpr struct{ Sel *SelectStmt }
+
+// InSubExpr is e [NOT] IN (SELECT ...) over a one-column subquery.
+type InSubExpr struct {
+	In     Expr
+	Sel    *SelectStmt
+	Negate bool
+}
+
+func (*Ident) expr()        {}
+func (*NumLit) expr()       {}
+func (*ParamExpr) expr()    {}
+func (*StrLit) expr()       {}
+func (*DateLit) expr()      {}
+func (*BoolLit) expr()      {}
+func (*NullLit) expr()      {}
+func (*BinExpr) expr()      {}
+func (*NotExpr) expr()      {}
+func (*BetweenExpr) expr()  {}
+func (*InExpr) expr()       {}
+func (*LikeExpr) expr()     {}
+func (*IsNullExpr) expr()   {}
+func (*CaseExpr) expr()     {}
+func (*AggCall) expr()      {}
+func (*FuncCall) expr()     {}
+func (*SubqueryExpr) expr() {}
+func (*InSubExpr) expr()    {}

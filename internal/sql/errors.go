@@ -1,0 +1,41 @@
+package sql
+
+import "fmt"
+
+// ParseError is the typed error returned by Parse for lexical and
+// syntactic failures. Offset is a byte offset into the input; Line and
+// Col are 1-based and computed from the input when the error is built
+// (the cold path — the lexer itself never tracks lines). Near holds
+// the offending token's text, empty at end of input.
+type ParseError struct {
+	Offset int
+	Line   int
+	Col    int
+	Near   string
+	Msg    string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	if e.Near == "" {
+		return fmt.Sprintf("sql: %s at line %d, column %d", e.Msg, e.Line, e.Col)
+	}
+	return fmt.Sprintf("sql: %s at line %d, column %d near %q", e.Msg, e.Line, e.Col, e.Near)
+}
+
+// newParseError locates offset within src (line/col are 1-based).
+func newParseError(src string, offset int, near, msg string) *ParseError {
+	if offset > len(src) {
+		offset = len(src)
+	}
+	line, col := 1, 1
+	for i := 0; i < offset; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &ParseError{Offset: offset, Line: line, Col: col, Near: near, Msg: msg}
+}

@@ -1,0 +1,55 @@
+package sql
+
+// Normalize derives the plan-cache key text straight from the lexer's
+// token stream in one pass: keywords and identifiers lower-cased,
+// whitespace and comments collapsed to single spaces, string literals
+// kept verbatim (escapes included), `!=` folded to `<>`, and any
+// trailing semicolon dropped. Unlexable input is returned unchanged —
+// the parser will produce the real error on the same bytes.
+
+import "strings"
+
+// Normalize canonicalizes one statement's text for cache keying.
+func Normalize(input string) string {
+	var b strings.Builder
+	b.Grow(len(input))
+	var buf [96]token
+	toks, err := tokenize(input, buf[:])
+	if err != nil {
+		return input
+	}
+	first := true
+	for k := range toks {
+		t := toks[k]
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind == tokSymbol && t.sym == symSemi {
+			// Trailing semicolons never reach the key; an embedded
+			// one would fail the parse anyway.
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		switch t.kind {
+		case tokKeyword:
+			b.WriteString(kwNames[t.kw])
+		case tokIdent:
+			b.WriteString(identTok(input, &t))
+		case tokString:
+			b.WriteString(input[t.pos:t.end]) // quotes included, escapes verbatim
+		case tokParam:
+			if t.end == t.pos+1 {
+				b.WriteByte('?')
+			} else {
+				b.WriteByte('$')
+				b.WriteString(rawText(input, &t))
+			}
+		default:
+			b.WriteString(rawText(input, &t))
+		}
+	}
+	return b.String()
+}

@@ -99,8 +99,18 @@ func (p *Planner) planSelect(s *SelectStmt) (algebra.Node, error) {
 		return nil, err
 	}
 
-	// Split WHERE into conjuncts for pushdown.
-	conjuncts := splitConjuncts(s.Where)
+	// Split WHERE into conjuncts for pushdown. Conjuncts containing
+	// subqueries are set aside: they become joins (or post-join
+	// selections) once the user's joins are in place, and must never
+	// be pushed into a scan.
+	var conjuncts, subqConjuncts []Expr
+	for _, c := range splitConjuncts(s.Where) {
+		if containsSubquery(c) {
+			subqConjuncts = append(subqConjuncts, c)
+		} else {
+			conjuncts = append(conjuncts, c)
+		}
+	}
 
 	// Push single-table conjuncts that only reference the first table
 	// down before joins.
@@ -115,10 +125,17 @@ func (p *Planner) planSelect(s *SelectStmt) (algebra.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Push right-table-only conjuncts into the build side.
-		right, conjuncts, err = p.pushdown(right, rightSc, conjuncts, j.Table.Alias)
-		if err != nil {
-			return nil, err
+		// Push right-table-only conjuncts into the build side — except
+		// under a LEFT OUTER JOIN, where the WHERE applies after
+		// null-extension and pushing it below the join would change
+		// which left rows survive. (Semi/anti joins keep the push: the
+		// right side never emits columns, so a right-only WHERE
+		// conjunct is only satisfiable as a build-side filter.)
+		if j.Kind != "left" {
+			right, conjuncts, err = p.pushdown(right, rightSc, conjuncts, j.Table.Alias)
+			if err != nil {
+				return nil, err
+			}
 		}
 		// Resolve keys: left keys against current scope, right keys
 		// against the joined table.
@@ -160,6 +177,37 @@ func (p *Planner) planSelect(s *SelectStmt) (algebra.Node, error) {
 			return nil, err
 		}
 		node = &algebra.SelectNode{Input: node, Pred: pred}
+	}
+
+	// Subquery conjuncts: `x [NOT] IN (SELECT ...)` becomes a
+	// semi/anti join against the subplan; scalar subqueries attach via
+	// a constant-key cross join and the conjunct then lowers as an
+	// ordinary selection over the widened row.
+	if len(subqConjuncts) > 0 {
+		subqN := 0
+		var rewritten []Expr
+		for _, c := range subqConjuncts {
+			if in := asInSub(c); in != nil {
+				node, err = p.planInSubquery(node, sc, in)
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
+			var rc Expr
+			node, rc, err = p.attachScalarSubqueries(node, sc, c, &subqN)
+			if err != nil {
+				return nil, err
+			}
+			rewritten = append(rewritten, rc)
+		}
+		if len(rewritten) > 0 {
+			pred, err := p.lowerConjuncts(rewritten, sc)
+			if err != nil {
+				return nil, err
+			}
+			node = &algebra.SelectNode{Input: node, Pred: pred}
+		}
 	}
 
 	// Aggregation?
@@ -370,6 +418,19 @@ func (p *Planner) planAggregate(s *SelectStmt, input algebra.Node, sc *scope) (a
 	node := algebra.Node(&algebra.AggNode{Input: input, GroupBy: groupBy, Aggs: aggs, Names: names})
 	aggSc := schemaScope(node.Schema())
 
+	// HAVING may compare against an uncorrelated scalar subquery
+	// (Q11): attach each one via a constant-key join above the
+	// aggregate and substitute its output column into the predicate.
+	having := s.Having
+	if having != nil && containsSubquery(having) {
+		subqN := 0
+		var err error
+		node, having, err = p.attachScalarSubqueries(node, aggSc, having, &subqN)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	// rewrite maps an AST expression onto the AggNode output: group-by
 	// expressions and aggregate calls become references to the internal
 	// columns; select aliases (HAVING may name them) substitute the
@@ -430,15 +491,15 @@ func (p *Planner) planAggregate(s *SelectStmt, input algebra.Node, sc *scope) (a
 	// HAVING filters the aggregate output before the projection renames
 	// and reorders it (equivalent, and it may reference aggregates that
 	// the select list drops).
-	if s.Having != nil {
-		pred, err := p.lower(rewrite(s.Having), aggSc)
+	if having != nil {
+		pred, err := p.lower(rewrite(having), aggSc)
 		if err != nil {
 			return nil, err
 		}
 		node = &algebra.SelectNode{Input: node, Pred: pred}
 	}
 
-	// Re-project into select order under the output names.
+	// Projection expressions over the aggregate output, in select order.
 	var exprs []algebra.Scalar
 	var outNames []string
 	for _, item := range s.Items {
@@ -449,24 +510,36 @@ func (p *Planner) planAggregate(s *SelectStmt, input algebra.Node, sc *scope) (a
 		exprs = append(exprs, lo)
 		outNames = append(outNames, itemName(item))
 	}
-	node = &algebra.ProjectNode{Input: node, Exprs: exprs, Names: outNames}
-	return p.finishOrderLimit(s, node)
-}
 
-// finishOrderLimit adds Sort and Limit over the projected output.
-func (p *Planner) finishOrderLimit(s *SelectStmt, node algebra.Node) (algebra.Node, error) {
+	// ORDER BY keys rewrite onto the aggregate output exactly like
+	// select items do, and the sort runs between HAVING and the
+	// projection (every engine preserves order through a projection) —
+	// so keys may be arbitrary expressions over group keys and
+	// aggregates, including ones the select list drops. A bare
+	// identifier that only names a projected column (`ORDER BY count`)
+	// falls back to that column's expression.
 	if len(s.OrderBy) > 0 {
-		outSc := schemaScope(node.Schema())
 		var keys []algebra.SortKey
 		for _, o := range s.OrderBy {
-			lo, err := p.lower(o.Expr, outSc)
+			lo, err := p.lower(rewrite(o.Expr), aggSc)
 			if err != nil {
-				return nil, err
+				if id, ok := o.Expr.(*Ident); ok && id.Qualifier == "" {
+					for i, n := range outNames {
+						if n == id.Name {
+							lo, err = exprs[i], nil
+							break
+						}
+					}
+				}
+				if err != nil {
+					return nil, err
+				}
 			}
 			keys = append(keys, algebra.SortKey{Expr: lo, Desc: o.Desc})
 		}
 		node = &algebra.SortNode{Input: node, Keys: keys}
 	}
+	node = &algebra.ProjectNode{Input: node, Exprs: exprs, Names: outNames}
 	if s.Limit >= 0 {
 		node = &algebra.LimitNode{Input: node, N: s.Limit}
 	}
@@ -679,6 +752,10 @@ func (p *Planner) lower(e Expr, sc *scope) (algebra.Scalar, error) {
 		return nil, fmt.Errorf("sql: unknown function %q", t.Fn)
 	case *AggCall:
 		return nil, fmt.Errorf("sql: aggregate %s not allowed here", t.Fn)
+	case *SubqueryExpr:
+		return nil, fmt.Errorf("sql: scalar subquery not supported in this position")
+	case *InSubExpr:
+		return nil, fmt.Errorf("sql: IN (SELECT ...) is only supported as a top-level WHERE conjunct")
 	default:
 		return nil, fmt.Errorf("sql: unsupported expression %T", e)
 	}
@@ -874,6 +951,13 @@ func walkExprs(e Expr, fn func(Expr)) {
 		walkExprs(t.Arg, fn)
 	case *FuncCall:
 		walkExprs(t.Arg, fn)
+	case *InSubExpr:
+		// The probe side belongs to the outer query; the subquery's
+		// internals (its aggregates, idents) do not.
+		walkExprs(t.In, fn)
+	case *SubqueryExpr:
+		// Leaf: nothing inside a scalar subquery belongs to the outer
+		// query's scope.
 	}
 }
 
@@ -950,9 +1034,27 @@ func renderExpr(e Expr) string {
 		return t.Fn + "(" + renderExpr(t.Arg) + ")"
 	case *CaseExpr:
 		return "case(" + renderExpr(t.Cond) + "," + renderExpr(t.Then) + "," + renderExpr(t.Else) + ")"
+	case *SubqueryExpr:
+		return "(" + RenderSelect(t.Sel) + ")"
+	case *InSubExpr:
+		return fmt.Sprintf("insub(%s,%s,%v)", renderExpr(t.In), RenderSelect(t.Sel), t.Negate)
 	default:
 		return fmt.Sprintf("%T", e)
 	}
+}
+
+// containsSubquery reports whether an expression contains a subquery
+// node anywhere (the subquery's own internals are not walked, but the
+// node itself is seen).
+func containsSubquery(e Expr) bool {
+	found := false
+	walkExprs(e, func(x Expr) {
+		switch x.(type) {
+		case *SubqueryExpr, *InSubExpr:
+			found = true
+		}
+	})
+	return found
 }
 
 // itemName derives the output column name of a select item.

@@ -1,0 +1,254 @@
+package sql
+
+// Query-level planning beyond a single SELECT block: UNION [ALL] /
+// EXCEPT / INTERSECT over the existing union machinery, and the
+// subquery-to-join rewrites (uncorrelated scalar subqueries via
+// constant-key joins, IN (SELECT ...) via semi/anti joins).
+
+import (
+	"fmt"
+
+	"vectorwise/internal/algebra"
+	"vectorwise/internal/vtypes"
+)
+
+// PlanQuery lowers any query statement — a SELECT or a set-operation
+// chain — onto the algebra, then runs the scan-filter rewrite (see
+// PlanSelect).
+func (p *Planner) PlanQuery(s Stmt) (algebra.Node, error) {
+	node, err := p.planQuery(s)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.PushFiltersIntoScans(node), nil
+}
+
+func (p *Planner) planQuery(s Stmt) (algebra.Node, error) {
+	switch t := s.(type) {
+	case *SelectStmt:
+		return p.planSelect(t)
+	case *SetOpStmt:
+		return p.planSetOp(t)
+	default:
+		return nil, fmt.Errorf("sql: not a query statement: %T", s)
+	}
+}
+
+// planSetOp lowers a set operation. UNION ALL is the engine's union;
+// UNION adds a duplicate-eliminating group-by over it; INTERSECT and
+// EXCEPT run a deduplicated left branch through a semi/anti join
+// against the right branch on all columns. Like the engine's hash
+// joins, the key comparison treats NULLs as equal — a documented
+// divergence from SQL's three-valued semantics (TPC-H columns are
+// non-null).
+func (p *Planner) planSetOp(s *SetOpStmt) (algebra.Node, error) {
+	left, err := p.planQuery(s.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.planQuery(s.Right)
+	if err != nil {
+		return nil, err
+	}
+	ls, rs := left.Schema(), right.Schema()
+	if ls.Len() != rs.Len() {
+		return nil, fmt.Errorf("sql: %s branches have %d and %d columns", s.Op, ls.Len(), rs.Len())
+	}
+	for i := 0; i < ls.Len(); i++ {
+		if ls.Col(i).Kind.StorageClass() != rs.Col(i).Kind.StorageClass() {
+			return nil, fmt.Errorf("sql: %s column %d: type mismatch (%v vs %v)",
+				s.Op, i+1, ls.Col(i).Kind, rs.Col(i).Kind)
+		}
+	}
+	var node algebra.Node
+	switch s.Op {
+	case "union all":
+		node = &algebra.UnionAllNode{Inputs: []algebra.Node{left, right}}
+	case "union":
+		node = dedupNode(&algebra.UnionAllNode{Inputs: []algebra.Node{left, right}})
+	case "intersect":
+		node = allColsJoin(dedupNode(left), right, algebra.JoinLeftSemi)
+	case "except":
+		node = allColsJoin(dedupNode(left), right, algebra.JoinLeftAnti)
+	default:
+		return nil, fmt.Errorf("sql: unknown set operation %q", s.Op)
+	}
+	if len(s.OrderBy) > 0 {
+		sc := schemaScope(node.Schema())
+		var keys []algebra.SortKey
+		for _, o := range s.OrderBy {
+			lo, err := p.lower(o.Expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, algebra.SortKey{Expr: lo, Desc: o.Desc})
+		}
+		node = &algebra.SortNode{Input: node, Keys: keys}
+	}
+	if s.Limit >= 0 {
+		node = &algebra.LimitNode{Input: node, N: s.Limit}
+	}
+	return node, nil
+}
+
+// dedupNode eliminates duplicate rows by grouping on every column with
+// no aggregates.
+func dedupNode(in algebra.Node) algebra.Node {
+	sch := in.Schema()
+	groups := make([]algebra.Scalar, sch.Len())
+	names := make([]string, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		groups[i] = &algebra.ColRef{Idx: i, K: sch.Col(i).Kind}
+		names[i] = sch.Col(i).Name
+	}
+	return &algebra.AggNode{Input: in, GroupBy: groups, Names: names}
+}
+
+// allColsJoin joins two same-width inputs on every column pairwise.
+func allColsJoin(l, r algebra.Node, typ algebra.JoinType) algebra.Node {
+	lsch, rsch := l.Schema(), r.Schema()
+	lk := make([]algebra.Scalar, lsch.Len())
+	rk := make([]algebra.Scalar, rsch.Len())
+	for i := range lk {
+		lk[i] = &algebra.ColRef{Idx: i, K: lsch.Col(i).Kind}
+		rk[i] = &algebra.ColRef{Idx: i, K: rsch.Col(i).Kind}
+	}
+	return &algebra.JoinNode{Left: l, Right: r, LeftKeys: lk, RightKeys: rk, Type: typ}
+}
+
+// asInSub unwraps a conjunct that is an IN-subquery predicate,
+// flattening `NOT (x IN (SELECT ...))` into the negated form.
+func asInSub(e Expr) *InSubExpr {
+	switch t := e.(type) {
+	case *InSubExpr:
+		return t
+	case *NotExpr:
+		if in, ok := t.In.(*InSubExpr); ok {
+			return &InSubExpr{In: in.In, Sel: in.Sel, Negate: !in.Negate}
+		}
+	}
+	return nil
+}
+
+// planInSubquery rewrites `x [NOT] IN (SELECT c FROM ...)` into a
+// semi/anti join of the current row stream against the subplan. The
+// schema is unchanged, so the surrounding scope stays valid.
+func (p *Planner) planInSubquery(node algebra.Node, sc *scope, in *InSubExpr) (algebra.Node, error) {
+	probe, err := p.lower(in.In, sc)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := p.planSelect(in.Sel)
+	if err != nil {
+		return nil, fmt.Errorf("sql: IN subquery: %w", err)
+	}
+	if sub.Schema().Len() != 1 {
+		return nil, fmt.Errorf("sql: IN subquery must produce exactly one column, got %d", sub.Schema().Len())
+	}
+	key := sub.Schema().Col(0).Kind
+	if probe.Kind().StorageClass() != key.StorageClass() {
+		return nil, fmt.Errorf("sql: IN subquery key type mismatch (%v vs %v)", probe.Kind(), key)
+	}
+	typ := algebra.JoinLeftSemi
+	if in.Negate {
+		typ = algebra.JoinLeftAnti
+	}
+	return &algebra.JoinNode{
+		Left:      node,
+		Right:     sub,
+		LeftKeys:  []algebra.Scalar{probe},
+		RightKeys: []algebra.Scalar{&algebra.ColRef{Idx: 0, K: key}},
+		Type:      typ,
+	}, nil
+}
+
+// attachScalarSubqueries replaces every scalar subquery inside e with a
+// reference to a fresh internal column ("#sqN"), attaching each
+// subquery's one-row plan to node through a constant-key inner join
+// (both sides key on literal 1 — a cross join with one build row). The
+// scope gains an entry for each attached column, so the rewritten
+// expression lowers like any other.
+func (p *Planner) attachScalarSubqueries(node algebra.Node, sc *scope, e Expr, n *int) (algebra.Node, Expr, error) {
+	var err error
+	var rec func(Expr) Expr
+	attach := func(t *SubqueryExpr) Expr {
+		sub, kind, serr := p.planScalarSubquery(t.Sel)
+		if serr != nil {
+			if err == nil {
+				err = serr
+			}
+			return t
+		}
+		name := fmt.Sprintf("#sq%d", *n)
+		*n++
+		renamed := &algebra.ProjectNode{
+			Input: sub,
+			Exprs: []algebra.Scalar{&algebra.ColRef{Idx: 0, K: kind}},
+			Names: []string{name},
+		}
+		one := func() algebra.Scalar { return &algebra.Lit{Val: vtypes.I64Value(1)} }
+		sc.entries = append(sc.entries, scopeEntry{schema: renamed.Schema(), offset: sc.width()})
+		node = &algebra.JoinNode{
+			Left:      node,
+			Right:     renamed,
+			LeftKeys:  []algebra.Scalar{one()},
+			RightKeys: []algebra.Scalar{one()},
+			Type:      algebra.JoinInner,
+		}
+		return &Ident{Name: name}
+	}
+	rec = func(x Expr) Expr {
+		switch t := x.(type) {
+		case *SubqueryExpr:
+			return attach(t)
+		case *BinExpr:
+			return &BinExpr{Op: t.Op, L: rec(t.L), R: rec(t.R)}
+		case *NotExpr:
+			return &NotExpr{In: rec(t.In)}
+		case *BetweenExpr:
+			return &BetweenExpr{In: rec(t.In), Lo: rec(t.Lo), Hi: rec(t.Hi)}
+		case *InExpr:
+			list := make([]Expr, len(t.List))
+			for i, m := range t.List {
+				list[i] = rec(m)
+			}
+			return &InExpr{In: rec(t.In), List: list}
+		case *LikeExpr:
+			return &LikeExpr{In: rec(t.In), Pattern: t.Pattern, Negate: t.Negate}
+		case *IsNullExpr:
+			return &IsNullExpr{In: rec(t.In), Negate: t.Negate}
+		case *CaseExpr:
+			return &CaseExpr{Cond: rec(t.Cond), Then: rec(t.Then), Else: rec(t.Else)}
+		case *AggCall:
+			if t.Arg == nil {
+				return t
+			}
+			return &AggCall{Fn: t.Fn, Arg: rec(t.Arg)}
+		case *FuncCall:
+			return &FuncCall{Fn: t.Fn, Arg: rec(t.Arg)}
+		default:
+			return x
+		}
+	}
+	out := rec(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	return node, out, nil
+}
+
+// planScalarSubquery plans an uncorrelated scalar subquery. To
+// guarantee exactly one row without runtime checks, the subquery must
+// be a single ungrouped aggregate (`SELECT AVG(x) FROM ...`); a
+// correlated reference fails inside planSelect with an unknown-column
+// error, since the subquery plans against a fresh scope.
+func (p *Planner) planScalarSubquery(sel *SelectStmt) (algebra.Node, vtypes.Kind, error) {
+	if len(sel.Items) != 1 || sel.Items[0].Star || !containsAgg(sel.Items[0].Expr) || len(sel.GroupBy) > 0 {
+		return nil, 0, fmt.Errorf("sql: scalar subquery must be a single aggregate expression with no GROUP BY")
+	}
+	sub, err := p.planSelect(sel)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sql: scalar subquery: %w", err)
+	}
+	return sub, sub.Schema().Col(0).Kind, nil
+}

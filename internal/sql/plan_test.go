@@ -65,7 +65,7 @@ func planAndRun(t *testing.T, cat *catalog.Catalog, q string) []vtypes.Row {
 		t.Fatalf("parse %q: %v", q, err)
 	}
 	p := &Planner{Cat: cat}
-	plan, err := p.PlanSelect(stmt.(*SelectStmt))
+	plan, err := p.PlanQuery(stmt.AST)
 	if err != nil {
 		t.Fatalf("plan %q: %v", q, err)
 	}
@@ -148,7 +148,7 @@ func TestPlanHavingWithoutAggregates(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := &Planner{Cat: cat}
-	if _, err := p.PlanSelect(stmt.(*SelectStmt)); err == nil ||
+	if _, err := p.PlanQuery(stmt.AST); err == nil ||
 		!strings.Contains(err.Error(), "HAVING") {
 		t.Fatalf("want HAVING error, got %v", err)
 	}
@@ -166,7 +166,7 @@ func TestPlanAliasSelfReference(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := &Planner{Cat: cat}
-		if _, err := p.PlanSelect(stmt.(*SelectStmt)); err == nil {
+		if _, err := p.PlanQuery(stmt.AST); err == nil {
 			t.Fatalf("plan %q: want error, got nil", q)
 		}
 	}
@@ -196,7 +196,7 @@ func TestPlanUngroupedColumnRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := &Planner{Cat: cat}
-	if _, err := p.PlanSelect(stmt.(*SelectStmt)); err == nil {
+	if _, err := p.PlanQuery(stmt.AST); err == nil {
 		t.Fatal("ungrouped select item must error")
 	}
 }
@@ -206,15 +206,15 @@ func TestPlanUngroupedColumnRejected(t *testing.T) {
 // as a Select, and the tuple engine still sees every predicate.
 func TestPlanScanFilterExtraction(t *testing.T) {
 	cat := planFixture(t)
-	stmt, n, err := ParseWithParams(`SELECT a FROM t WHERE a BETWEEN ? AND ? AND b < 100.0 AND a + 1 > 2`)
+	stmt, err := Parse(`SELECT a FROM t WHERE a BETWEEN ? AND ? AND b < 100.0 AND a + 1 > 2`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 {
-		t.Fatalf("params: %d", n)
+	if stmt.NumParams != 2 {
+		t.Fatalf("params: %d", stmt.NumParams)
 	}
 	p := &Planner{Cat: cat}
-	plan, err := p.PlanSelect(stmt.(*SelectStmt))
+	plan, err := p.PlanQuery(stmt.AST)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,20 +1,41 @@
 package sql
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
 
-func TestLexBasics(t *testing.T) {
-	toks, err := lex(`SELECT a.b, 'it''s', 1.5 FROM t -- comment
-WHERE x <> 2`)
+// lexAll tokenizes src, returning each token's canonical text (the
+// shape Normalize emits).
+func lexAll(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := tokenize(src, nil)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("lex %q: %v", src, err)
 	}
-	var texts []string
-	for _, tok := range toks {
-		texts = append(texts, tok.text)
+	var out []string
+	for k := range toks {
+		tok := &toks[k]
+		switch tok.kind {
+		case tokEOF:
+			return out
+		case tokKeyword:
+			out = append(out, kwNames[tok.kw])
+		case tokIdent:
+			out = append(out, identTok(src, tok))
+		case tokString:
+			out = append(out, stringTok(src, tok))
+		default:
+			out = append(out, rawText(src, tok))
+		}
 	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	texts := lexAll(t, `SELECT a.b, 'it''s', 1.5 FROM t -- comment
+WHERE x <> 2`)
 	joined := strings.Join(texts, " ")
 	if !strings.Contains(joined, "it's") {
 		t.Fatalf("escaped quote lost: %v", texts)
@@ -26,20 +47,62 @@ WHERE x <> 2`)
 		t.Fatal("comment not stripped")
 	}
 	// != normalizes to <>.
-	toks2, _ := lex("x != 1")
-	if toks2[1].text != "<>" {
-		t.Fatal("!= must normalize to <>")
+	if toks := lexAll(t, "x != 1"); toks[1] != "<>" {
+		t.Fatalf("!= must normalize to <>, got %v", toks)
 	}
-	if _, err := lex("bad ` char"); err == nil {
+	// Idents lower-case lazily; keywords match case-insensitively.
+	if toks := lexAll(t, "SeLeCt FooBar"); toks[0] != "select" || toks[1] != "foobar" {
+		t.Fatalf("case folding: %v", toks)
+	}
+	if _, err := tokenize("bad ` char", nil); err == nil {
 		t.Fatal("bad character must error")
 	}
-	if _, err := lex("'unterminated"); err == nil {
+	if _, err := tokenize("'unterminated", nil); err == nil {
 		t.Fatal("unterminated string must error")
 	}
 }
 
+// Token text must alias the source string, not copy it: tokens carry
+// [pos, end) offsets, and the lazy transforms (ident lower-casing,
+// string undoubling) must be identities on already-canonical input.
+func TestLexZeroCopy(t *testing.T) {
+	src := `SELECT abc FROM tbl WHERE s = 'plain'`
+	toks, err := tokenize(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range toks {
+		tok := &toks[k]
+		if tok.kind == tokEOF {
+			break
+		}
+		if tok.pos < 0 || tok.end < tok.pos || int(tok.end) > len(src) {
+			t.Fatalf("token range [%d,%d) out of bounds", tok.pos, tok.end)
+		}
+		raw := rawText(src, tok)
+		if tok.kind != tokSymbol && !strings.Contains(src[tok.pos:tok.end], raw) {
+			t.Fatalf("token %q not within its range %q", raw, src[tok.pos:tok.end])
+		}
+	}
+	// An all-lowercase ident and an escape-free string pass through
+	// without allocation-forcing transforms.
+	if identText("abc") != "abc" {
+		t.Fatal("lowercase ident must be identity")
+	}
+	toks, err = tokenize("'plain' ident", nil)
+	if err != nil || toks[0].kind != tokString {
+		t.Fatalf("want string token, got %v (%v)", toks[0].kind, err)
+	}
+	if v := stringTok("'plain' ident", &toks[0]); v != "plain" {
+		t.Fatalf("escape-free string must be identity, got %q", v)
+	}
+	if toks[1].kind != tokIdent || toks[1].flag&tokFlagUpper != 0 {
+		t.Fatalf("lowercase ident must not carry the upper flag: %+v", toks[1])
+	}
+}
+
 func TestParseSelectShapes(t *testing.T) {
-	stmt, err := Parse(`SELECT a, SUM(b) total FROM t
+	st, err := Parse(`SELECT a, SUM(b) total FROM t
 		JOIN u ON t.k = u.k
 		LEFT SEMI JOIN v ON t.k = v.k
 		WHERE a > 1 AND b BETWEEN 2 AND 3 OR c IN (1,2) AND d LIKE 'x%'
@@ -47,7 +110,7 @@ func TestParseSelectShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := stmt.(*SelectStmt)
+	s := st.AST.(*SelectStmt)
 	if len(s.Items) != 2 || s.Items[1].Alias != "total" {
 		t.Fatalf("items: %+v", s.Items)
 	}
@@ -65,12 +128,90 @@ func TestParseSelectShapes(t *testing.T) {
 	}
 }
 
+func TestParseOuterJoinAndOrderExpr(t *testing.T) {
+	st, err := Parse(`SELECT a, v FROM t LEFT OUTER JOIN u ON t.k = u.k ORDER BY a + v DESC, SUM(v)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.AST.(*SelectStmt)
+	if len(s.Joins) != 1 || s.Joins[0].Kind != "left" {
+		t.Fatalf("joins: %+v", s.Joins)
+	}
+	if _, ok := s.OrderBy[0].Expr.(*BinExpr); !ok {
+		t.Fatalf("ORDER BY expression: %T", s.OrderBy[0].Expr)
+	}
+	// LEFT JOIN without OUTER means the same thing.
+	st, err = Parse(`SELECT a FROM t LEFT JOIN u ON t.k = u.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AST.(*SelectStmt).Joins[0].Kind != "left" {
+		t.Fatal("LEFT JOIN must parse as outer")
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	st, err := Parse(`SELECT a FROM t UNION ALL SELECT a FROM u UNION SELECT a FROM v ORDER BY a LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := st.AST.(*SetOpStmt)
+	if top.Op != "union" {
+		t.Fatalf("top op: %q", top.Op)
+	}
+	inner := top.Left.(*SetOpStmt)
+	if inner.Op != "union all" {
+		t.Fatalf("set ops must fold left-associatively: %q", inner.Op)
+	}
+	if len(top.OrderBy) != 1 || top.Limit != 3 {
+		t.Fatalf("order/limit must bind to the whole chain: %+v", top)
+	}
+	if sel := inner.Left.(*SelectStmt); sel.Limit != -1 || len(sel.OrderBy) != 0 {
+		t.Fatalf("branch must not own order/limit: %+v", sel)
+	}
+	for _, q := range []string{
+		`SELECT a FROM t EXCEPT SELECT a FROM u`,
+		`SELECT a FROM t INTERSECT SELECT a FROM u`,
+	} {
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if _, ok := st.AST.(*SetOpStmt); !ok {
+			t.Fatalf("%s: %T", q, st.AST)
+		}
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	st, err := Parse(`SELECT a FROM t WHERE b < (SELECT AVG(v) FROM u) AND a IN (SELECT k FROM u WHERE v > 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.AST.(*SelectStmt).Where.(*BinExpr) // AND
+	cmp := w.L.(*BinExpr)
+	if _, ok := cmp.R.(*SubqueryExpr); !ok {
+		t.Fatalf("scalar subquery: %T", cmp.R)
+	}
+	in, ok := w.R.(*InSubExpr)
+	if !ok || in.Negate {
+		t.Fatalf("IN subquery: %T", w.R)
+	}
+	st, err = Parse(`SELECT a FROM t WHERE a NOT IN (SELECT k FROM u)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := st.AST.(*SelectStmt).Where.(*InSubExpr); !in.Negate {
+		t.Fatal("NOT IN subquery must negate")
+	}
+}
+
 func TestParseDML(t *testing.T) {
 	st, err := Parse(`CREATE TABLE t (a BIGINT, b VARCHAR NULL, c DATE, d DOUBLE, e BOOLEAN)`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs := st.(*CreateStmt)
+	cs := st.AST.(*CreateStmt)
 	if len(cs.Cols) != 5 || !cs.Cols[1].Nullable || cs.Cols[0].Nullable {
 		t.Fatalf("create: %+v", cs.Cols)
 	}
@@ -79,7 +220,7 @@ func TestParseDML(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	is := st.(*InsertStmt)
+	is := st.AST.(*InsertStmt)
 	if len(is.Rows) != 2 || len(is.Rows[0]) != 5 {
 		t.Fatalf("insert: %+v", is)
 	}
@@ -88,16 +229,19 @@ func TestParseDML(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	us := st.(*UpdateStmt)
-	if len(us.SetOrder) != 2 || us.Where == nil {
+	us := st.AST.(*UpdateStmt)
+	if len(us.SetCols) != 2 || len(us.SetExprs) != 2 || us.Where == nil {
 		t.Fatalf("update: %+v", us)
+	}
+	if us.SetCols[0] != "b" || us.SetCols[1] != "d" {
+		t.Fatalf("set order lost: %+v", us.SetCols)
 	}
 
 	st, err = Parse(`DELETE FROM t WHERE a IS NOT NULL`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds := st.(*DeleteStmt)
+	ds := st.AST.(*DeleteStmt)
 	if ds.Where == nil {
 		t.Fatal("delete where missing")
 	}
@@ -111,7 +255,7 @@ func TestParseExpressionPrecedence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := st.(*SelectStmt).Items[0].Expr.(*BinExpr)
+	e := st.AST.(*SelectStmt).Items[0].Expr.(*BinExpr)
 	if e.Op != "+" {
 		t.Fatalf("precedence wrong: %+v", e)
 	}
@@ -120,7 +264,7 @@ func TestParseExpressionPrecedence(t *testing.T) {
 	}
 	// AND binds tighter than OR.
 	st, _ = Parse(`SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3`)
-	w := st.(*SelectStmt).Where.(*BinExpr)
+	w := st.AST.(*SelectStmt).Where.(*BinExpr)
 	if w.Op != "OR" {
 		t.Fatalf("OR must be top: %+v", w)
 	}
@@ -129,12 +273,12 @@ func TestParseExpressionPrecedence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := st.(*SelectStmt).Items[0].Expr.(*CaseExpr); !ok {
+	if _, ok := st.AST.(*SelectStmt).Items[0].Expr.(*CaseExpr); !ok {
 		t.Fatal("case not parsed")
 	}
 	// Unary minus.
 	st, _ = Parse(`SELECT -a FROM t`)
-	if _, ok := st.(*SelectStmt).Items[0].Expr.(*BinExpr); !ok {
+	if _, ok := st.AST.(*SelectStmt).Items[0].Expr.(*BinExpr); !ok {
 		t.Fatal("unary minus not parsed")
 	}
 }
@@ -157,11 +301,40 @@ func TestParseErrors(t *testing.T) {
 		`SELECT a FROM t trailing garbage ( (`,
 		`SELECT a FROM t JOIN u`,
 		`SELECT CASE WHEN a THEN b END FROM t`,
+		`SELECT a FROM t UNION`,
+		`SELECT a FROM t UNION ALL`,
+		`SELECT a FROM t WHERE a IN (SELECT)`,
 	}
 	for _, q := range bad {
 		if _, err := Parse(q); err == nil {
 			t.Errorf("Parse(%q) should fail", q)
 		}
+	}
+}
+
+// Every parse failure is a *ParseError locating the offending token.
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT a\nFROM t WHERE ***")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %T (%v)", err, err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("line = %d, want 2", pe.Line)
+	}
+	if pe.Col != 14 {
+		t.Fatalf("col = %d, want 14", pe.Col)
+	}
+	if pe.Offset != strings.Index("SELECT a\nFROM t WHERE ***", "*") {
+		t.Fatalf("offset = %d", pe.Offset)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Fatalf("message must carry the position: %q", pe.Error())
+	}
+	// Lex errors position too.
+	_, err = Parse("SELECT 'oops")
+	if !errors.As(err, &pe) || pe.Line != 1 {
+		t.Fatalf("lex error position: %v", err)
 	}
 }
 
@@ -171,8 +344,53 @@ func TestParseTxStatements(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.(*TxStmt).Kind != strings.ToLower(kw) {
+		if st.AST.(*TxStmt).Kind != strings.ToLower(kw) {
 			t.Fatalf("tx kind wrong for %s", kw)
+		}
+	}
+}
+
+// A caller-owned arena is reusable across parses; the pool path hands
+// out an independent statement per call.
+func TestParseArenaReuse(t *testing.T) {
+	a := NewArena()
+	var last string
+	for i := 0; i < 3; i++ {
+		st, err := Parse(`SELECT a, b FROM t WHERE a > 1 ORDER BY b`, WithArena(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := RenderStmt(st.AST)
+		if last != "" && got != last {
+			t.Fatalf("warm parse diverged: %q vs %q", got, last)
+		}
+		last = got
+	}
+	st1, err := Parse(`SELECT a FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1.Release()
+	st2, err := Parse(`SELECT b FROM u`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderStmt(st2.AST) != "SELECT b FROM u" {
+		t.Fatalf("pooled reparse: %q", RenderStmt(st2.AST))
+	}
+	st2.Release()
+}
+
+func TestNormalizeTokenStream(t *testing.T) {
+	cases := [][2]string{
+		{"SELECT  *\nFROM t; -- done", "select * from t"},
+		{"select A , B from T where S = 'It''s'", "select a , b from t where s = 'It''s'"},
+		{"SELECT a FROM t WHERE x != 1", "select a from t where x <> 1"},
+		{"broken '", "broken '"}, // unlexable text passes through
+	}
+	for _, c := range cases {
+		if got := Normalize(c[0]); got != c[1] {
+			t.Errorf("Normalize(%q) = %q, want %q", c[0], got, c[1])
 		}
 	}
 }

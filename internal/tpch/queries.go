@@ -6,14 +6,19 @@ import (
 )
 
 // The query suite. Each entry builds the optimized algebra plan of one
-// TPC-H query with the spec's validation parameters. Eight queries cover
-// every operator class of the suite: scan-heavy aggregation (Q1, Q6),
-// multi-way joins with sort/limit (Q3, Q10), five-way join aggregation
-// (Q5), semi-join (Q4), CASE aggregation over joins (Q12, Q14), and an
-// OR-of-ANDs multi-predicate scan (Q19). The remaining 14 queries need
-// correlated subqueries or windowing the SQL subset does not cover;
-// EXPERIMENTS.md documents this substitution and QphH-analog is computed
-// over the implemented set.
+// TPC-H query with the spec's validation parameters. Twelve queries
+// cover every operator class of the suite: scan-heavy aggregation (Q1,
+// Q6), multi-way joins with sort/limit (Q3, Q10), five-way join
+// aggregation (Q5), semi-join (Q4), CASE aggregation over joins (Q12,
+// Q14), an OR-of-ANDs multi-predicate scan (Q19), and uncorrelated
+// subqueries as one-row cross joins (Q2, Q11) and grouped semi-joins
+// (Q18). Q2, Q11 and Q18 are simplified to the uncorrelated forms the
+// planner's subquery rewrites cover (Q2 compares against the global
+// average supply cost instead of the per-part minimum; Q18's quantity
+// threshold is lowered so the 0.01-scale differential fixture keeps
+// rows). The remaining queries need correlated subqueries or windowing
+// the SQL subset does not cover; EXPERIMENTS.md documents this
+// substitution and QphH-analog is computed over the implemented set.
 
 // Query is one benchmarkable query.
 type Query struct {
@@ -88,6 +93,79 @@ func Q1() algebra.Node {
 	return &algebra.SortNode{Input: agg, Keys: []algebra.SortKey{
 		{Expr: cStr(0)}, {Expr: cStr(1)},
 	}}
+}
+
+// one is the constant key both sides of a one-row cross join hash on —
+// the planner lowers uncorrelated scalar subqueries the same way.
+func one() algebra.Scalar { return &algebra.Lit{Val: vtypes.I64Value(1)} }
+
+// Q2 — minimum cost supplier, simplified: the spec's correlated
+// per-part minimum becomes an uncorrelated global average-cost cutoff,
+// attached to the probe side through a constant-key join against a
+// one-row aggregate.
+func Q2() algebra.Node {
+	pss, ps, ss, ns, rs := PartsuppSchema(), PartSchema(), SupplierSchema(), NationSchema(), RegionSchema()
+	avgCost := &algebra.AggNode{
+		Input: scan("partsupp", pss, PSSupplyCost),
+		Aggs:  []algebra.AggExpr{{Fn: algebra.AggAvg, Arg: cF64(0)}},
+		Names: []string{"avg_cost"},
+	}
+	withAvg := &algebra.JoinNode{
+		Left:      scan("partsupp", pss, PSPartKey, PSSuppKey, PSSupplyCost),
+		Right:     avgCost,
+		LeftKeys:  []algebra.Scalar{one()},
+		RightKeys: []algebra.Scalar{one()},
+		Type:      algebra.JoinInner,
+	}
+	cheap := &algebra.SelectNode{
+		Input: withAvg,
+		Pred:  &algebra.Cmp{Op: algebra.CmpLt, L: cF64(2), R: cF64(3)},
+	}
+	part := &algebra.SelectNode{
+		Input: scan("part", ps, PPartKey, PMfgr, PSize),
+		Pred:  &algebra.Cmp{Op: algebra.CmpEq, L: cI64(2), R: &algebra.Lit{Val: vtypes.I64Value(15)}},
+	}
+	pj := &algebra.JoinNode{
+		Left: cheap, Right: part,
+		LeftKeys:  []algebra.Scalar{cI64(0)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	// pj: pskey, sskey(1), cost, avg | pkey(4), mfgr(5), size
+	region := &algebra.SelectNode{
+		Input: scan("region", rs, RRegionKey, RName),
+		Pred:  &algebra.Cmp{Op: algebra.CmpEq, L: cStr(1), R: litS("EUROPE")},
+	}
+	nat := &algebra.JoinNode{
+		Left:      scan("nation", ns, NNationKey, NName, NRegionKey),
+		Right:     region,
+		LeftKeys:  []algebra.Scalar{cI64(2)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinLeftSemi,
+	}
+	supp := &algebra.JoinNode{
+		Left:      scan("supplier", ss, SSuppKey, SName, SAcctBal, SNationKey),
+		Right:     nat,
+		LeftKeys:  []algebra.Scalar{cI64(3)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	sj := &algebra.JoinNode{
+		Left: pj, Right: supp,
+		LeftKeys:  []algebra.Scalar{cI64(1)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	// sj: 0..6 | skey(7), sname(8), sacct(9), snat | nkey, nname(12), nreg
+	sorted := &algebra.SortNode{Input: sj, Keys: []algebra.SortKey{
+		{Expr: cF64(9), Desc: true}, {Expr: cStr(12)}, {Expr: cStr(8)}, {Expr: cI64(4)},
+	}}
+	proj := &algebra.ProjectNode{
+		Input: sorted,
+		Exprs: []algebra.Scalar{cF64(9), cStr(8), cStr(12), cI64(4), cStr(5)},
+		Names: []string{"s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr"},
+	}
+	return &algebra.LimitNode{N: 100, Input: proj}
 }
 
 // Q3 — shipping priority: customer ⋈ orders ⋈ lineitem, top-10 by
@@ -291,6 +369,69 @@ func Q10() algebra.Node {
 		Keys: []algebra.SortKey{{Expr: cF64(6), Desc: true}, {Expr: cI64(0)}}}}
 }
 
+// Q11 — important stock identification: the German partsupp volume per
+// part, kept when it exceeds a fraction of the total German volume. The
+// HAVING threshold is a one-row aggregate attached by constant-key join,
+// exactly how the planner lowers the scalar subquery form.
+func Q11() algebra.Node {
+	pss, ss, ns := PartsuppSchema(), SupplierSchema(), NationSchema()
+	germanPS := func() algebra.Node {
+		nat := &algebra.SelectNode{
+			Input: scan("nation", ns, NNationKey, NName),
+			Pred:  &algebra.Cmp{Op: algebra.CmpEq, L: cStr(1), R: litS("GERMANY")},
+		}
+		supp := &algebra.JoinNode{
+			Left:      scan("supplier", ss, SSuppKey, SNationKey),
+			Right:     nat,
+			LeftKeys:  []algebra.Scalar{cI64(1)},
+			RightKeys: []algebra.Scalar{cI64(0)},
+			Type:      algebra.JoinLeftSemi,
+		}
+		return &algebra.JoinNode{
+			Left:      scan("partsupp", pss, PSPartKey, PSSuppKey, PSAvailQty, PSSupplyCost),
+			Right:     supp,
+			LeftKeys:  []algebra.Scalar{cI64(1)},
+			RightKeys: []algebra.Scalar{cI64(0)},
+			Type:      algebra.JoinLeftSemi,
+		}
+	}
+	value := func() algebra.Scalar { return mustArith(algebra.OpMul, cF64(3), cI64(2)) }
+	byPart := &algebra.AggNode{
+		Input:   germanPS(),
+		GroupBy: []algebra.Scalar{cI64(0)},
+		Aggs:    []algebra.AggExpr{{Fn: algebra.AggSum, Arg: value()}},
+		Names:   []string{"ps_partkey", "value"},
+	}
+	total := &algebra.AggNode{
+		Input: germanPS(),
+		Aggs:  []algebra.AggExpr{{Fn: algebra.AggSum, Arg: value()}},
+		Names: []string{"total"},
+	}
+	threshold := &algebra.ProjectNode{
+		Input: total,
+		Exprs: []algebra.Scalar{mustArith(algebra.OpMul, cF64(0), litF(0.0001))},
+		Names: []string{"threshold"},
+	}
+	joined := &algebra.JoinNode{
+		Left: byPart, Right: threshold,
+		LeftKeys:  []algebra.Scalar{one()},
+		RightKeys: []algebra.Scalar{one()},
+		Type:      algebra.JoinInner,
+	}
+	kept := &algebra.SelectNode{
+		Input: joined,
+		Pred:  &algebra.Cmp{Op: algebra.CmpGt, L: cF64(1), R: cF64(2)},
+	}
+	sorted := &algebra.SortNode{Input: kept, Keys: []algebra.SortKey{
+		{Expr: cF64(1), Desc: true}, {Expr: cI64(0)},
+	}}
+	return &algebra.ProjectNode{
+		Input: sorted,
+		Exprs: []algebra.Scalar{cI64(0), cF64(1)},
+		Names: []string{"ps_partkey", "value"},
+	}
+}
+
 // Q12 — shipping modes and order priority: join + dual CASE aggregation.
 func Q12() algebra.Node {
 	os, ls := OrdersSchema(), LineitemSchema()
@@ -364,6 +505,58 @@ func Q14() algebra.Node {
 	return &algebra.ProjectNode{Input: agg, Exprs: []algebra.Scalar{ratio}, Names: []string{"promo_revenue_pct"}}
 }
 
+// Q18 — large volume customers: orders whose total lineitem quantity
+// clears a threshold (grouped-HAVING subquery as a semi-join), re-joined
+// to customer and lineitem for the report. The threshold is 250 instead
+// of the spec's 300 so the small differential fixture keeps rows.
+func Q18() algebra.Node {
+	os, cs, ls := OrdersSchema(), CustomerSchema(), LineitemSchema()
+	perOrder := &algebra.AggNode{
+		Input:   scan("lineitem", ls, LOrderKey, LQuantity),
+		GroupBy: []algebra.Scalar{cI64(0)},
+		Aggs:    []algebra.AggExpr{{Fn: algebra.AggSum, Arg: cF64(1)}},
+		Names:   []string{"l_orderkey", "sum_qty"},
+	}
+	big := &algebra.ProjectNode{
+		Input: &algebra.SelectNode{
+			Input: perOrder,
+			Pred:  &algebra.Cmp{Op: algebra.CmpGt, L: cF64(1), R: litF(250)},
+		},
+		Exprs: []algebra.Scalar{cI64(0)},
+		Names: []string{"l_orderkey"},
+	}
+	ord := &algebra.JoinNode{
+		Left:      scan("orders", os, OOrderKey, OCustKey, OTotalPrice, OOrderDate),
+		Right:     big,
+		LeftKeys:  []algebra.Scalar{cI64(0)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinLeftSemi,
+	}
+	cj := &algebra.JoinNode{
+		Left: ord, Right: scan("customer", cs, CCustKey, CName),
+		LeftKeys:  []algebra.Scalar{cI64(1)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	// cj: okey, ocust, tprice(2), odate(3) | ckey(4), cname(5)
+	lj := &algebra.JoinNode{
+		Left: cj, Right: scan("lineitem", ls, LOrderKey, LQuantity),
+		LeftKeys:  []algebra.Scalar{cI64(0)},
+		RightKeys: []algebra.Scalar{cI64(0)},
+		Type:      algebra.JoinInner,
+	}
+	agg := &algebra.AggNode{
+		Input:   lj,
+		GroupBy: []algebra.Scalar{cStr(5), cI64(4), cI64(0), cDate(3), cF64(2)},
+		Aggs:    []algebra.AggExpr{{Fn: algebra.AggSum, Arg: cF64(7)}},
+		Names:   []string{"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "total_qty"},
+	}
+	sorted := &algebra.SortNode{Input: agg, Keys: []algebra.SortKey{
+		{Expr: cF64(4), Desc: true}, {Expr: cI64(2)},
+	}}
+	return &algebra.LimitNode{N: 100, Input: sorted}
+}
+
 // Q19 — discounted revenue: the OR-of-ANDs predicate zoo over a join.
 func Q19() algebra.Node {
 	ps, ls := PartSchema(), LineitemSchema()
@@ -414,13 +607,16 @@ func Q19() algebra.Node {
 func Suite() []Query {
 	return []Query{
 		{Name: "Q1", Build: Q1},
+		{Name: "Q2", Build: Q2},
 		{Name: "Q3", Build: Q3},
 		{Name: "Q4", Build: Q4},
 		{Name: "Q5", Build: Q5},
 		{Name: "Q6", Build: Q6},
 		{Name: "Q10", Build: Q10},
+		{Name: "Q11", Build: Q11},
 		{Name: "Q12", Build: Q12},
 		{Name: "Q14", Build: Q14},
+		{Name: "Q18", Build: Q18},
 		{Name: "Q19", Build: Q19},
 	}
 }

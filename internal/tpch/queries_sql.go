@@ -39,6 +39,18 @@ func SQLSuite() []SQLQuery {
 			WHERE l_shipdate <= DATE '1998-09-02'
 			GROUP BY l_returnflag, l_linestatus
 			ORDER BY l_returnflag, l_linestatus`},
+		{Name: "Q2", SQL: `
+			SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr
+			FROM partsupp
+			JOIN part ON ps_partkey = p_partkey
+			JOIN supplier ON ps_suppkey = s_suppkey
+			JOIN nation ON s_nationkey = n_nationkey
+			JOIN region ON n_regionkey = r_regionkey
+			WHERE r_name = 'EUROPE'
+			  AND p_size = 15
+			  AND ps_supplycost < (SELECT AVG(ps_supplycost) FROM partsupp)
+			ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+			LIMIT 100`},
 		{Name: "Q3", SQL: `
 			SELECT l_orderkey, o_orderdate, o_shippriority,
 			       SUM(l_extendedprice * (1 - l_discount)) AS revenue
@@ -89,6 +101,20 @@ func SQLSuite() []SQLQuery {
 			GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
 			ORDER BY revenue DESC, c_custkey
 			LIMIT 20`},
+		{Name: "Q11", SQL: `
+			SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value
+			FROM partsupp
+			JOIN supplier ON ps_suppkey = s_suppkey
+			JOIN nation ON s_nationkey = n_nationkey
+			WHERE n_name = 'GERMANY'
+			GROUP BY ps_partkey
+			HAVING SUM(ps_supplycost * ps_availqty) >
+			       (SELECT SUM(ps_supplycost * ps_availqty) * 0.0001
+			        FROM partsupp
+			        JOIN supplier ON ps_suppkey = s_suppkey
+			        JOIN nation ON s_nationkey = n_nationkey
+			        WHERE n_name = 'GERMANY')
+			ORDER BY value DESC, ps_partkey`},
 		{Name: "Q12", SQL: `
 			SELECT l_shipmode,
 			       SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
@@ -111,6 +137,19 @@ func SQLSuite() []SQLQuery {
 			FROM lineitem
 			JOIN part ON l_partkey = p_partkey
 			WHERE l_shipdate BETWEEN DATE '1995-09-01' AND DATE '1995-09-30'`},
+		{Name: "Q18", SQL: `
+			SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+			       SUM(l_quantity) AS total_qty
+			FROM orders
+			JOIN customer ON o_custkey = c_custkey
+			JOIN lineitem ON o_orderkey = l_orderkey
+			WHERE o_orderkey IN
+			      (SELECT l_orderkey FROM lineitem
+			       GROUP BY l_orderkey
+			       HAVING SUM(l_quantity) > 250)
+			GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+			ORDER BY o_totalprice DESC, o_orderkey
+			LIMIT 100`},
 		{Name: "Q19", SQL: `
 			SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
 			FROM lineitem
