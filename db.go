@@ -342,10 +342,10 @@ func classifyStmt(stmt sql.Stmt, numParams int) *cachedStmt {
 		cs.kind = stmtSelect
 	case *sql.TxStmt:
 		cs.kind = stmtTx
-		cs.ast = stmt
+		cs.ast = stmt //vwlint:ignore arenaescape the artifact never Releases, so the Statement's arena rides along with the cached AST (sql/arena.go ownership note)
 	default:
 		cs.kind = stmtExec
-		cs.ast = stmt
+		cs.ast = stmt //vwlint:ignore arenaescape the artifact never Releases, so the Statement's arena rides along with the cached AST (sql/arena.go ownership note)
 	}
 	return cs
 }
@@ -487,7 +487,7 @@ func (db *DB) execCachedLocked(cs *cachedStmt, vals []vtypes.Value) (int64, erro
 	}
 	switch s := cs.ast.(type) {
 	case *sql.CreateStmt:
-		return 0, db.execCreate(s)
+		return 0, db.execCreateLocked(s)
 	case *sql.InsertStmt:
 		return db.execInsert(s, vals)
 	case *sql.UpdateStmt:
@@ -812,7 +812,10 @@ func (db *DB) PlanCacheStats() plancache.Stats { return db.plans.Stats() }
 // measures against). Safe to call concurrently with queries.
 func (db *DB) SetPlanCacheCapacity(n int) { db.plans.Resize(n) }
 
-func (db *DB) execCreate(s *sql.CreateStmt) error {
+// execCreateLocked runs CREATE TABLE. Callers hold the db.mu write
+// lock (execCachedLocked dispatches under it) — which registerTable
+// requires, hence the suffix.
+func (db *DB) execCreateLocked(s *sql.CreateStmt) error {
 	if _, err := db.cat.Get(s.Table); err == nil {
 		return fmt.Errorf("vectorwise: table %q already exists", s.Table)
 	}

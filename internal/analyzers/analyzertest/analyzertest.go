@@ -1,0 +1,129 @@
+// Package analyzertest runs analyzers against testdata fixtures and
+// checks their diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (which the module
+// deliberately does not depend on).
+//
+// Fixture files mark expected diagnostics with trailing comments:
+//
+//	b.Sel[0] = 1 // want "writes through the child batch"
+//
+// Each quoted string is a regular expression that must match a
+// diagnostic reported on that line; every diagnostic must be matched
+// by a want and every want must match a diagnostic. Diagnostics flow
+// through the full driver, so //vwlint:ignore directives in fixtures
+// suppress (and malformed directives report) exactly as in vwlint.
+package analyzertest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vectorwise/internal/analyzers"
+)
+
+// expectation is one want regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	src  string
+	met  bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// Run loads testdata/src/<fixture> as one package, runs the analyzers
+// on it through the full vwlint driver, and compares diagnostics to
+// the fixture's want comments.
+func Run(t *testing.T, fixture string, as ...*analyzers.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := analyzers.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	wants := collectWants(t, pkg)
+	findings := analyzers.Run([]*analyzers.Package{pkg}, as)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+				w.met = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.src)
+		}
+	}
+}
+
+// collectWants parses // want comments out of the fixture files.
+func collectWants(t *testing.T, pkg *analyzers.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		var walk func(cg *ast.CommentGroup)
+		walk = func(cg *ast.CommentGroup) {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := tf.Line(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", tf.Name(), line, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", tf.Name(), line, pat, err)
+					}
+					out = append(out, &expectation{file: tf.Name(), line: line, rx: rx, src: pat})
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			walk(cg)
+		}
+	}
+	return out
+}
+
+// splitQuoted splits `"a" "b"` into quoted segments.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, `"`) {
+			return out
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return out
+		}
+		out = append(out, s[:end+1])
+		s = s[end+1:]
+	}
+}

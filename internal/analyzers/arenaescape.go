@@ -1,0 +1,307 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ArenaEscape guards the zero-allocation SQL front end: sql.Parse
+// returns a *Statement whose AST nodes live in a reusable arena that
+// is recycled on the next Parse with the same arena. Anything reachable
+// from the Statement — node pointers, expression interfaces — is
+// therefore valid only for the documented Parse lifetime (plan
+// construction), and must not be stored anywhere that outlives it:
+// struct fields of non-arena types, package-level variables, maps held
+// in fields, or goroutines. The canonical fix is to deep-copy what the
+// plan keeps (Clone*/Copy* helpers) or keep only derived data (plain
+// strings are immutable and safe).
+//
+// Arena-owned types are those reachable from a type marked //vw:arena
+// in the package under analysis, or — for consumers of the front
+// end — reachable from Statement in an imported package named sql.
+// Stores into other arena-owned values are allowed: node-to-node links
+// stay inside the arena lifetime by construction.
+var ArenaEscape = &Analyzer{
+	Name: "arenaescape",
+	Doc: "values reachable from an arena-owning *sql.Statement must not " +
+		"outlive Parse; deep-copy what the plan keeps",
+	Run: runArenaEscape,
+}
+
+func runArenaEscape(pass *Pass) {
+	set := arenaTypes(pass)
+	if len(set) == 0 {
+		return
+	}
+	isArena := func(t types.Type) bool { return arenaType(t, set) }
+
+	for _, fd := range funcDecls(pass) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for li, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[li]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if rhs == nil || !exprIsArena(pass.Info, rhs, isArena) || isDeepCopy(rhs) {
+						continue
+					}
+					checkArenaTarget(pass, lhs, set)
+				}
+			case *ast.CompositeLit:
+				// Arena values placed in a non-arena composite literal
+				// escape with the literal.
+				tv, ok := pass.Info.Types[n]
+				if !ok || isArena(tv.Type) {
+					return true
+				}
+				if _, isStruct := deref(tv.Type).Underlying().(*types.Struct); !isStruct {
+					return true
+				}
+				for _, el := range n.Elts {
+					val := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						val = kv.Value
+					}
+					if exprIsArena(pass.Info, val, isArena) && !isDeepCopy(val) {
+						pass.Reportf(val.Pos(),
+							"arena-owned value stored into a composite literal of non-arena type %s; it is recycled by the next Parse — deep-copy it",
+							types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			case *ast.GoStmt:
+				// A goroutine outlives any statement-scoped lifetime
+				// guarantee: flag arena values it captures or receives.
+				for _, arg := range n.Call.Args {
+					if exprIsArena(pass.Info, arg, isArena) && !isDeepCopy(arg) {
+						pass.Reportf(arg.Pos(),
+							"arena-owned value passed to a goroutine, which may outlive the Parse arena; deep-copy it first")
+					}
+				}
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					reportArenaCaptures(pass, lit, isArena)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkArenaTarget flags stores of arena values into locations that
+// outlive Parse.
+func checkArenaTarget(pass *Pass, lhs ast.Expr, set map[*types.Named]bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := objOf(pass.Info, l)
+		if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+			pass.Reportf(lhs.Pos(),
+				"arena-owned value stored in package-level variable %s; it is recycled by the next Parse — deep-copy it", l.Name)
+		}
+	case *ast.SelectorExpr:
+		sel, ok := pass.Info.Selections[l]
+		if !ok || sel.Kind() != types.FieldVal {
+			return
+		}
+		recv := sel.Recv()
+		if arenaType(recv, set) {
+			return // node-to-node link, stays inside the arena lifetime
+		}
+		pass.Reportf(lhs.Pos(),
+			"arena-owned value stored in field %s of non-arena type %s; it is recycled by the next Parse — deep-copy it",
+			sel.Obj().Name(), types.TypeString(deref(recv), types.RelativeTo(pass.Pkg)))
+	case *ast.IndexExpr:
+		tv, ok := pass.Info.Types[l.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		// A map that is itself a local variable has Parse-scoped
+		// lifetime; maps reached through fields or package vars do not.
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if v, ok := objOf(pass.Info, id).(*types.Var); ok && v.Parent() != pass.Pkg.Scope() && !v.IsField() {
+				return
+			}
+		}
+		pass.Reportf(lhs.Pos(),
+			"arena-owned value stored in a long-lived map; it is recycled by the next Parse — deep-copy it")
+	}
+}
+
+// reportArenaCaptures flags free variables of a goroutine literal whose
+// types are arena-owned.
+func reportArenaCaptures(pass *Pass, lit *ast.FuncLit, isArena func(types.Type) bool) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || seen[obj] || obj.IsField() {
+			return true
+		}
+		// Captured: declared outside the literal but not at package level.
+		if obj.Parent() == pass.Pkg.Scope() || obj.Pos() > lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		seen[obj] = true
+		if isArena(obj.Type()) {
+			pass.Reportf(id.Pos(),
+				"goroutine captures arena-owned variable %s, which may be recycled before the goroutine runs; deep-copy it", obj.Name())
+		}
+		return true
+	})
+}
+
+// exprIsArena reports whether e evaluates to an arena-owned value.
+func exprIsArena(info *types.Info, e ast.Expr, isArena func(types.Type) bool) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isArena(tv.Type)
+}
+
+// isDeepCopy reports whether e is a call whose name promises a fresh
+// copy (Clone, Copy, DeepCopy prefixes) — the sanctioned way to keep
+// AST-shaped data past the arena lifetime.
+func isDeepCopy(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name := calleeName(call)
+	for _, p := range []string{"Clone", "Copy", "DeepCopy", "clone", "copy", "deepCopy"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// arenaTypes computes the set of arena-owned named types: the closure
+// of field/element reachability from every root, restricted to the
+// root's own package, plus implementers of reachable interfaces.
+func arenaTypes(pass *Pass) map[*types.Named]bool {
+	var roots []*types.TypeName
+	// Same-package roots carry an explicit //vw:arena marker.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(ts.Doc, "//vw:arena") || hasMarker(ts.Comment, "//vw:arena") ||
+					(len(gd.Specs) == 1 && hasMarker(gd.Doc, "//vw:arena")) {
+					if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+						roots = append(roots, tn)
+					}
+				}
+			}
+		}
+	}
+	// Imported front end: Statement in any imported package named sql.
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Name() == "sql" {
+			if tn, ok := imp.Scope().Lookup("Statement").(*types.TypeName); ok {
+				roots = append(roots, tn)
+			}
+		}
+	}
+	set := map[*types.Named]bool{}
+	for _, root := range roots {
+		home := root.Pkg()
+		var visit func(t types.Type)
+		visit = func(t types.Type) {
+			switch t := types.Unalias(t).(type) {
+			case *types.Named:
+				if t.Obj().Pkg() != home || set[t] {
+					return
+				}
+				set[t] = true
+				visit(t.Underlying())
+			case *types.Pointer:
+				visit(t.Elem())
+			case *types.Slice:
+				visit(t.Elem())
+			case *types.Array:
+				visit(t.Elem())
+			case *types.Map:
+				visit(t.Key())
+				visit(t.Elem())
+			case *types.Chan:
+				visit(t.Elem())
+			case *types.Struct:
+				for i := 0; i < t.NumFields(); i++ {
+					visit(t.Field(i).Type())
+				}
+			}
+		}
+		visit(root.Type())
+		// Node interfaces (e.g. Expr) admit every implementation in the
+		// arena package; fixpoint until no new types join.
+		for {
+			added := false
+			for n := range set {
+				iface, ok := n.Underlying().(*types.Interface)
+				if !ok {
+					continue
+				}
+				for _, name := range home.Scope().Names() {
+					tn, ok := home.Scope().Lookup(name).(*types.TypeName)
+					if !ok {
+						continue
+					}
+					cand, ok := types.Unalias(tn.Type()).(*types.Named)
+					if !ok || set[cand] {
+						continue
+					}
+					if types.Implements(cand, iface) || types.Implements(types.NewPointer(cand), iface) {
+						before := len(set)
+						visit(cand)
+						if len(set) != before {
+							added = true
+						}
+					}
+				}
+			}
+			if !added {
+				break
+			}
+		}
+	}
+	return set
+}
+
+// arenaType reports whether t is arena-owned after unwrapping
+// pointers, slices, arrays and map values.
+func arenaType(t types.Type, set map[*types.Named]bool) bool {
+	for {
+		t = types.Unalias(t)
+		if n, ok := t.(*types.Named); ok {
+			if set[n] {
+				return true
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			return arenaType(u.Key(), set) || arenaType(u.Elem(), set)
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxNext enforces the cancellation contract: every Next method on an
+// operator type must poll its context (ctx.Err/ctx.Done, usually via
+// core.ctxErr) on some path, so a canceled statement stops at the next
+// vector boundary instead of running to completion; and every loop
+// that moves more than one batch per call — pulling child batches
+// while materializing, or pushing batches into an exchange channel —
+// must poll per iteration, because one Next invocation of a
+// stop-and-go operator can otherwise consume the entire input while
+// cancellation waits.
+//
+// Operator types are those implementing an interface named Operator,
+// either declared in the package under analysis or imported from a
+// package named core. The canonical fix is a `if err := ctxErr(ctx);
+// err != nil { return nil, err }` at the top of the loop body.
+var CtxNext = &Analyzer{
+	Name: "ctxnext",
+	Doc: "operator Next methods must poll ctx.Err/ctx.Done, and " +
+		"multi-batch loops must poll once per iteration",
+	Run: runCtxNext,
+}
+
+func runCtxNext(pass *Pass) {
+	ifaces := operatorInterfaces(pass)
+	if len(ifaces) == 0 {
+		return
+	}
+	decls := funcDecls(pass)
+	direct := map[*types.Func]bool{}
+	for fn, fd := range decls {
+		direct[fn] = containsCtxCheck(pass.Info, fd.Body)
+	}
+	// checks reports whether node polls a context directly or through a
+	// one-level call into another function of this package.
+	checks := func(n ast.Node) bool {
+		if containsCtxCheck(pass.Info, n) {
+			return true
+		}
+		found := false
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeFunc(pass.Info, call); callee != nil && direct[callee] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	for fn, fd := range decls {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			continue
+		}
+		recv := fn.Signature().Recv()
+		if recv == nil || !implementsAny(recv.Type(), ifaces) {
+			continue
+		}
+		if fd.Name.Name == "Next" && !checks(fd.Body) {
+			pass.Reportf(fd.Name.Pos(),
+				"operator Next never polls its context; cancellation cannot stop this operator (add a ctxErr/ctx.Err check)")
+		}
+		// Per-iteration rule: any loop in any method of an operator type
+		// that can move more than one batch must poll inside the loop.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if !isBatchLoop(pass.Info, body) {
+				return true
+			}
+			if !checks(body) {
+				pass.Reportf(n.Pos(),
+					"multi-batch loop never polls the context; a canceled statement would run this loop to completion (check ctxErr per iteration)")
+			}
+			return true
+		})
+	}
+}
+
+// operatorInterfaces collects the Operator interfaces in scope: one
+// declared in this package, or one imported from a package named core.
+func operatorInterfaces(pass *Pass) []*types.Interface {
+	var out []*types.Interface
+	add := func(scope *types.Scope) {
+		obj := scope.Lookup("Operator")
+		if tn, ok := obj.(*types.TypeName); ok {
+			if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+				out = append(out, iface)
+			}
+		}
+	}
+	add(pass.Pkg.Scope())
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Name() == "core" {
+			add(imp.Scope())
+		}
+	}
+	return out
+}
+
+func implementsAny(t types.Type, ifaces []*types.Interface) bool {
+	for _, iface := range ifaces {
+		if types.Implements(t, iface) {
+			return true
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			if types.Implements(types.NewPointer(t), iface) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isBatchLoop reports whether the loop body moves batches: it pulls
+// child batches via an operator Next call, or sends a batch on a
+// channel (the exchange producer pattern).
+func isBatchLoop(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isOperatorNextResult(info, n) {
+				found = true
+				return false
+			}
+		case *ast.SendStmt:
+			if tv, ok := info.Types[n.Value]; ok && isBatch(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

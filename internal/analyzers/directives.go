@@ -1,0 +1,141 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which malformed
+// //vwlint:ignore directives are reported. It is always enabled and
+// cannot itself be suppressed.
+const DirectiveAnalyzer = "vwlint"
+
+const directivePrefix = "//vwlint:ignore"
+
+// directive is one parsed //vwlint:ignore comment.
+//
+// Syntax: //vwlint:ignore <analyzer>[,<analyzer>...] <reason text>
+//
+// The reason is mandatory — tribal knowledge is exactly what the suite
+// exists to eliminate, so every suppression must say why the invariant
+// does not apply. A directive on a code line suppresses that line's
+// diagnostics; a directive on a line of its own suppresses the next
+// line's.
+type directive struct {
+	pos    token.Pos
+	file   *token.File
+	line   int
+	names  []string
+	reason string
+}
+
+// parseDirectives extracts every //vwlint:ignore directive in the files
+// and validates it against the known analyzer names, reporting
+// malformed directives (missing reason, unknown analyzer) as
+// diagnostics in their own right. Only well-formed directives suppress.
+func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var diags []Diagnostic
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //vwlint:ignoreXYZ — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{Pos: c.Pos(), Analyzer: DirectiveAnalyzer,
+						Message: "vwlint:ignore needs an analyzer name and a reason"})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				bad := false
+				for _, n := range names {
+					if !known[n] {
+						diags = append(diags, Diagnostic{Pos: c.Pos(), Analyzer: DirectiveAnalyzer,
+							Message: "vwlint:ignore names unknown analyzer " + strconvQuote(n)})
+						bad = true
+					}
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				if reason == "" {
+					diags = append(diags, Diagnostic{Pos: c.Pos(), Analyzer: DirectiveAnalyzer,
+						Message: "vwlint:ignore requires a non-empty reason after the analyzer name"})
+					bad = true
+				}
+				if bad {
+					continue
+				}
+				dirs = append(dirs, directive{
+					pos: c.Pos(), file: tf, line: tf.Line(c.Pos()),
+					names: names, reason: reason,
+				})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+func strconvQuote(s string) string { return `"` + s + `"` }
+
+// codeLines records, per file, which lines hold non-comment tokens, so
+// a directive can tell whether it trails code (suppress same line) or
+// stands alone (suppress next line).
+func codeLines(fset *token.FileSet, files []*ast.File) map[*token.File]map[int]bool {
+	out := map[*token.File]map[int]bool{}
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		lines := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil, *ast.Comment, *ast.CommentGroup, *ast.File:
+				return true
+			}
+			lines[tf.Line(n.Pos())] = true
+			return true
+		})
+		out[tf] = lines
+	}
+	return out
+}
+
+// suppress drops diagnostics covered by a well-formed directive.
+func suppress(diags []Diagnostic, dirs []directive, fset *token.FileSet, files []*ast.File) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	code := codeLines(fset, files)
+	// covered[file][line][analyzer]
+	type key struct {
+		file *token.File
+		line int
+		name string
+	}
+	covered := map[key]bool{}
+	for _, d := range dirs {
+		target := d.line
+		if lines := code[d.file]; lines != nil && !lines[d.line] {
+			target = d.line + 1
+		}
+		for _, n := range d.names {
+			covered[key{d.file, target, n}] = true
+		}
+	}
+	var out []Diagnostic
+	for _, dg := range diags {
+		if dg.Analyzer != DirectiveAnalyzer {
+			tf := fset.File(dg.Pos)
+			if covered[key{tf, tf.Line(dg.Pos), dg.Analyzer}] {
+				continue
+			}
+		}
+		out = append(out, dg)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vectorwise/internal/analyzers"
+)
+
+// TestIgnoreDirectives pins the //vwlint:ignore contract on the ignore
+// fixture: well-formed directives (standalone, trailing, multi-name)
+// suppress; a missing reason or an unknown analyzer name is a
+// diagnostic in its own right and suppresses nothing; a directive for
+// the wrong analyzer suppresses nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg, err := analyzers.LoadDir(filepath.Join("testdata", "src", "ignore"))
+	if err != nil {
+		t.Fatalf("loading ignore fixture: %v", err)
+	}
+	findings := analyzers.Run([]*analyzers.Package{pkg}, analyzers.All())
+
+	var directive, lockdisc []analyzers.Finding
+	for _, f := range findings {
+		switch f.Analyzer {
+		case analyzers.DirectiveAnalyzer:
+			directive = append(directive, f)
+		case "lockdiscipline":
+			lockdisc = append(lockdisc, f)
+		default:
+			t.Errorf("unexpected analyzer in findings: %s", f)
+		}
+	}
+
+	// The three malformed directives report under the vwlint
+	// pseudo-analyzer, in source order.
+	if len(directive) != 3 {
+		t.Fatalf("want 3 directive diagnostics, got %d: %v", len(directive), directive)
+	}
+	wantMsgs := []string{
+		"requires a non-empty reason",
+		`names unknown analyzer "nosuchcheck"`,
+		"needs an analyzer name and a reason",
+	}
+	for i, want := range wantMsgs {
+		if !strings.Contains(directive[i].Message, want) {
+			t.Errorf("directive diagnostic %d = %q, want substring %q", i, directive[i].Message, want)
+		}
+	}
+
+	// Exactly the three unsuppressed getLocked calls surface: under the
+	// reason-less directive, the unknown-name directive, and the
+	// wrong-analyzer directive. The three well-formed suppressions
+	// (standalone, trailing, multi-name) hold.
+	if len(lockdisc) != 3 {
+		t.Fatalf("want 3 unsuppressed lockdiscipline findings, got %d: %v", len(lockdisc), lockdisc)
+	}
+	// Each surviving finding sits on the line after its (ineffective)
+	// directive diagnostic or its standalone directive line.
+	for _, f := range lockdisc {
+		if !strings.Contains(f.Message, "getLocked is called without holding a lock") {
+			t.Errorf("unexpected lockdiscipline message: %s", f)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+const listFields = "-json=ImportPath,Name,Dir,GoFiles,Imports,Export,Standard,DepOnly,Error"
+
+// goList runs `go list -e -deps -export` on the patterns and returns
+// the decoded package stream. -export makes the go command compile
+// every listed package and record the path of its export data, which is
+// what lets the loader type-check roots against fully compiled
+// dependencies without golang.org/x/tools.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", listFields}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analyzers: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export data files `go list
+// -export` produced. One importer (and one FileSet) is shared across
+// every root so dependency packages keep a single types.Package
+// identity per load.
+func exportImporter(fset *token.FileSet, index map[string]*listPkg) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		p, ok := index[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("analyzers: no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	})
+}
+
+// typeCheck parses and checks one package's files.
+func typeCheck(fset *token.FileSet, imp types.Importer, path, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analyzers: type-checking %s: %v (+%d more)", path, typeErrs[0], len(typeErrs)-1)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// Load type-checks the packages matching the go patterns (e.g. "./...")
+// relative to dir. Only non-test Go files are analyzed: the invariants
+// vwlint enforces live in production code, and test files may
+// legitimately poke at internals (e.g. calling *Locked helpers under a
+// test-owned lock).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]*listPkg, len(listed))
+	var roots []*listPkg
+	for _, p := range listed {
+		index[p.ImportPath] = p
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("analyzers: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, index)
+	var out []*Package
+	for _, r := range roots {
+		if len(r.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, imp, r.ImportPath, r.Dir, r.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks the single package rooted at dir (every .go file
+// in it), resolving its imports through `go list -export`. This is the
+// fixture path: analyzer tests point it at testdata/src directories,
+// which live outside the module's package patterns but inside the
+// module, so std and module imports both resolve.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: %v", err)
+	}
+	var fileNames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			fileNames = append(fileNames, e.Name())
+		}
+	}
+	if len(fileNames) == 0 {
+		return nil, fmt.Errorf("analyzers: no Go files in %s", dir)
+	}
+	sort.Strings(fileNames)
+
+	// Pre-parse to discover the fixture's imports, then ask the go
+	// command for export data for exactly those packages.
+	fset := token.NewFileSet()
+	importSet := map[string]bool{}
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %v", err)
+		}
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	index := map[string]*listPkg{}
+	if len(importSet) > 0 {
+		var paths []string
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("analyzers: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			index[p.ImportPath] = p
+		}
+	}
+	fset = token.NewFileSet()
+	imp := exportImporter(fset, index)
+	return typeCheck(fset, imp, "fixture/"+filepath.Base(dir), dir, fileNames)
+}

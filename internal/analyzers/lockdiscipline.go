@@ -1,0 +1,72 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LockDiscipline enforces the *Locked naming convention: a function
+// whose name ends in "Locked" documents that it assumes its owner's
+// mutex is already held, so it may only be called (a) from another
+// *Locked function, or (b) from a function that itself acquires a
+// sync.Mutex/RWMutex (Lock or RLock) somewhere in its body. Any other
+// call site is running unlocked code that reads or writes guarded
+// state — the bug class the convention exists to prevent.
+//
+// The canonical fix is to take the lock in the caller (with the usual
+// defer-unlock pairing) or to hoist the call into an existing locked
+// region; renaming the callee without adding locking is never the fix.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "calls to *Locked functions must come from *Locked functions or " +
+		"from callers that acquire a sync mutex in the same body",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // assumes the lock itself; callees inherit the claim
+			}
+			// Does this function acquire any sync mutex in its body
+			// (including nested function literals, which run within the
+			// same dynamic extent unless spawned — good enough for the
+			// convention, and //vwlint:ignore covers exotic cases)?
+			acquires := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if acquires {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if isPkgFunc(calleeFunc(pass.Info, call), "sync", "Lock", "RLock", "TryLock", "TryRLock") {
+						acquires = true
+						return false
+					}
+				}
+				return true
+			})
+			if acquires {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(call)
+				if !strings.HasSuffix(name, "Locked") {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s is called without holding a lock: the caller must acquire the guarding mutex or itself be a *Locked function",
+					name)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RefBalance enforces snapshot refcount hygiene: in any function that
+// acquires a counted reference — calling a ref() method on a type that
+// pairs it with unref(), incrementing a field tagged //vw:refcount, or
+// calling a same-package function documented //vw:owns (its result
+// carries a reference the caller must release) — every return path
+// must either release the reference (unref call or defer, on a path
+// that dominates the return) or transfer ownership: return the
+// acquired value itself, or annotate the hand-off line //vw:owns.
+//
+// The canonical fix for an error path is an explicit unref before the
+// return; the canonical transfer is storing the reference into the
+// owning struct on a line annotated //vw:owns (whose Close/release
+// path then balances it).
+var RefBalance = &Analyzer{
+	Name: "refbalance",
+	Doc: "every path out of a function that refs a snapshot must unref " +
+		"or transfer ownership (//vw:owns)",
+	Run: runRefBalance,
+}
+
+func runRefBalance(pass *Pass) {
+	taggedFields := refcountFields(pass)
+	ownsFuncs := map[*types.Func]bool{}
+	decls := funcDecls(pass)
+	for fn, fd := range decls {
+		if hasMarker(fd.Doc, "//vw:owns") {
+			ownsFuncs[fn] = true
+		}
+	}
+	ownsLines := ownsCommentLines(pass)
+	for _, fd := range decls {
+		// The ref/unref methods themselves manipulate the counter by
+		// definition; balance is their callers' obligation.
+		if strings.EqualFold(fd.Name.Name, "ref") || strings.EqualFold(fd.Name.Name, "unref") {
+			continue
+		}
+		checkRefBalance(pass, fd, taggedFields, ownsFuncs, ownsLines)
+	}
+}
+
+// refcountFields collects struct fields annotated //vw:refcount.
+func refcountFields(pass *Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasMarker(field.Doc, "//vw:refcount") && !hasMarker(field.Comment, "//vw:refcount") {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ownsCommentLines records every file line carrying a //vw:owns
+// annotation (statement-level ownership-transfer marker).
+func ownsCommentLines(pass *Pass) map[*token.File]map[int]bool {
+	out := map[*token.File]map[int]bool{}
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		lines := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isMarkerComment(c.Text, "//vw:owns") {
+					lines[tf.Line(c.Pos())] = true
+				}
+			}
+		}
+		out[tf] = lines
+	}
+	return out
+}
+
+// hasRefPair reports whether t's pointer method set contains both ref
+// and unref (any capitalization pairing).
+func hasRefPair(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(n))
+	has := func(name string) bool {
+		for i := 0; i < ms.Len(); i++ {
+			if strings.EqualFold(ms.At(i).Obj().Name(), name) {
+				return true
+			}
+		}
+		return false
+	}
+	return has("ref") && has("unref")
+}
+
+// event is one acquisition or release inside a function body.
+type event struct {
+	pos   token.Pos
+	scope ast.Node   // innermost enclosing scope node
+	chain []ast.Node // full enclosing-scope chain, outermost first
+}
+
+// refWalker performs the block-structured path analysis. A release
+// covers a return iff it precedes it and its innermost scope encloses
+// the return — the approximation of dominance that matches idiomatic
+// Go (early-return error handling, defer pairing).
+type refWalker struct {
+	pass      *Pass
+	tagged    map[types.Object]bool
+	ownsFuncs map[*types.Func]bool
+	ownsLines map[*token.File]map[int]bool
+	tf        *token.File
+
+	stack    []ast.Node
+	acquired []event
+	acqExprs []string // ExprString of each acquired value
+	releases []event
+	returns  []struct {
+		ret *ast.ReturnStmt
+		ev  event
+	}
+	leaks []token.Pos // owns-func results that are discarded outright
+}
+
+func checkRefBalance(pass *Pass, fd *ast.FuncDecl, tagged map[types.Object]bool, ownsFuncs map[*types.Func]bool, ownsLines map[*token.File]map[int]bool) {
+	w := &refWalker{
+		pass: pass, tagged: tagged, ownsFuncs: ownsFuncs, ownsLines: ownsLines,
+		tf: pass.Fset.File(fd.Pos()),
+	}
+	w.walkBlock(fd.Body)
+	for _, pos := range w.leaks {
+		pass.Reportf(pos, "owned reference is discarded; assign it and unref (or transfer with //vw:owns)")
+	}
+	if len(w.acquired) == 0 {
+		return
+	}
+	first := w.acquired[0].pos
+	checked := false
+	for _, r := range w.returns {
+		if r.ret.Pos() < first {
+			continue
+		}
+		checked = true
+		if !w.covered(r.ev, r.ret) {
+			pass.Reportf(r.ret.Pos(),
+				"return path leaks the reference acquired at %s; unref before returning or annotate the transfer //vw:owns",
+				pass.Fset.Position(first))
+		}
+	}
+	if !checked {
+		// No explicit return after the acquisition: falling off the end
+		// must still balance.
+		end := event{pos: fd.Body.Rbrace, scope: fd.Body, chain: []ast.Node{fd.Body}}
+		if !w.covered(end, nil) {
+			pass.Reportf(fd.Body.Rbrace,
+				"function end leaks the reference acquired at %s; unref before returning or annotate the transfer //vw:owns",
+				pass.Fset.Position(first))
+		}
+	}
+}
+
+// covered reports whether the return (or fall-off) event is preceded by
+// a release whose scope encloses it, returns an acquired value, or sits
+// on a //vw:owns line.
+func (w *refWalker) covered(ret event, rs *ast.ReturnStmt) bool {
+	if rs != nil {
+		if lines := w.ownsLines[w.tf]; lines != nil && lines[w.tf.Line(rs.Pos())] {
+			return true
+		}
+		for _, res := range rs.Results {
+			s := types.ExprString(ast.Unparen(res))
+			for _, acq := range w.acqExprs {
+				if acq != "" && s == acq {
+					return true // ownership transfers with the return value
+				}
+			}
+		}
+	}
+	for _, rel := range w.releases {
+		if rel.pos < ret.pos && w.encloses(rel, ret) {
+			return true
+		}
+	}
+	return false
+}
+
+// encloses reports whether release's innermost scope is on the
+// return's scope chain.
+func (w *refWalker) encloses(rel, ret event) bool {
+	if rel.scope == nil {
+		return true // function-body level
+	}
+	for _, s := range ret.chain {
+		if s == rel.scope {
+			return true
+		}
+	}
+	return false
+}
+
+// walkBlock and walkStmt maintain the scope stack.
+func (w *refWalker) walkBlock(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	w.stack = append(w.stack, b)
+	for _, s := range b.List {
+		w.walkStmt(s)
+	}
+	w.stack = w.stack[:len(w.stack)-1]
+}
+
+func (w *refWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.walkBlock(s)
+	case *ast.IfStmt:
+		w.scanLeaf(s.Init)
+		w.scanExpr(s.Cond)
+		w.walkBlock(s.Body)
+		if s.Else != nil {
+			w.walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		w.scanLeaf(s.Init)
+		w.scanExpr(s.Cond)
+		w.scanLeaf(s.Post)
+		w.walkBlock(s.Body)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X)
+		w.walkBlock(s.Body)
+	case *ast.SwitchStmt:
+		w.scanLeaf(s.Init)
+		w.scanExpr(s.Tag)
+		w.walkClauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.scanLeaf(s.Init)
+		w.scanLeaf(s.Assign)
+		w.walkClauses(s.Body)
+	case *ast.SelectStmt:
+		w.walkClauses(s.Body)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.ReturnStmt:
+		w.scanLeaf(s) // releases in return expressions count first
+		w.returns = append(w.returns, struct {
+			ret *ast.ReturnStmt
+			ev  event
+		}{s, w.eventHere(s.Pos())})
+	default:
+		w.scanLeaf(s)
+	}
+}
+
+func (w *refWalker) walkClauses(body *ast.BlockStmt) {
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			w.scanLeaf(c.Comm)
+			stmts = c.Body
+		default:
+			continue
+		}
+		w.stack = append(w.stack, c)
+		for _, s := range stmts {
+			w.walkStmt(s)
+		}
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+}
+
+// eventHere snapshots the current scope chain.
+func (w *refWalker) eventHere(pos token.Pos) event {
+	var scope ast.Node
+	if len(w.stack) > 0 {
+		scope = w.stack[len(w.stack)-1]
+	}
+	return event{pos: pos, scope: scope, chain: append([]ast.Node(nil), w.stack...)}
+}
+
+// scanLeaf records acquisitions/releases in a non-compound statement.
+func (w *refWalker) scanLeaf(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	// A statement sitting on a //vw:owns line is a sanctioned transfer.
+	if lines := w.ownsLines[w.tf]; lines != nil && lines[w.tf.Line(s.Pos())] {
+		w.releases = append(w.releases, w.eventHere(s.Pos()))
+	}
+	if inc, ok := s.(*ast.IncDecStmt); ok && inc.Tok == token.INC {
+		if sel, ok := ast.Unparen(inc.X).(*ast.SelectorExpr); ok {
+			if obj, ok := w.pass.Info.Uses[sel.Sel]; ok && w.tagged[obj] {
+				w.acquire(inc.Pos(), types.ExprString(ast.Unparen(sel.X)))
+			}
+		}
+	}
+	// Track whether an owns-func result is bound to a variable; a bare
+	// ExprStmt call discards the reference outright.
+	if es, ok := s.(*ast.ExprStmt); ok {
+		if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+			if f := calleeFunc(w.pass.Info, call); f != nil && w.ownsFuncs[f] {
+				w.leaks = append(w.leaks, call.Pos())
+			}
+		}
+	}
+	if as, ok := s.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if f := calleeFunc(w.pass.Info, call); f != nil && w.ownsFuncs[f] {
+				if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+					w.acquire(as.Pos(), id.Name)
+				} else {
+					w.leaks = append(w.leaks, call.Pos())
+				}
+			}
+		}
+	}
+	w.scanExpr(s)
+}
+
+// scanExpr records ref()/unref() calls under n (skipping nested
+// function literals, which are separate analysis units).
+func (w *refWalker) scanExpr(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if !strings.EqualFold(name, "ref") && !strings.EqualFold(name, "unref") {
+			return true
+		}
+		tv, ok := w.pass.Info.Types[sel.X]
+		if !ok || !w.refcounted(tv.Type) {
+			return true
+		}
+		if strings.EqualFold(name, "unref") {
+			w.releases = append(w.releases, w.eventHere(call.Pos()))
+		} else {
+			w.acquire(call.Pos(), types.ExprString(ast.Unparen(sel.X)))
+		}
+		return true
+	})
+}
+
+// refcounted reports whether t carries a counted reference: a ref/unref
+// method pair, or a //vw:refcount-tagged field (types like dbSnapshot
+// expose only unref; acquisition is a direct increment of the tagged
+// field).
+func (w *refWalker) refcounted(t types.Type) bool {
+	if hasRefPair(t) {
+		return true
+	}
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if w.tagged[st.Field(i)] {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *refWalker) acquire(pos token.Pos, expr string) {
+	w.acquired = append(w.acquired, w.eventHere(pos))
+	w.acqExprs = append(w.acqExprs, expr)
+}

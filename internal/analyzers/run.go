@@ -1,0 +1,69 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one position-resolved diagnostic, ready to print.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding the way compilers do:
+// path:line:col: analyzer: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run executes the analyzers over each package, applies
+// //vwlint:ignore suppression, validates the directives themselves,
+// and returns the surviving findings sorted by position.
+func Run(pkgs []*Package, as []*Analyzer) []Finding {
+	known := make(map[string]bool, len(as))
+	for _, a := range as {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range as {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+		dirs, dirDiags := parseDirectives(pkg.Fset, pkg.Files, known)
+		diags = append(diags, dirDiags...)
+		diags = suppress(diags, dirs, pkg.Fset, pkg.Files)
+		for _, d := range diags {
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

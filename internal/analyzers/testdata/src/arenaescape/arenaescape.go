@@ -1,0 +1,110 @@
+// Package arenaescape exercises the arena-lifetime rules with a local
+// //vw:arena-marked Statement stand-in.
+package arenaescape
+
+// Statement is the arena-owning parse result; everything reachable
+// from it is recycled by the next Parse.
+//
+//vw:arena
+type Statement struct {
+	Select *SelectStmt
+}
+
+type SelectStmt struct {
+	Where Expr
+	Cols  []*ColRef
+}
+
+type Expr interface{ isExpr() }
+
+type ColRef struct{ Name string }
+
+func (*ColRef) isExpr() {}
+
+// parser is arena-scoped state; stores into it stay inside the arena
+// lifetime.
+//
+//vw:arena
+type parser struct {
+	out *Statement
+}
+
+func (p *parser) set(s *Statement) {
+	p.out = s // ok: arena-to-arena store
+}
+
+// plan outlives Parse; arena values must not be stored into it.
+type plan struct {
+	filter Expr
+	name   string
+}
+
+var lastStmt *Statement
+
+func nameOf(e Expr) string {
+	if c, ok := e.(*ColRef); ok {
+		return c.Name
+	}
+	return ""
+}
+
+// CloneExpr stands in for the real deep copy.
+func CloneExpr(e Expr) Expr { return e }
+
+func build(stmt *Statement) *plan {
+	p := &plan{}
+	p.filter = stmt.Select.Where       // want "arena-owned value stored in field filter of non-arena type plan"
+	p.name = nameOf(stmt.Select.Where) // ok: derived string, not a node
+	lastStmt = stmt                    // want "arena-owned value stored in package-level variable lastStmt"
+	return p
+}
+
+func buildLit(stmt *Statement) *plan {
+	return &plan{filter: stmt.Select.Where} // want "arena-owned value stored into a composite literal of non-arena type plan"
+}
+
+func buildSafe(stmt *Statement) *plan {
+	p := &plan{}
+	p.filter = CloneExpr(stmt.Select.Where) // ok: deep copy
+	return p
+}
+
+// link rewrites one arena node to point at another: allowed.
+func link(stmt *Statement, e Expr) {
+	stmt.Select.Where = e
+}
+
+type cache struct {
+	byName map[string]Expr
+}
+
+func (c *cache) put(stmt *Statement) {
+	c.byName["w"] = stmt.Select.Where // want "arena-owned value stored in a long-lived map"
+}
+
+func localIndex(stmt *Statement) int {
+	seen := map[string]Expr{}
+	seen["w"] = stmt.Select.Where // ok: Parse-scoped local map
+	return len(seen)
+}
+
+func spawn(stmt *Statement, sink chan<- string) {
+	go func() {
+		sink <- nameOf(stmt.Select.Where) // want "goroutine captures arena-owned variable stmt"
+	}()
+}
+
+func spawnSafe(stmt *Statement, sink chan<- string) {
+	name := nameOf(stmt.Select.Where)
+	go func() {
+		sink <- name // ok: captures only the derived string
+	}()
+}
+
+// Suppression with a reason is honored.
+func buildPinned(stmt *Statement) *plan {
+	p := &plan{}
+	//vwlint:ignore arenaescape this plan is discarded before the next Parse by construction
+	p.filter = stmt.Select.Where
+	return p
+}

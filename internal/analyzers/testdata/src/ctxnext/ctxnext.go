@@ -1,0 +1,178 @@
+// Package ctxnext exercises the operator cancellation contract with a
+// structural stand-in for the core.Operator interface.
+package ctxnext
+
+import "context"
+
+type Batch struct {
+	Sel []int32
+	N   int
+}
+
+type Schema struct{}
+
+type Operator interface {
+	Schema() *Schema
+	Open() error
+	Next() (*Batch, error)
+	Close() error
+}
+
+// ctxErr mirrors the engine's per-batch cancellation helper.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// base supplies the non-Next interface methods via embedding.
+type base struct{ child Operator }
+
+func (b *base) Schema() *Schema { return nil }
+func (b *base) Open() error     { return nil }
+func (b *base) Close() error    { return nil }
+
+// goodOp polls its context at the top of Next: allowed.
+type goodOp struct {
+	base
+	ctx context.Context
+}
+
+func (o *goodOp) Next() (*Batch, error) {
+	if err := o.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return o.child.Next()
+}
+
+// badOp forwards to its child with no poll anywhere.
+type badOp struct {
+	base
+	ctx context.Context
+}
+
+func (o *badOp) Next() (*Batch, error) { // want "operator Next never polls its context"
+	return o.child.Next()
+}
+
+// buildOp is a stop-and-go operator: its Next drains the child before
+// emitting. The drain loop must poll per iteration.
+type buildOp struct {
+	base
+	ctx  context.Context
+	rows int
+}
+
+func (o *buildOp) consume() error {
+	for { // want "multi-batch loop never polls the context"
+		b, err := o.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		o.rows += b.N
+	}
+}
+
+func (o *buildOp) consumeChecked() error {
+	for { // ok: polls via the helper each iteration
+		if err := ctxErr(o.ctx); err != nil {
+			return err
+		}
+		b, err := o.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		o.rows += b.N
+	}
+}
+
+// poll gives one-level credit: a loop calling it counts as checked.
+func (o *buildOp) poll() error { return ctxErr(o.ctx) }
+
+func (o *buildOp) consumeViaHelper() error {
+	for {
+		if err := o.poll(); err != nil {
+			return err
+		}
+		b, err := o.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		o.rows += b.N
+	}
+}
+
+func (o *buildOp) Next() (*Batch, error) {
+	if err := ctxErr(o.ctx); err != nil {
+		return nil, err
+	}
+	if err := o.consumeChecked(); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// exchOp pushes batches into a channel; the producer loop moves many
+// batches per call and must poll too.
+type exchOp struct {
+	base
+	ctx context.Context
+	ch  chan *Batch
+}
+
+func (o *exchOp) Next() (*Batch, error) {
+	if err := ctxErr(o.ctx); err != nil {
+		return nil, err
+	}
+	return <-o.ch, nil
+}
+
+func (o *exchOp) pump(n int) {
+	for i := 0; i < n; i++ { // want "multi-batch loop never polls the context"
+		o.ch <- &Batch{N: 1}
+	}
+}
+
+func (o *exchOp) pumpChecked(n int) {
+	for i := 0; i < n; i++ {
+		if err := ctxErr(o.ctx); err != nil {
+			return
+		}
+		o.ch <- &Batch{N: 1}
+	}
+}
+
+// notAnOperator does not implement Operator; its loops are exempt.
+type notAnOperator struct {
+	child Operator
+}
+
+func (n *notAnOperator) drain() {
+	for {
+		b, _ := n.child.Next()
+		if b == nil {
+			return
+		}
+	}
+}
+
+// Suppression with a reason is honored.
+type suppressedOp struct {
+	base
+	ctx context.Context
+}
+
+//vwlint:ignore ctxnext wraps a child that already polls per batch
+func (o *suppressedOp) Next() (*Batch, error) {
+	return o.child.Next()
+}

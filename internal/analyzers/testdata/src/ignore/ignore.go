@@ -1,0 +1,57 @@
+// Package ignore exercises //vwlint:ignore directive handling: valid
+// directives suppress, malformed ones (missing reason, unknown
+// analyzer) are diagnostics in their own right and suppress nothing.
+// Expectations live in directives_test.go, not in want comments.
+package ignore
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *store) getLocked() int { return s.n }
+
+// suppressedStandalone: directive on its own line covers the next line.
+func (s *store) suppressedStandalone() int {
+	//vwlint:ignore lockdiscipline the store is single-threaded during startup
+	return s.getLocked()
+}
+
+// suppressedTrailing: directive trailing the code line covers it.
+func (s *store) suppressedTrailing() int {
+	return s.getLocked() //vwlint:ignore lockdiscipline init path, no concurrent access yet
+}
+
+// missingReason: directive without a reason reports and does not
+// suppress the lockdiscipline finding below it.
+func (s *store) missingReason() int {
+	//vwlint:ignore lockdiscipline
+	return s.getLocked()
+}
+
+// unknownName: unknown analyzer name reports and does not suppress.
+func (s *store) unknownName() int {
+	//vwlint:ignore nosuchcheck stale directive kept for the test
+	return s.getLocked()
+}
+
+// multiName: one directive can name several analyzers.
+func (s *store) multiName() int {
+	//vwlint:ignore lockdiscipline,ctxnext shared startup path before serving
+	return s.getLocked()
+}
+
+// wrongAnalyzer: a well-formed directive for a different analyzer does
+// not suppress lockdiscipline.
+func (s *store) wrongAnalyzer() int {
+	//vwlint:ignore selalias reason that does not apply here
+	return s.getLocked()
+}
+
+// bare: a directive with no analyzer name at all is malformed.
+func (s *store) bare() int {
+	//vwlint:ignore
+	return s.n
+}

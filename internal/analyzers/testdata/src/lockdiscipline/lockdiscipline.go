@@ -1,0 +1,66 @@
+// Package lockdiscipline exercises the *Locked calling convention.
+package lockdiscipline
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int
+}
+
+func (s *store) getLocked(k string) int { return s.items[k] }
+
+func (s *store) evictLocked() { delete(s.items, "stale") }
+
+// Get acquires the mutex in the same body: allowed.
+func (s *store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(k)
+}
+
+// Peek takes a read lock: also allowed.
+func (s *store) Peek(k string) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.getLocked(k)
+}
+
+// flushLocked is itself *Locked, so its callees inherit the claim.
+func (s *store) flushLocked() {
+	s.evictLocked()
+}
+
+// Evict never takes a lock anywhere in its body.
+func (s *store) Evict() {
+	s.evictLocked() // want "evictLocked is called without holding a lock"
+}
+
+// Broken only unlocks; an Unlock is not an acquisition.
+func (s *store) Broken(k string) int {
+	defer s.mu.Unlock()
+	return s.getLocked(k) // want "getLocked is called without holding a lock"
+}
+
+func scrubLocked(m map[string]int) { clear(m) }
+
+// Plain functions are held to the convention too.
+func scrub(m map[string]int) {
+	scrubLocked(m) // want "scrubLocked is called without holding a lock"
+}
+
+// Suppression with a reason silences the diagnostic.
+func scrubAtStartup(m map[string]int) {
+	//vwlint:ignore lockdiscipline the store is single-threaded until serving starts
+	scrubLocked(m)
+}
+
+// TryLock counts as an acquisition.
+func (s *store) Maybe(k string) int {
+	if !s.mu.TryLock() {
+		return 0
+	}
+	defer s.mu.Unlock()
+	return s.getLocked(k)
+}

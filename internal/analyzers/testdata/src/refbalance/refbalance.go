@@ -1,0 +1,104 @@
+// Package refbalance exercises snapshot refcount hygiene with a local
+// ref/unref pair and //vw:refcount / //vw:owns annotations.
+package refbalance
+
+import "errors"
+
+var errTooMany = errors.New("too many holders")
+
+type snapshot struct {
+	// refs counts the holders pinning this snapshot.
+	//
+	//vw:refcount
+	refs int
+}
+
+func (s *snapshot) ref()   { s.refs++ }
+func (s *snapshot) unref() { s.refs-- }
+
+type user struct {
+	snap *snapshot
+}
+
+// leak takes a reference but the error path returns without releasing.
+func leak(s *snapshot) error {
+	s.ref()
+	if s.refs > 10 {
+		return errTooMany // want "return path leaks the reference"
+	}
+	s.unref()
+	return nil
+}
+
+// balanced releases on every path via defer.
+func balanced(s *snapshot) error {
+	s.ref()
+	defer s.unref()
+	if s.refs > 10 {
+		return errTooMany
+	}
+	return nil
+}
+
+// acquire transfers ownership by returning the counted value.
+func acquire(s *snapshot) *snapshot {
+	s.ref()
+	return s
+}
+
+// bump increments the tagged field directly; same rules apply.
+func bump(s *snapshot) error {
+	s.refs++
+	if s.refs > 10 {
+		return errTooMany // want "return path leaks the reference"
+	}
+	s.unref()
+	return nil
+}
+
+// open hands its caller a counted reference.
+//
+//vw:owns
+func open(s *snapshot) *snapshot {
+	s.ref()
+	return s
+}
+
+// use releases on the error path and transfers on the success path.
+func use(s *snapshot) (*user, error) {
+	snap := open(s)
+	if snap.refs > 100 {
+		snap.unref()
+		return nil, errTooMany
+	}
+	u := &user{}
+	u.snap = snap //vw:owns released by the user's close path
+	return u, nil
+}
+
+// useLeaky forgets the error path.
+func useLeaky(s *snapshot) error {
+	snap := open(s)
+	if snap.refs > 100 {
+		return errTooMany // want "return path leaks the reference"
+	}
+	snap.unref()
+	return nil
+}
+
+// drop discards the owned result outright.
+func drop(s *snapshot) {
+	open(s) // want "owned reference is discarded"
+}
+
+// forget acquires and falls off the end without releasing.
+func forget(s *snapshot) {
+	s.ref()
+} // want "function end leaks the reference"
+
+// holdForever is a sanctioned imbalance, suppressed with a reason.
+func holdForever(s *snapshot) {
+	s.ref()
+	//vwlint:ignore refbalance process-lifetime pin, released at shutdown
+	return
+}

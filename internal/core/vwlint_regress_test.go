@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vectorwise/internal/vector"
+	"vectorwise/internal/vtypes"
+)
+
+// Regression tests for the invariants cmd/vwlint machine-checks: the
+// selalias private-copy rule (the historical Limit bug) and the ctxnext
+// per-iteration polling rule on multi-batch loops.
+
+// selReuseChild emits one batch whose Sel aliases a buffer the child
+// keeps — the ownership pattern Select produces via MutableSel/SetSel,
+// where the buffer is reused for the next batch.
+type selReuseChild struct {
+	b     *vector.Batch
+	calls int
+}
+
+func (c *selReuseChild) Schema() *vtypes.Schema { return nil }
+func (c *selReuseChild) Open() error            { c.calls = 0; return nil }
+func (c *selReuseChild) Close() error           { return nil }
+func (c *selReuseChild) Next() (*vector.Batch, error) {
+	if c.calls++; c.calls > 1 {
+		return nil, nil
+	}
+	return c.b, nil
+}
+
+// TestLimitInstallsPrivateSelCopy pins the worst offender of the
+// selalias audit: Limit truncating a batch must install a freshly
+// copied Sel, never shorten the child's shared slice in place (which
+// would corrupt the buffer the child reuses on its next batch).
+func TestLimitInstallsPrivateSelCopy(t *testing.T) {
+	sel := []int32{0, 2, 4, 6, 8, 10, 12, 14}
+	b := &vector.Batch{}
+	b.SetSel(sel, len(sel))
+	lim := NewLimit(&selReuseChild{b: b}, 3)
+	if err := lim.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer lim.Close()
+	out, err := lim.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || out.N != 3 {
+		t.Fatalf("limited batch: %+v", out)
+	}
+	if &out.Sel[0] == &sel[0] {
+		t.Fatal("Limit aliased the child's shared Sel; it must install a private copy before truncating")
+	}
+	for i, want := range []int32{0, 2, 4, 6, 8, 10, 12, 14} {
+		if sel[i] != want {
+			t.Fatalf("child's Sel buffer mutated at %d: got %d, want %d", i, sel[i], want)
+		}
+	}
+}
+
+// TestLeftOuterJoinCancellationMidProbe pins the ctxnext per-iteration
+// rule on the outer-join probe loop: cancelling between batches stops
+// the join at the next vector boundary instead of draining the probe
+// side to completion.
+func TestLeftOuterJoinCancellationMidProbe(t *testing.T) {
+	orders := buildOrders(t, 20000, 512)
+	cust := buildCustomers(t, 5)
+	oscan := NewScan(orders, []int{0, 1}, ScanOpts{VecSize: 64})
+	cscan := NewScan(cust, []int{0, 1}, ScanOpts{})
+	j, err := NewHashJoin(oscan, cscan,
+		[]Expr{col(1, vtypes.KindI64)}, []Expr{col(0, vtypes.KindI64)}, JoinLeftOuter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.SetContext(ctx)
+	oscan.SetContext(ctx)
+	cscan.SetContext(ctx)
+	if err := j.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := j.Next(); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	cancel()
+	if _, err := j.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled after mid-probe cancel, got %v", err)
+	}
+}

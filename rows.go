@@ -113,7 +113,7 @@ func (db *DB) openRowsLocked(ctx context.Context, plan algebra.Node) (*Rows, err
 	for i := range cols {
 		cols[i] = schema.Col(i).Name
 	}
-	return &Rows{db: db, snap: snap, op: op, cancel: cancel, cols: cols, schema: schema, stats: stats}, nil
+	return &Rows{db: db, snap: snap, op: op, cancel: cancel, cols: cols, schema: schema, stats: stats}, nil //vw:owns Rows.close releases the snapshot reference
 }
 
 // Epoch returns the data epoch this cursor pinned at QueryContext time.

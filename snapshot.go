@@ -36,6 +36,8 @@ type dbSnapshot struct {
 	pins  map[string]*txn.Pinned
 	// refs counts holders: the DB itself while the snapshot is current,
 	// plus one per open cursor. Guarded by db.snapMu.
+	//
+	//vw:refcount
 	refs int
 }
 
@@ -55,6 +57,8 @@ func (s *dbSnapshot) Resolve(name string) (*storage.Table, []*pdt.PDT, error) {
 //
 // Lock ordering: db.mu → db.snapMu → internal package mutexes
 // (txn.Manager.mu via PinAll); snapMu never acquires db.mu.
+//
+//vw:owns
 func (db *DB) acquireSnapshot() *dbSnapshot {
 	db.snapMu.Lock()
 	defer db.snapMu.Unlock()

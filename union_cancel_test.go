@@ -1,0 +1,49 @@
+package vectorwise
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestUnionQueryCancellationMidStream pins the ctxnext per-iteration
+// invariant end to end for set operations: a UNION ALL runs through
+// exchange producers whose emit loops poll the context every batch, so
+// cancelling a partially consumed cursor stops the statement at the
+// next vector boundary instead of draining both inputs, and the DB
+// stays fully usable afterwards.
+func TestUnionQueryCancellationMidStream(t *testing.T) {
+	db := rowsTestDB(t, 30000)
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := db.QueryContext(ctx, `SELECT k FROM pts UNION ALL SELECT k FROM pts`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rows.NextBatch()
+	if err != nil || b == nil {
+		t.Fatalf("first batch: %v %v", b, err)
+	}
+	consumed := b.N
+	cancel()
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled mid-stream, got %v", err)
+			}
+			break
+		}
+		if b == nil {
+			t.Fatal("union drained to completion despite cancellation")
+		}
+		consumed += b.N
+	}
+	if consumed >= 60000 {
+		t.Fatalf("consumed all %d rows; cancellation did not interrupt the stream", consumed)
+	}
+	rows.Close()
+	// The aborted cursor released its snapshot and lock: writes proceed.
+	if _, err := db.Exec(`INSERT INTO pts VALUES (1, 1.0, 'x')`); err != nil {
+		t.Fatal(err)
+	}
+}
