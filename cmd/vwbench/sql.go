@@ -75,6 +75,13 @@ type queryResult struct {
 	// compare warns when a query's pruned fraction drops.
 	GroupsScanned int64 `json:"groups_scanned"`
 	GroupsPruned  int64 `json:"groups_pruned"`
+	// AggProbeNs/JoinBuildNs are the hash-operator phase timings of one
+	// warm execution: total time HashAggregate spent in batched group
+	// FindOrInsert, and total time HashJoin spent building its table.
+	// The baseline compare warns when either regresses past the
+	// threshold — the shared hashtable core's own regression guard.
+	AggProbeNs  int64 `json:"agg_probe_ns"`
+	JoinBuildNs int64 `json:"join_build_ns"`
 }
 
 // benchFile is the BENCH_tpch.json artifact.
@@ -146,8 +153,8 @@ func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, basel
 		ParseMBs:      measureParseMBs(),
 	}
 	fmt.Printf("parse throughput (warm arena, whole suite): %.0f MB/s\n", bf.ParseMBs)
-	fmt.Printf("%-6s %4s %12s %12s %12s %7s %12s %6s %7s\n",
-		"query", "par", "cold", "warm", "stream", "rows", "boxing-B", "h/m", "pruned")
+	fmt.Printf("%-6s %4s %12s %12s %12s %7s %12s %6s %7s %10s %10s\n",
+		"query", "par", "cold", "warm", "stream", "rows", "boxing-B", "h/m", "pruned", "agg-probe", "join-build")
 	for _, par := range pars {
 		db.SetParallelism(par)
 		for _, q := range tpch.SQLSuite() {
@@ -206,6 +213,13 @@ func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, basel
 				fatal(fmt.Errorf("sql %s (scan stats): %w", q.Name, err))
 			}
 			scanAfter := db.ScanStats()
+			// Hash-operator phase timings of one warm execution, read off
+			// the statement's own cursor (per-statement stats, no
+			// cumulative-counter delta needed).
+			aggProbeNs, joinBuildNs, err := hashPhaseNs(db, q.SQL)
+			if err != nil {
+				fatal(fmt.Errorf("sql %s (hash stats): %w", q.Name, err))
+			}
 			after := db.PlanCacheStats()
 			r := queryResult{
 				Query:             q.Name,
@@ -220,13 +234,17 @@ func expSQL(db *vectorwise.DB, sf float64, load tpchdb.LoadStats, outPath, basel
 				CacheMisses:       after.Misses - before.Misses,
 				GroupsScanned:     scanAfter.GroupsScanned - scanBefore.GroupsScanned,
 				GroupsPruned:      scanAfter.GroupsPruned - scanBefore.GroupsPruned,
+				AggProbeNs:        aggProbeNs,
+				JoinBuildNs:       joinBuildNs,
 			}
 			bf.Results = append(bf.Results, r)
 			boxing := int64(collectAlloc) - int64(streamAlloc)
-			fmt.Printf("%-6s %4d %12v %12v %12v %7d %12d %3d/%d %5d/%d\n", q.Name, par,
+			fmt.Printf("%-6s %4d %12v %12v %12v %7d %12d %3d/%d %5d/%d %10v %10v\n", q.Name, par,
 				cold.Round(time.Microsecond), warm.Round(time.Microsecond),
 				stream.Round(time.Microsecond), r.Rows, boxing,
-				r.CacheHits, r.CacheMisses, r.GroupsPruned, r.GroupsPruned+r.GroupsScanned)
+				r.CacheHits, r.CacheMisses, r.GroupsPruned, r.GroupsPruned+r.GroupsScanned,
+				time.Duration(r.AggProbeNs).Round(time.Microsecond),
+				time.Duration(r.JoinBuildNs).Round(time.Microsecond))
 		}
 	}
 	fmt.Println()
@@ -258,6 +276,36 @@ func drainCursor(db *vectorwise.DB, sql string) (int, error) {
 		}
 		n += b.N
 	}
+}
+
+// hashPhaseNs runs sql once through the streaming cursor and reports
+// the statement's hash-operator phase timings: total HashAggregate
+// batched-probe time and total HashJoin build time (summed across
+// operators, e.g. exchange shards).
+func hashPhaseNs(db *vectorwise.DB, sqlText string) (aggNs, joinNs int64, err error) {
+	rows, err := db.QueryContext(context.Background(), sqlText)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer rows.Close()
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			return 0, 0, err
+		}
+		if b == nil {
+			break
+		}
+	}
+	for _, h := range rows.HashStats() {
+		switch h.Op {
+		case "agg":
+			aggNs += h.PhaseNs
+		case "join":
+			joinNs += h.PhaseNs
+		}
+	}
+	return aggNs, joinNs, nil
 }
 
 // allocBytes reports heap bytes allocated by fn (TotalAlloc delta —
@@ -326,6 +374,30 @@ func compareBaseline(cur benchFile, path string) {
 				r.Query, r.Query, r.Parallelism, delta*100,
 				time.Duration(b.WarmNs).Round(time.Microsecond),
 				time.Duration(r.WarmNs).Round(time.Microsecond))
+		}
+		// Hash-phase regressions: agg probe or join build time growing
+		// past the threshold means the shared hashtable core (or its
+		// wiring in the operators) got slower, even if total warm time
+		// hides it behind scan or sort work. Skipped when the baseline
+		// predates the fields (unmarshals as 0).
+		for _, ph := range [...]struct {
+			name          string
+			baseNs, curNs int64
+		}{
+			{"agg probe", b.AggProbeNs, r.AggProbeNs},
+			{"join build", b.JoinBuildNs, r.JoinBuildNs},
+		} {
+			if ph.baseNs <= 0 || ph.curNs <= 0 {
+				continue
+			}
+			d := float64(ph.curNs-ph.baseNs) / float64(ph.baseNs)
+			if d > regressionThreshold {
+				regressions++
+				fmt.Printf("::warning title=TPC-H %s %s regression::%s (par %d) %s time %+.0f%% vs baseline (%v → %v)\n",
+					r.Query, ph.name, r.Query, r.Parallelism, ph.name, d*100,
+					time.Duration(ph.baseNs).Round(time.Microsecond),
+					time.Duration(ph.curNs).Round(time.Microsecond))
+			}
 		}
 		// Data-skipping regression: a query that used to prune row
 		// groups and now prunes a meaningfully smaller fraction lost

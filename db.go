@@ -55,6 +55,7 @@ import (
 	"vectorwise/internal/algebra"
 	"vectorwise/internal/bufmgr"
 	"vectorwise/internal/catalog"
+	"vectorwise/internal/core"
 	"vectorwise/internal/pdt"
 	"vectorwise/internal/plancache"
 	"vectorwise/internal/rewriter"
@@ -146,6 +147,9 @@ type DB struct {
 	// scanStats accumulates row-group outcomes (scanned vs pruned by
 	// min/max statistics) across all queries; see DB.ScanStats.
 	scanStats storage.ScanStats
+	// hashStats accumulates hash-table counters (tables built, entries,
+	// resizes, longest probe) across all queries; see DB.HashStats.
+	hashStats core.HashStatsTotals
 	// noSkip disables data skipping for new statements (see
 	// DB.SetDataSkipping). Guarded by mu like Parallelism.
 	noSkip bool
@@ -254,6 +258,12 @@ func (db *DB) SetParallelism(n int) {
 // many min/max data skipping pruned. The per-query form is
 // [Rows.ScanStats].
 func (db *DB) ScanStats() storage.ScanStatsSnapshot { return db.scanStats.Snapshot() }
+
+// HashStats returns the cumulative hash-table counters of every query
+// this DB has run: how many agg/join tables were built, the distinct
+// keys they held, directory resizes, and the longest probe distance
+// observed. The per-query form is [Rows.HashStats].
+func (db *DB) HashStats() core.HashStatsTotalsSnapshot { return db.hashStats.Snapshot() }
 
 // SetDataSkipping enables or disables min/max row-group pruning for
 // subsequent queries (default on). Pushed-down scan filters still
@@ -646,8 +656,17 @@ func (db *DB) ExplainAnalyze(sqlText string, args ...any) (string, error) {
 		n += b.N
 	}
 	st := rows.ScanStats()
-	return fmt.Sprintf("%sscan: groups_scanned=%d groups_pruned=%d rows=%d\n",
-		algebra.Explain(plan), st.GroupsScanned, st.GroupsPruned, n), nil
+	out := fmt.Sprintf("%sscan: groups_scanned=%d groups_pruned=%d rows=%d\n",
+		algebra.Explain(plan), st.GroupsScanned, st.GroupsPruned, n)
+	// Hash-keyed operators (aggregates, joins) append one line each:
+	// table shape, probe-length distribution, and time spent in the
+	// table-bound phase.
+	for _, h := range rows.HashStats() {
+		out += fmt.Sprintf("hash(%s): slots=%d entries=%d load=%.2f resizes=%d probe_p50=%d probe_max=%d phase=%s\n",
+			h.Op, h.Slots, h.Entries, h.Load, h.Resizes, h.ProbeP50, h.ProbeMax,
+			time.Duration(h.PhaseNs).Round(time.Microsecond))
+	}
+	return out, nil
 }
 
 // Prepare validates and compiles a statement once, returning a handle

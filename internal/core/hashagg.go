@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"vectorwise/internal/hashtable"
 	"vectorwise/internal/primitives"
 	"vectorwise/internal/vector"
 	"vectorwise/internal/vtypes"
@@ -127,9 +129,10 @@ func (a *aggState) grow() {
 }
 
 // HashAggregate implements vectorized grouped aggregation: each input
-// batch is translated to a dense group-id vector via a hash table, then
-// one Agg* kernel per aggregate updates columnar accumulators. Grouping
-// and aggregation both run one kernel per vector.
+// batch is translated to a dense group-id vector via the shared
+// open-addressing hash table (one batched FindOrInsert per vector),
+// then one Agg* kernel per aggregate updates columnar accumulators.
+// Grouping and aggregation both run one kernel per vector.
 type HashAggregate struct {
 	child     Operator
 	groupBy   []Expr
@@ -138,15 +141,19 @@ type HashAggregate struct {
 	vecSize   int
 	keys      []*keyCol
 	states    []*aggState
-	table     []int32 // open addressing: group idx + 1, 0 = empty
-	mask      uint64
+	ht        *hashtable.Table
 	numGroups int
 
-	hashes []uint64
-	groups []uint32
-	built  bool
-	outPos int
-	ctx    context.Context
+	hashes  []uint64
+	groups  []uint32
+	keyVecs []*vector.Vector // per-batch key columns, hoisted (reused)
+	eqFn    hashtable.EqFn
+	allocFn hashtable.NewFn
+	sink    *HashStatsSink
+	probeNs int64 // cumulative FindOrInsert time (agg_probe_ns)
+	built   bool
+	outPos  int
+	ctx     context.Context
 	// partial marks a per-partition aggregate under a parallel
 	// recombination: ungrouped over zero rows it emits nothing instead
 	// of the implicit global row (which would feed zeros into the
@@ -183,6 +190,9 @@ func (h *HashAggregate) Schema() *vtypes.Schema { return h.schema }
 // SetContext implements ContextSetter.
 func (h *HashAggregate) SetContext(ctx context.Context) { h.ctx = ctx }
 
+// SetStatsSink directs this operator's table stats to sink on Close.
+func (h *HashAggregate) SetStatsSink(s *HashStatsSink) { h.sink = s }
+
 // Open implements Operator.
 func (h *HashAggregate) Open() error {
 	if err := h.child.Open(); err != nil {
@@ -196,9 +206,12 @@ func (h *HashAggregate) Open() error {
 	for i, a := range h.aggs {
 		h.states[i] = &aggState{spec: a}
 	}
-	h.table = make([]int32, 1024)
-	h.mask = 1023
+	h.ht = hashtable.New(0)
+	h.keyVecs = make([]*vector.Vector, len(h.groupBy))
+	h.eqFn = h.eqBatch
+	h.allocFn = h.addGroup
 	h.numGroups = 0
+	h.probeNs = 0
 	h.built = false
 	h.outPos = 0
 	h.inRows = 0
@@ -251,57 +264,27 @@ func (h *HashAggregate) consumeBatch(b *vector.Batch) error {
 	groups := h.groups[:capn]
 
 	if len(h.groupBy) > 0 {
-		keyVecs := make([]*vector.Vector, len(h.groupBy))
 		for i, g := range h.groupBy {
 			v, err := g.Eval(b)
 			if err != nil {
 				return err
 			}
-			keyVecs[i] = v
+			h.keyVecs[i] = v
 		}
 		// Vectorized hash of the key columns.
-		for i, v := range keyVecs {
+		for i, v := range h.keyVecs {
 			if i == 0 {
 				hashVec(hashes, v, b.Sel, b.N)
 			} else {
 				rehashVec(hashes, v, b.Sel, b.N)
 			}
 		}
-		// Translate rows to group ids (scalar probe over hashed vector).
-		probe := func(i int32) {
-			slot := hashes[i] & h.mask
-			for {
-				g := h.table[slot]
-				if g == 0 {
-					gid := h.addGroup(keyVecs, i)
-					h.table[slot] = int32(gid + 1)
-					groups[i] = uint32(gid)
-					return
-				}
-				gid := uint32(g - 1)
-				match := true
-				for c, kc := range h.keys {
-					if !kc.equalAt(gid, keyVecs[c], i) {
-						match = false
-						break
-					}
-				}
-				if match {
-					groups[i] = gid
-					return
-				}
-				slot = (slot + 1) & h.mask
-			}
-		}
-		if b.Sel == nil {
-			for i := 0; i < b.N; i++ {
-				probe(int32(i))
-			}
-		} else {
-			for _, i := range b.Sel[:b.N] {
-				probe(i)
-			}
-		}
+		// Translate rows to group ids: one batched table lookup per
+		// vector, with key verification and new-group allocation
+		// running through the callbacks below.
+		start := time.Now()
+		h.ht.FindOrInsert(hashes, b.Sel, b.N, groups, h.eqFn, h.allocFn)
+		h.probeNs += time.Since(start).Nanoseconds()
 	} else {
 		// Ungrouped: every row belongs to group 0; groups is zeroed.
 		if b.Sel == nil {
@@ -373,60 +356,32 @@ func (h *HashAggregate) consumeBatch(b *vector.Batch) error {
 	return nil
 }
 
-// addGroup appends a new group's keys and accumulator slots.
-func (h *HashAggregate) addGroup(keyVecs []*vector.Vector, i int32) int {
+// eqBatch is the table's key-verification callback: column-major
+// comparison of each candidate probe row against its candidate group's
+// stored keys (rows already missed by an earlier column are skipped).
+func (h *HashAggregate) eqBatch(rows []int32, vals []uint32, miss []bool, n int) {
+	for c, kc := range h.keys {
+		v := h.keyVecs[c]
+		for j := 0; j < n; j++ {
+			if !miss[j] && !kc.equalAt(vals[j], v, rows[j]) {
+				miss[j] = true
+			}
+		}
+	}
+}
+
+// addGroup is the table's new-key callback: it appends the row's keys
+// and one accumulator slot per aggregate, returning the new group id.
+func (h *HashAggregate) addGroup(i int32) uint32 {
 	gid := h.numGroups
 	h.numGroups++
 	for c, kc := range h.keys {
-		kc.appendFrom(keyVecs[c], i)
+		kc.appendFrom(h.keyVecs[c], i)
 	}
 	for _, st := range h.states {
 		st.grow()
 	}
-	if uint64(h.numGroups)*10 > h.mask*7 {
-		h.rehashTable()
-	}
-	return gid
-}
-
-// rehashTable doubles the open-addressing directory.
-func (h *HashAggregate) rehashTable() {
-	newMask := h.mask*2 + 1
-	nt := make([]int32, newMask+1)
-	for g := 0; g < h.numGroups; g++ {
-		hsh := h.hashGroup(g)
-		slot := hsh & newMask
-		for nt[slot] != 0 {
-			slot = (slot + 1) & newMask
-		}
-		nt[slot] = int32(g + 1)
-	}
-	h.table = nt
-	h.mask = newMask
-}
-
-// hashGroup recomputes the hash of stored group g.
-func (h *HashAggregate) hashGroup(g int) uint64 {
-	var hs [1]uint64
-	for c, kc := range h.keys {
-		v := &vector.Vector{Kind: kc.kind}
-		switch kc.kind.StorageClass() {
-		case vtypes.ClassI64:
-			v.I64 = kc.i64[g : g+1]
-		case vtypes.ClassF64:
-			v.F64 = kc.f64[g : g+1]
-		case vtypes.ClassStr:
-			v.Str = kc.str[g : g+1]
-		case vtypes.ClassBool:
-			v.B = kc.b[g : g+1]
-		}
-		if c == 0 {
-			hashVec(hs[:], v, nil, 1)
-		} else {
-			rehashVec(hs[:], v, nil, 1)
-		}
-	}
-	return hs[0]
+	return uint32(gid)
 }
 
 func hashVec(dst []uint64, v *vector.Vector, sel []int32, n int) {
@@ -519,6 +474,9 @@ func (h *HashAggregate) aggValue(st *aggState, g int) vtypes.Value {
 
 // Close implements Operator.
 func (h *HashAggregate) Close() error {
-	h.keys, h.states, h.table = nil, nil, nil
+	if h.sink != nil && h.ht != nil && len(h.groupBy) > 0 {
+		h.sink.Record("agg", h.ht.Stats(), h.probeNs)
+	}
+	h.keys, h.states, h.ht = nil, nil, nil
 	return h.child.Close()
 }

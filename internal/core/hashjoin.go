@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"vectorwise/internal/hashtable"
 	"vectorwise/internal/vector"
 	"vectorwise/internal/vtypes"
 )
@@ -26,9 +28,13 @@ const (
 
 // HashJoin joins a streaming probe side (left child) against a
 // materialized build side (right child). The build side is consumed
-// fully on first Next — keys are hashed once into a bucket-chained
-// table; probing then runs one hash kernel per probe vector plus a
-// scalar chain walk per live row, emitting gathered output batches.
+// fully on first Next — each build batch inserts its distinct keys into
+// the shared open-addressing table (one batched FindOrInsert per
+// vector); rows sharing a key chain off their distinct-key entry in
+// build order. Probing runs one hash kernel plus one batched table
+// lookup per probe vector, then walks the (usually length-1) duplicate
+// chain only for genuinely duplicate build keys, emitting gathered
+// output batches.
 type HashJoin struct {
 	probe, build         Operator
 	probeKeys, buildKeys []Expr
@@ -39,16 +45,28 @@ type HashJoin struct {
 	// Build-side storage: full columns plus evaluated key columns.
 	buildCols []*keyCol
 	buildKeyC []*keyCol
-	buckets   []int32 // head of chain per bucket (row idx + 1)
-	next      []int32 // chain links
-	mask      uint64
+	ht        *hashtable.Table
+	head      []int32 // per distinct key: first build row
+	tail      []int32 // per distinct key: last build row (chain append)
+	next      []int32 // per build row: next row with the same key, -1 ends
 	buildN    int
 	built     bool
 
-	hashes []uint64
-	pend   *vector.Batch // overflow output
-	done   bool
-	ctx    context.Context
+	hashes  []uint64
+	kids    []int32          // per probe row: distinct-key id or -1
+	keyVecs []*vector.Vector // current batch's key columns (build, then probe)
+	rowOf   []int32          // build phase: batch row -> dense build row id
+	fik     []uint32         // build phase: FindOrInsert output
+	eqFn    hashtable.EqFn
+	allocFn hashtable.NewFn
+	sink    *HashStatsSink
+	buildNs int64 // build-side materialization time (join_build_ns)
+
+	probeIdx []int32       // reused emit gather buffers
+	buildIdx []int32       // -1 for outer-null rows
+	pend     *vector.Batch // overflow output
+	done     bool
+	ctx      context.Context
 }
 
 // NewHashJoin constructs the join. probeKeys and buildKeys must align in
@@ -87,6 +105,9 @@ func (j *HashJoin) Schema() *vtypes.Schema { return j.schema }
 // SetContext implements ContextSetter.
 func (j *HashJoin) SetContext(ctx context.Context) { j.ctx = ctx }
 
+// SetStatsSink directs this operator's table stats to sink on Close.
+func (j *HashJoin) SetStatsSink(s *HashStatsSink) { j.sink = s }
+
 // Open implements Operator.
 func (j *HashJoin) Open() error {
 	if err := j.probe.Open(); err != nil {
@@ -95,8 +116,11 @@ func (j *HashJoin) Open() error {
 	return j.build.Open()
 }
 
-// buildTable materializes the build side.
+// buildTable materializes the build side: columns append densely, each
+// batch's distinct keys insert through one batched FindOrInsert, and
+// duplicate-key rows chain off their distinct entry in build order.
 func (j *HashJoin) buildTable() error {
+	start := time.Now()
 	bs := j.build.Schema()
 	j.buildCols = make([]*keyCol, bs.Len())
 	for i, c := range bs.Cols {
@@ -106,7 +130,10 @@ func (j *HashJoin) buildTable() error {
 	for i, e := range j.buildKeys {
 		j.buildKeyC[i] = &keyCol{kind: e.Kind()}
 	}
-	var hashAll []uint64
+	j.ht = hashtable.New(0)
+	j.keyVecs = make([]*vector.Vector, len(j.buildKeys))
+	j.eqFn = j.eqBuild
+	j.allocFn = j.allocKey
 	for {
 		// Cancellation point in the build phase, before probing starts.
 		if err := ctxErr(j.ctx); err != nil {
@@ -122,31 +149,38 @@ func (j *HashJoin) buildTable() error {
 		if b.N == 0 {
 			continue
 		}
-		keyVecs := make([]*vector.Vector, len(j.buildKeys))
 		for i, e := range j.buildKeys {
 			v, err := e.Eval(b)
 			if err != nil {
 				return err
 			}
-			keyVecs[i] = v
+			j.keyVecs[i] = v
 		}
 		capn := b.Capacity()
-		hs := make([]uint64, capn)
-		for i, v := range keyVecs {
+		if cap(j.hashes) < capn {
+			j.hashes = make([]uint64, capn)
+			j.rowOf = make([]int32, capn)
+			j.fik = make([]uint32, capn)
+		}
+		hs := j.hashes[:capn]
+		for i, v := range j.keyVecs {
 			if i == 0 {
 				hashVec(hs, v, b.Sel, b.N)
 			} else {
 				rehashVec(hs, v, b.Sel, b.N)
 			}
 		}
+		// Append the batch's live rows densely; remember each batch
+		// position's dense row id for the insert callbacks below.
 		store := func(i int32) {
 			for c := range j.buildCols {
 				j.buildCols[c].appendFrom(b.Vecs[c], i)
 			}
 			for c := range j.buildKeyC {
-				j.buildKeyC[c].appendFrom(keyVecs[c], i)
+				j.buildKeyC[c].appendFrom(j.keyVecs[c], i)
 			}
-			hashAll = append(hashAll, hs[i])
+			j.next = append(j.next, -1)
+			j.rowOf[i] = int32(j.buildN)
 			j.buildN++
 		}
 		if b.Sel == nil {
@@ -158,31 +192,53 @@ func (j *HashJoin) buildTable() error {
 				store(i)
 			}
 		}
+		// One batched insert for the vector, then chain duplicate-key
+		// rows in batch order (first occurrence is the chain head).
+		j.ht.FindOrInsert(hs, b.Sel, b.N, j.fik, j.eqFn, j.allocFn)
+		chain := func(i int32) {
+			kid := j.fik[i]
+			r := j.rowOf[i]
+			if j.head[kid] != r {
+				j.next[j.tail[kid]] = r
+				j.tail[kid] = r
+			}
+		}
+		if b.Sel == nil {
+			for i := 0; i < b.N; i++ {
+				chain(int32(i))
+			}
+		} else {
+			for _, i := range b.Sel[:b.N] {
+				chain(i)
+			}
+		}
 	}
-	// Size the directory to ~2× rows, power of two.
-	size := uint64(1024)
-	for size < uint64(j.buildN)*2 {
-		size *= 2
-	}
-	j.mask = size - 1
-	j.buckets = make([]int32, size)
-	j.next = make([]int32, j.buildN)
-	for r := 0; r < j.buildN; r++ {
-		slot := hashAll[r] & j.mask
-		j.next[r] = j.buckets[slot]
-		j.buckets[slot] = int32(r + 1)
-	}
+	j.buildNs = time.Since(start).Nanoseconds()
 	return nil
 }
 
-// matchRow reports whether build row r matches the probe keys at i.
-func (j *HashJoin) matchRow(r int32, keyVecs []*vector.Vector, i int32) bool {
+// eqBuild verifies candidate batch rows against their candidate
+// distinct key's representative (head) build row, column-major over the
+// key columns.
+func (j *HashJoin) eqBuild(rows []int32, vals []uint32, miss []bool, n int) {
 	for c, kc := range j.buildKeyC {
-		if !kc.equalAt(uint32(r), keyVecs[c], i) {
-			return false
+		v := j.keyVecs[c]
+		for k := 0; k < n; k++ {
+			if !miss[k] && !kc.equalAt(uint32(j.head[vals[k]]), v, rows[k]) {
+				miss[k] = true
+			}
 		}
 	}
-	return true
+}
+
+// allocKey registers a first-seen build key: the claiming row becomes
+// its chain head (and tail, until a duplicate appends).
+func (j *HashJoin) allocKey(i int32) uint32 {
+	kid := len(j.head)
+	r := j.rowOf[i]
+	j.head = append(j.head, r)
+	j.tail = append(j.tail, r)
+	return uint32(kid)
 }
 
 // Next implements Operator.
@@ -226,62 +282,62 @@ func (j *HashJoin) Next() (*vector.Batch, error) {
 	}
 }
 
-// probeBatch joins one probe batch, returning an output batch (possibly
-// leaving an overflow batch pended) or nil when nothing matched.
+// probeBatch joins one probe batch: one hash-kernel pass, one batched
+// table lookup translating every row to its distinct-key id (or -1),
+// then a gather walk over the (usually length-1) duplicate chains. It
+// returns an output batch (possibly leaving an overflow batch pended)
+// or nil when nothing matched.
 func (j *HashJoin) probeBatch(b *vector.Batch) (*vector.Batch, error) {
-	keyVecs := make([]*vector.Vector, len(j.probeKeys))
 	for i, e := range j.probeKeys {
 		v, err := e.Eval(b)
 		if err != nil {
 			return nil, err
 		}
-		keyVecs[i] = v
+		j.keyVecs[i] = v
 	}
 	capn := b.Capacity()
 	if cap(j.hashes) < capn {
 		j.hashes = make([]uint64, capn)
 	}
+	if cap(j.kids) < capn {
+		j.kids = make([]int32, capn)
+	}
 	hs := j.hashes[:capn]
-	for i, v := range keyVecs {
+	for i, v := range j.keyVecs {
 		if i == 0 {
 			hashVec(hs, v, b.Sel, b.N)
 		} else {
 			rehashVec(hs, v, b.Sel, b.N)
 		}
 	}
+	kids := j.kids[:capn]
+	j.ht.Find(hs, b.Sel, b.N, kids, j.eqFn)
 
-	var probeIdx []int32
-	var buildIdx []int32 // -1 for outer-null rows
+	probeIdx := j.probeIdx[:0]
+	buildIdx := j.buildIdx[:0] // -1 for outer-null rows
 	walk := func(i int32) {
-		head := j.buckets[hs[i]&j.mask]
+		kid := kids[i]
 		switch j.typ {
 		case JoinInner, JoinLeftOuter:
-			matched := false
-			for r := head; r != 0; r = j.next[r-1] {
-				if j.matchRow(r-1, keyVecs, i) {
+			if kid < 0 {
+				if j.typ == JoinLeftOuter {
 					probeIdx = append(probeIdx, i)
-					buildIdx = append(buildIdx, r-1)
-					matched = true
+					buildIdx = append(buildIdx, -1)
 				}
+				return
 			}
-			if !matched && j.typ == JoinLeftOuter {
+			for r := j.head[kid]; r >= 0; r = j.next[r] {
 				probeIdx = append(probeIdx, i)
-				buildIdx = append(buildIdx, -1)
+				buildIdx = append(buildIdx, r)
 			}
 		case JoinLeftSemi:
-			for r := head; r != 0; r = j.next[r-1] {
-				if j.matchRow(r-1, keyVecs, i) {
-					probeIdx = append(probeIdx, i)
-					return
-				}
+			if kid >= 0 {
+				probeIdx = append(probeIdx, i)
 			}
 		case JoinLeftAnti:
-			for r := head; r != 0; r = j.next[r-1] {
-				if j.matchRow(r-1, keyVecs, i) {
-					return
-				}
+			if kid < 0 {
+				probeIdx = append(probeIdx, i)
 			}
-			probeIdx = append(probeIdx, i)
 		}
 	}
 	if b.Sel == nil {
@@ -293,6 +349,7 @@ func (j *HashJoin) probeBatch(b *vector.Batch) (*vector.Batch, error) {
 			walk(i)
 		}
 	}
+	j.probeIdx, j.buildIdx = probeIdx, buildIdx
 	if len(probeIdx) == 0 {
 		return nil, nil
 	}
@@ -342,7 +399,11 @@ func (j *HashJoin) emit(b *vector.Batch, probeIdx, buildIdx []int32) *vector.Bat
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {
-	j.buildCols, j.buildKeyC, j.buckets, j.next = nil, nil, nil, nil
+	if j.sink != nil && j.ht != nil {
+		j.sink.Record("join", j.ht.Stats(), j.buildNs)
+	}
+	j.buildCols, j.buildKeyC, j.ht = nil, nil, nil
+	j.head, j.tail, j.next = nil, nil, nil
 	if err := j.probe.Close(); err != nil {
 		j.build.Close()
 		return err

@@ -1,0 +1,147 @@
+package hashtable
+
+import (
+	"testing"
+)
+
+// benchKeys returns n distinct pre-hashed keys.
+func benchKeys(n int) []uint64 {
+	hs := make([]uint64, n)
+	for i := range hs {
+		hs[i] = splitmix64(int64(i))
+	}
+	return hs
+}
+
+func noEq(_ []int32, _ []uint32, _ []bool, _ int) {} // hash-distinct keys: no false candidates to reject
+
+// buildTable inserts every key 1024 rows at a time.
+func buildTable(hs []uint64, hint int) *Table {
+	t := New(hint)
+	out := make([]uint32, 1024)
+	var next uint32
+	alloc := func(int32) uint32 { next++; return next - 1 }
+	for o := 0; o < len(hs); o += 1024 {
+		end := o + 1024
+		if end > len(hs) {
+			end = len(hs)
+		}
+		t.FindOrInsert(hs[o:end], nil, end-o, out, noEq, alloc)
+	}
+	return t
+}
+
+// BenchmarkHashTableVsGoMap compares the batch table against a plain
+// map[uint64]uint32 on the two phases the operators run: Build (insert
+// every key once — the join build / first-seen-group path) and Probe
+// (stream 1024-row lookup batches across the full key set — the join
+// probe path, working set deliberately larger than cache at 1e5+).
+func BenchmarkHashTableVsGoMap(b *testing.B) {
+	for _, size := range []int{100_000, 1_000_000} {
+		hs := benchKeys(size)
+
+		b.Run(sizeName("TableBuild", size), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buildTable(hs, size)
+			}
+		})
+
+		b.Run(sizeName("GoMapBuild", size), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := make(map[uint64]uint32, size)
+				var next uint32
+				for _, h := range hs {
+					if _, ok := m[h]; !ok {
+						m[h] = next
+						next++
+					}
+				}
+			}
+		})
+
+		b.Run(sizeName("TableProbe", size), func(b *testing.B) {
+			t := buildTable(hs, size)
+			found := make([]int32, 1024)
+			b.ReportAllocs()
+			b.SetBytes(1024 * 8)
+			b.ResetTimer()
+			off := 0
+			for i := 0; i < b.N; i++ {
+				t.Find(hs[off:off+1024], nil, 1024, found, noEq)
+				off += 1024
+				if off+1024 > size {
+					off = 0
+				}
+			}
+			if found[0] < 0 {
+				b.Fatal("expected hit")
+			}
+		})
+
+		b.Run(sizeName("GoMapProbe", size), func(b *testing.B) {
+			m := make(map[uint64]uint32, size)
+			for i, h := range hs {
+				m[h] = uint32(i)
+			}
+			found := make([]int32, 1024)
+			b.ReportAllocs()
+			b.SetBytes(1024 * 8)
+			b.ResetTimer()
+			off := 0
+			for i := 0; i < b.N; i++ {
+				for k, h := range hs[off : off+1024] {
+					if v, ok := m[h]; ok {
+						found[k] = int32(v)
+					} else {
+						found[k] = -1
+					}
+				}
+				off += 1024
+				if off+1024 > size {
+					off = 0
+				}
+			}
+			if found[0] < 0 {
+				b.Fatal("expected hit")
+			}
+		})
+	}
+}
+
+func sizeName(kind string, n int) string {
+	switch {
+	case n >= 1_000_000:
+		return kind + "/1M"
+	case n >= 100_000:
+		return kind + "/100k"
+	default:
+		return kind + "/small"
+	}
+}
+
+// BenchmarkFindOrInsertHits measures the steady-state find-or-insert
+// path — all keys already present, probes streaming across the full
+// 100k key set — which is the hot loop of a high-cardinality aggregate.
+func BenchmarkFindOrInsertHits(b *testing.B) {
+	const size = 100_000
+	hs := benchKeys(size)
+	t := buildTable(hs, size)
+	out := make([]uint32, 1024)
+	var next uint32
+	alloc := func(int32) uint32 { next++; return next - 1 }
+	b.ReportAllocs()
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	off := 0
+	for i := 0; i < b.N; i++ {
+		t.FindOrInsert(hs[off:off+1024], nil, 1024, out, noEq, alloc)
+		off += 1024
+		if off+1024 > size {
+			off = 0
+		}
+	}
+}

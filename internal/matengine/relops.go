@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"vectorwise/internal/algebra"
+	"vectorwise/internal/hashtable"
 	"vectorwise/internal/vector"
 	"vectorwise/internal/vtypes"
 )
@@ -39,7 +40,7 @@ func execAgg(t *algebra.AggNode, in *Rel) (*Rel, error) {
 		min  []vtypes.Value
 		max  []vtypes.Value
 	}
-	groups := make(map[uint64][]*group)
+	ht := hashtable.New(0)
 	var order []*group
 	newGroup := func(key vtypes.Row) *group {
 		g := &group{
@@ -59,25 +60,19 @@ func execAgg(t *algebra.AggNode, in *Rel) (*Rel, error) {
 		for c, v := range keyCols {
 			key[c] = v.Get(i)
 		}
-		h := key.Hash()
-		var g *group
-		for _, cand := range groups[h] {
-			match := true
+		gid, _ := ht.Put(key.Hash(), func(v uint32) bool {
+			cand := order[v]
 			for c := range key {
 				if !cand.key[c].Equal(key[c]) {
-					match = false
-					break
+					return false
 				}
 			}
-			if match {
-				g = cand
-				break
-			}
-		}
-		if g == nil {
-			g = newGroup(key)
-			groups[h] = append(groups[h], g)
-		}
+			return true
+		}, func() uint32 {
+			newGroup(key)
+			return uint32(len(order) - 1)
+		})
+		g := order[gid]
 		for a, spec := range t.Aggs {
 			var v vtypes.Value
 			if argCols[a] != nil {
@@ -168,14 +163,32 @@ func execJoin(t *algebra.JoinNode, l, r *Rel) (*Rel, error) {
 		}
 		lKeyCols[i] = v
 	}
-	table := make(map[uint64][]int32)
+	// Distinct build keys map to ids in the shared open-addressing
+	// table; duplicate-key build rows collect under their id.
+	ht := hashtable.New(r.N)
+	var heads []int32    // per distinct key: representative build row
+	var rowsOf [][]int32 // per distinct key: build rows in order
+	rEq := func(a int, b int32) bool {
+		for c := range rKeyCols {
+			if !rKeyCols[c].Get(a).Equal(rKeyCols[c].Get(int(b))) {
+				return false
+			}
+		}
+		return true
+	}
 	for i := 0; i < r.N; i++ {
 		key := make(vtypes.Row, len(rKeyCols))
 		for c, v := range rKeyCols {
 			key[c] = v.Get(i)
 		}
-		h := key.Hash()
-		table[h] = append(table[h], int32(i))
+		kid, _ := ht.Put(key.Hash(), func(v uint32) bool {
+			return rEq(i, heads[v])
+		}, func() uint32 {
+			heads = append(heads, int32(i))
+			rowsOf = append(rowsOf, nil)
+			return uint32(len(heads) - 1)
+		})
+		rowsOf[kid] = append(rowsOf[kid], int32(i))
 	}
 	eq := func(li int, ri int32) bool {
 		for c := range lKeyCols {
@@ -191,22 +204,18 @@ func execJoin(t *algebra.JoinNode, l, r *Rel) (*Rel, error) {
 		for c, v := range lKeyCols {
 			key[c] = v.Get(i)
 		}
-		h := key.Hash()
-		matched := false
-		for _, ri := range table[h] {
-			if !eq(i, ri) {
-				continue
-			}
-			matched = true
+		kid, matched := ht.Get(key.Hash(), func(v uint32) bool {
+			return eq(i, heads[v])
+		})
+		if matched {
 			switch t.Type {
 			case algebra.JoinInner, algebra.JoinLeftOuter:
-				li32 = append(li32, int32(i))
-				ri32 = append(ri32, ri)
+				for _, ri := range rowsOf[kid] {
+					li32 = append(li32, int32(i))
+					ri32 = append(ri32, ri)
+				}
 			case algebra.JoinLeftSemi:
 				li32 = append(li32, int32(i))
-			}
-			if t.Type == algebra.JoinLeftSemi || t.Type == algebra.JoinLeftAnti {
-				break
 			}
 		}
 		if !matched {

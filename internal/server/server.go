@@ -55,6 +55,7 @@ import (
 
 	vectorwise "vectorwise"
 	"vectorwise/internal/catalog"
+	"vectorwise/internal/core"
 	"vectorwise/internal/plancache"
 	"vectorwise/internal/sql"
 	"vectorwise/internal/storage"
@@ -300,6 +301,11 @@ type StatsResponse struct {
 	// vs groups skipped by min/max data skipping. A selective
 	// clustered workload shows groups_pruned climbing with traffic.
 	Scan storage.ScanStatsSnapshot `json:"scan"`
+	// Hash exposes cumulative hash-table counters from agg/join
+	// operators: tables built, distinct keys held, directory resizes,
+	// and the longest linear-probe distance observed. Probe_max
+	// climbing far past single digits signals pathological clustering.
+	Hash core.HashStatsTotalsSnapshot `json:"hash"`
 	// DataEpoch is the engine's committed-state version: it advances on
 	// every DML commit, tuple-mover fold or stable-image swap,
 	// checkpoint and bulk load. A frozen epoch under write traffic
@@ -884,6 +890,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Admission: s.adm.snapshot(),
 		PlanCache: s.db.PlanCacheStats(),
 		Scan:      s.db.ScanStats(),
+		Hash:      s.db.HashStats(),
 		DataEpoch: s.db.Epoch(),
 		Mover:     s.db.MoverStats(),
 		Sessions:  s.sessions.count(),

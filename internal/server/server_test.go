@@ -384,6 +384,43 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsHashWireShape pins the /v1/stats hash-table counter JSON:
+// field names are API surface, and after an aggregate plus a join the
+// cumulative counters must be populated.
+func TestStatsHashWireShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code := postQuery(t, ts, QueryRequest{SQL: `SELECT v, COUNT(*) FROM kv GROUP BY v`}, nil); code != http.StatusOK {
+		t.Fatalf("agg status %d", code)
+	}
+	if code := postQuery(t, ts, QueryRequest{SQL: `SELECT a.k FROM kv a JOIN kv b ON a.k = b.k`}, nil); code != http.StatusOK {
+		t.Fatalf("join status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	var hash map[string]json.Number
+	if err := json.Unmarshal(raw["hash"], &hash); err != nil {
+		t.Fatalf("hash section: %v", err)
+	}
+	for _, field := range []string{"tables", "entries", "resizes", "probe_max"} {
+		if _, ok := hash[field]; !ok {
+			t.Fatalf("hash section missing %q: %v", field, hash)
+		}
+	}
+	if tables, _ := hash["tables"].Int64(); tables < 2 {
+		t.Fatalf("want >= 2 hash tables (agg + join), got %v", hash["tables"])
+	}
+	if entries, _ := hash["entries"].Int64(); entries < 3 {
+		t.Fatalf("want >= 3 cumulative entries, got %v", hash["entries"])
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/v1/healthz")

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"vectorwise/internal/algebra"
+	"vectorwise/internal/hashtable"
 	"vectorwise/internal/vtypes"
 )
 
@@ -58,15 +59,17 @@ func (p *projectIter) Next() (vtypes.Row, bool, error) {
 	return out, true, nil
 }
 
-// aggIter hashes groups row by row.
+// aggIter hashes groups row by row through the shared open-addressing
+// table (scalar Put per row; the vectorized engine batches the same
+// structure).
 type aggIter struct {
 	child RowIter
 	node  *algebra.AggNode
 
-	groups map[uint64][]*aggGroup
-	order  []*aggGroup
-	pos    int
-	built  bool
+	ht    *hashtable.Table
+	order []*aggGroup
+	pos   int
+	built bool
 }
 
 type aggGroup struct {
@@ -79,7 +82,7 @@ type aggGroup struct {
 }
 
 func (a *aggIter) Open() error {
-	a.groups = make(map[uint64][]*aggGroup)
+	a.ht = hashtable.New(0)
 	a.order = nil
 	a.pos = 0
 	a.built = false
@@ -106,32 +109,26 @@ func (a *aggIter) consume() error {
 			key[i] = v
 		}
 		h := key.Hash()
-		var grp *aggGroup
-		for _, cand := range a.groups[h] {
-			match := true
+		gid, _ := a.ht.Put(h, func(v uint32) bool {
+			cand := a.order[v]
 			for i := range key {
 				if !cand.key[i].Equal(key[i]) {
-					match = false
-					break
+					return false
 				}
 			}
-			if match {
-				grp = cand
-				break
-			}
-		}
-		if grp == nil {
-			grp = &aggGroup{
+			return true
+		}, func() uint32 {
+			a.order = append(a.order, &aggGroup{
 				key:  key,
 				sums: make([]float64, len(n.Aggs)),
 				is:   make([]int64, len(n.Aggs)),
 				cnts: make([]int64, len(n.Aggs)),
 				mins: make([]vtypes.Value, len(n.Aggs)),
 				maxs: make([]vtypes.Value, len(n.Aggs)),
-			}
-			a.groups[h] = append(a.groups[h], grp)
-			a.order = append(a.order, grp)
-		}
+			})
+			return uint32(len(a.order) - 1)
+		})
+		grp := a.order[gid]
 		for i, ag := range n.Aggs {
 			var v vtypes.Value
 			if ag.Arg != nil {
@@ -221,12 +218,16 @@ func (a *aggIter) Next() (vtypes.Row, bool, error) {
 	return out, true, nil
 }
 
-// joinIter hash-joins with a materialized build side.
+// joinIter hash-joins with a materialized build side. The shared
+// open-addressing table maps key hashes to distinct-key ids; rows
+// sharing a key collect under that id in build order.
 type joinIter struct {
 	left, right RowIter
 	node        *algebra.JoinNode
 
-	table map[uint64][]vtypes.Row // build rows by key hash
+	ht    *hashtable.Table
+	keys  []vtypes.Row   // per distinct key: representative key row
+	rows  [][]vtypes.Row // per distinct key: build rows in arrival order
 	built bool
 
 	// current probe fan-out
@@ -249,7 +250,8 @@ func (j *joinIter) Close() error {
 }
 
 func (j *joinIter) build() error {
-	j.table = make(map[uint64][]vtypes.Row)
+	j.ht = hashtable.New(0)
+	j.keys, j.rows = nil, nil
 	for {
 		row, ok, err := j.right.Next()
 		if err != nil {
@@ -262,9 +264,25 @@ func (j *joinIter) build() error {
 		if err != nil {
 			return err
 		}
-		h := key.Hash()
-		j.table[h] = append(j.table[h], append(key, row...))
+		kid, _ := j.ht.Put(key.Hash(), func(v uint32) bool {
+			return rowsEqual(j.keys[v], key)
+		}, func() uint32 {
+			j.keys = append(j.keys, key)
+			j.rows = append(j.rows, nil)
+			return uint32(len(j.keys) - 1)
+		})
+		j.rows[kid] = append(j.rows[kid], row)
 	}
+}
+
+// rowsEqual compares two key rows element-wise.
+func rowsEqual(a, b vtypes.Row) bool {
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func evalKeys(keys []algebra.Scalar, row vtypes.Row) (vtypes.Row, error) {
@@ -300,30 +318,18 @@ func (j *joinIter) Next() (vtypes.Row, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		h := key.Hash()
-		nk := len(key)
-		matched := false
-		for _, cand := range j.table[h] {
-			eq := true
-			for i := 0; i < nk; i++ {
-				if !cand[i].Equal(key[i]) {
-					eq = false
-					break
-				}
-			}
-			if !eq {
-				continue
-			}
-			matched = true
+		kid, matched := j.ht.Get(key.Hash(), func(v uint32) bool {
+			return rowsEqual(j.keys[v], key)
+		})
+		if matched {
 			switch j.node.Type {
 			case algebra.JoinInner, algebra.JoinLeftOuter:
-				j.pending = append(j.pending, append(row.Clone(), cand[nk:]...))
+				for _, cand := range j.rows[kid] {
+					j.pending = append(j.pending, append(row.Clone(), cand...))
+				}
 			case algebra.JoinLeftSemi:
 				j.pending = append(j.pending, row)
 			case algebra.JoinLeftAnti:
-			}
-			if j.node.Type == algebra.JoinLeftSemi {
-				break
 			}
 		}
 		if !matched {

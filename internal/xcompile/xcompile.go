@@ -28,6 +28,10 @@ type Options struct {
 	// counts from every scan the compiled plan runs (partition scans
 	// share it; the fields are atomic).
 	ScanStats *storage.ScanStats
+	// HashStats, when non-nil, receives hash-table shape and probe
+	// stats from every HashAggregate and HashJoin in the compiled plan
+	// (recorded at operator close; the sink is internally locked).
+	HashStats *core.HashStatsSink
 	// NoPrune disables min/max row-group pruning (filters still
 	// evaluate inside the scan) — the differential-testing and
 	// benchmarking switch for isolating data skipping.
@@ -168,6 +172,7 @@ func (c *compiler) nodeInner(n algebra.Node) (core.Operator, error) {
 		}
 		agg := core.NewHashAggregate(child, groups, aggs, t.Names)
 		agg.SetPartial(t.Partial)
+		agg.SetStatsSink(c.opts.HashStats)
 		return agg, nil
 
 	case *algebra.JoinNode:
@@ -192,7 +197,12 @@ func (c *compiler) nodeInner(n algebra.Node) (core.Operator, error) {
 				return nil, err
 			}
 		}
-		return core.NewHashJoin(left, right, lk, rk, core.JoinType(t.Type))
+		hj, err := core.NewHashJoin(left, right, lk, rk, core.JoinType(t.Type))
+		if err != nil {
+			return nil, err
+		}
+		hj.SetStatsSink(c.opts.HashStats)
+		return hj, nil
 
 	case *algebra.SortNode:
 		child, err := c.node(t.Input)

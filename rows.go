@@ -70,6 +70,10 @@ type Rows struct {
 	// stats counts this statement's row-group outcomes; folded into
 	// the DB's cumulative counters on Close.
 	stats *storage.ScanStats
+	// hashSink collects this statement's hash-table stats (recorded as
+	// each agg/join operator closes); folded into the DB's cumulative
+	// counters on Close.
+	hashSink *core.HashStatsSink
 
 	batch  *vector.Batch // current batch (operator-owned, valid until next pull)
 	pos    int           // next unread live row in batch
@@ -90,10 +94,12 @@ func (db *DB) openRowsLocked(ctx context.Context, plan algebra.Node) (*Rows, err
 	ctx, cancel := context.WithCancel(ctx)
 	snap := db.acquireSnapshot()
 	stats := &storage.ScanStats{}
+	hashSink := &core.HashStatsSink{}
 	op, err := xcompile.Compile(plan, db.cat, xcompile.Options{
 		Fetch:     db.buf,
 		Ctx:       ctx,
 		ScanStats: stats,
+		HashStats: hashSink,
 		NoPrune:   db.noSkip,
 		Resolver:  snap,
 	})
@@ -113,7 +119,7 @@ func (db *DB) openRowsLocked(ctx context.Context, plan algebra.Node) (*Rows, err
 	for i := range cols {
 		cols[i] = schema.Col(i).Name
 	}
-	return &Rows{db: db, snap: snap, op: op, cancel: cancel, cols: cols, schema: schema, stats: stats}, nil //vw:owns Rows.close releases the snapshot reference
+	return &Rows{db: db, snap: snap, op: op, cancel: cancel, cols: cols, schema: schema, stats: stats, hashSink: hashSink}, nil //vw:owns Rows.close releases the snapshot reference
 }
 
 // Epoch returns the data epoch this cursor pinned at QueryContext time.
@@ -128,6 +134,14 @@ func (r *Rows) Epoch() uint64 { return r.snap.epoch }
 // signature of working predicate pushdown. Valid during iteration and
 // after Close.
 func (r *Rows) ScanStats() storage.ScanStatsSnapshot { return r.stats.Snapshot() }
+
+// HashStats returns the hash-table stats of every HashAggregate and
+// HashJoin this statement ran: directory slots, entries, load, resize
+// count, probe-length p50/max and the table-bound phase time. Each
+// operator records when it closes, so the full set is available once
+// the cursor is drained (or Closed); a partially consumed cursor
+// reports only the operators that have finished.
+func (r *Rows) HashStats() []core.HashTableStat { return r.hashSink.Snapshot() }
 
 // Columns returns the output column names.
 func (r *Rows) Columns() []string {
@@ -338,6 +352,7 @@ func (r *Rows) close() error {
 	r.cancel()
 	err := r.op.Close()
 	r.db.scanStats.Add(r.stats.Snapshot())
+	r.db.hashStats.Add(r.hashSink.Snapshot())
 	r.snap.unref()
 	return err
 }

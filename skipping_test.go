@@ -156,6 +156,15 @@ func TestDataSkippingExplain(t *testing.T) {
 	if pruned == 0 || scanned+pruned != 16 {
 		t.Fatalf("ExplainAnalyze counters scanned=%d pruned=%d", scanned, pruned)
 	}
+
+	// A grouped aggregate annotates its hash-table line too.
+	out, err = db.ExplainAnalyze(`SELECT d, SUM(v) FROM events GROUP BY d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if indexOf(out, "hash(agg): slots=") < 0 || indexOf(out, "probe_max=") < 0 {
+		t.Fatalf("ExplainAnalyze missing hash-table counters:\n%s", out)
+	}
 }
 
 // With live PDT deltas, groups untouched by deltas still prune and
